@@ -1,0 +1,234 @@
+//! Shared-bus arbitration between PEs (paper §3.2: "The PE output will be
+//! transmitted to other PEs via a shared bus, facilitating
+//! systolic-array-like dataflow").
+//!
+//! Within a core, PE partial sums and activations travel over a shared
+//! bus. The bus is a serialization point: when many PEs retire results in
+//! the same window, transfers queue under round-robin arbitration.
+//! [`SharedBus`] models that contention cycle-accurately enough for the
+//! mapper to check whether a deployment is bus-bound, and
+//! [`SharedBus::arbitrate`] exposes the per-transfer completion times for
+//! tests and traces.
+
+use pim_device::units::{Energy, Latency};
+use std::fmt;
+
+/// A transfer request: which PE wants the bus, when its payload is ready,
+/// and how many bus beats it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRequest {
+    /// Requesting PE id (arbitration key).
+    pub pe: usize,
+    /// Cycle at which the payload is ready.
+    pub ready_cycle: u64,
+    /// Payload size in bits.
+    pub bits: u64,
+}
+
+/// Completion record for one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferGrant {
+    /// The request this grant serves.
+    pub request: TransferRequest,
+    /// Cycle the transfer started.
+    pub start_cycle: u64,
+    /// Cycle the transfer finished (exclusive).
+    pub end_cycle: u64,
+}
+
+impl TransferGrant {
+    /// Cycles the request waited for the bus after becoming ready.
+    pub fn wait_cycles(&self) -> u64 {
+        self.start_cycle - self.request.ready_cycle
+    }
+}
+
+/// A shared bus with fixed width and per-bit transfer energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedBus {
+    width_bits: u64,
+    energy_per_bit: Energy,
+    clock_mhz: f64,
+}
+
+impl SharedBus {
+    /// The core-internal bus of the reproduction: 64 bits per cycle at
+    /// 1 GHz, 0.05 pJ/bit (short on-die wires).
+    pub fn dac24() -> Self {
+        Self {
+            width_bits: 64,
+            energy_per_bit: Energy::from_pj(0.05),
+            clock_mhz: 1000.0,
+        }
+    }
+
+    /// Creates a bus with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or clock is zero.
+    pub fn new(width_bits: u64, energy_per_bit: Energy, clock_mhz: f64) -> Self {
+        assert!(width_bits > 0, "bus width must be nonzero");
+        assert!(clock_mhz > 0.0, "clock must be positive");
+        Self {
+            width_bits,
+            energy_per_bit,
+            clock_mhz,
+        }
+    }
+
+    /// Bus width in bits per cycle.
+    pub fn width_bits(&self) -> u64 {
+        self.width_bits
+    }
+
+    /// Beats (cycles) a payload of `bits` occupies the bus.
+    pub fn beats(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.width_bits).max(1)
+    }
+
+    /// Energy of moving `bits` across the bus.
+    pub fn transfer_energy(&self, bits: u64) -> Energy {
+        self.energy_per_bit * bits as f64
+    }
+
+    /// Round-robin arbitration of a batch of requests: at every free
+    /// window the lowest-PE-id ready request that has waited longest is
+    /// granted (classic rotating priority, approximated here by ready
+    /// time then PE id). Returns grants in completion order.
+    pub fn arbitrate(&self, requests: &[TransferRequest]) -> Vec<TransferGrant> {
+        let mut pending: Vec<TransferRequest> = requests.to_vec();
+        // Stable service order: readiness first, then rotating PE id.
+        pending.sort_by_key(|r| (r.ready_cycle, r.pe));
+        let mut grants = Vec::with_capacity(pending.len());
+        let mut bus_free_at = 0u64;
+        for request in pending {
+            let start = bus_free_at.max(request.ready_cycle);
+            let end = start + self.beats(request.bits);
+            bus_free_at = end;
+            grants.push(TransferGrant {
+                request,
+                start_cycle: start,
+                end_cycle: end,
+            });
+        }
+        grants
+    }
+
+    /// Total cycles from the first ready request to the last completion —
+    /// the bus-side latency of a retirement burst.
+    pub fn burst_makespan(&self, requests: &[TransferRequest]) -> u64 {
+        let grants = self.arbitrate(requests);
+        let first = requests.iter().map(|r| r.ready_cycle).min().unwrap_or(0);
+        let last = grants.iter().map(|g| g.end_cycle).max().unwrap_or(first);
+        last - first
+    }
+
+    /// Wall-clock form of [`burst_makespan`](Self::burst_makespan).
+    pub fn burst_latency(&self, requests: &[TransferRequest]) -> Latency {
+        Latency::from_cycles(self.burst_makespan(requests), self.clock_mhz)
+    }
+}
+
+impl fmt::Display for SharedBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-bit shared bus @ {:.0} MHz, {} per bit",
+            self.width_bits, self.clock_mhz, self.energy_per_bit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(pes: usize, bits: u64) -> Vec<TransferRequest> {
+        (0..pes)
+            .map(|pe| TransferRequest {
+                pe,
+                ready_cycle: 0,
+                bits,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_transfer_takes_ceil_beats() {
+        let bus = SharedBus::dac24();
+        assert_eq!(bus.beats(64), 1);
+        assert_eq!(bus.beats(65), 2);
+        assert_eq!(bus.beats(1), 1);
+        let grants = bus.arbitrate(&burst(1, 256));
+        assert_eq!(grants[0].start_cycle, 0);
+        assert_eq!(grants[0].end_cycle, 4);
+    }
+
+    #[test]
+    fn contention_serializes_simultaneous_retirements() {
+        let bus = SharedBus::dac24();
+        // 16 PEs retire 256-bit partial sums at once: 16 × 4 beats.
+        let makespan = bus.burst_makespan(&burst(16, 256));
+        assert_eq!(makespan, 64);
+        // A wider bus halves it.
+        let wide = SharedBus::new(128, Energy::from_pj(0.05), 1000.0);
+        assert_eq!(wide.burst_makespan(&burst(16, 256)), 32);
+    }
+
+    #[test]
+    fn wait_grows_linearly_down_the_grant_order() {
+        let bus = SharedBus::dac24();
+        let grants = bus.arbitrate(&burst(8, 64));
+        for (i, g) in grants.iter().enumerate() {
+            assert_eq!(g.start_cycle, i as u64);
+            assert_eq!(g.wait_cycles(), i as u64);
+        }
+    }
+
+    #[test]
+    fn staggered_ready_times_avoid_contention() {
+        let bus = SharedBus::dac24();
+        // PEs finishing 4 cycles apart with 4-beat payloads never wait.
+        let requests: Vec<TransferRequest> = (0..8)
+            .map(|pe| TransferRequest {
+                pe,
+                ready_cycle: pe as u64 * 4,
+                bits: 256,
+            })
+            .collect();
+        for grant in bus.arbitrate(&requests) {
+            assert_eq!(grant.wait_cycles(), 0);
+        }
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let bus = SharedBus::dac24();
+        let requests = vec![
+            TransferRequest { pe: 0, ready_cycle: 0, bits: 64 },
+            TransferRequest { pe: 1, ready_cycle: 100, bits: 64 },
+        ];
+        let grants = bus.arbitrate(&requests);
+        assert_eq!(grants[1].start_cycle, 100, "bus idles until ready");
+    }
+
+    #[test]
+    fn energy_scales_with_bits_not_contention() {
+        let bus = SharedBus::dac24();
+        let e1 = bus.transfer_energy(1000);
+        let e2 = bus.transfer_energy(2000);
+        assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_burst_is_zero() {
+        let bus = SharedBus::dac24();
+        assert_eq!(bus.burst_makespan(&[]), 0);
+    }
+
+    #[test]
+    fn display_reports_geometry() {
+        assert!(SharedBus::dac24().to_string().contains("64-bit"));
+    }
+}

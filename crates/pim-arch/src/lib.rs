@@ -1,0 +1,60 @@
+//! Architecture-level simulator for the hybrid MRAM-SRAM sparse PIM.
+//!
+//! This crate models the paper's Fig. 1 system: clusters of cores (4×4
+//! banks of 4×4 PE sub-arrays each), a SIMT scheduler, buses, and off-chip
+//! memory, plus the **dense digital CIM baselines** the paper compares
+//! against (ISSCC'21 SRAM \[29\] and ISCAS'23 MRAM \[30\]).
+//!
+//! The layer is *analytic but calibrated*: per-tile cycle/energy formulas
+//! mirror the `pim-pe` cycle simulators exactly (unit tests assert the
+//! match), and deployments are rolled up from tile counts. This is the
+//! same level of abstraction as the PIMA-SIM / NVSIM flow the paper used.
+//!
+//! # Modules
+//!
+//! * [`geometry`] — core/bank/sub-array organisation and capacity.
+//! * [`workload`] — [`workload::ModelProfile`] layer-shape descriptions,
+//!   including a ResNet-50-scale profile matching the paper's ~26 MB
+//!   Rep-Net model.
+//! * [`pe_model`] — analytic per-tile cost models for the sparse PEs.
+//! * [`baseline`] — the dense SRAM/MRAM macro models.
+//! * [`memory`] — bus and off-chip memory traffic costs.
+//! * [`bus`] — shared-bus round-robin arbitration between PEs.
+//! * [`core_sim`] — executed multi-PE core simulation (real PEs +
+//!   scheduler + bus) validating the analytic roll-up.
+//! * [`mapper`] — provisioning (storage floor + throughput target) and
+//!   per-inference cost roll-up; produces [`mapper::Deployment`]s.
+//! * [`scheduler`] — the SIMT wave scheduler of Fig. 1, used to validate
+//!   the mapper's analytic latency roll-up.
+//! * [`edp`] — continual-learning energy-delay-product scenarios (Fig. 8).
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::mapper::Mapper;
+//! use pim_arch::workload::ModelProfile;
+//! use pim_sparse::NmPattern;
+//!
+//! let (backbone, repnet) = ModelProfile::resnet50_repnet();
+//! let mapper = Mapper::dac24();
+//! let hybrid = mapper.map_hybrid(&backbone, &repnet, NmPattern::new(1, 4)?)?;
+//! let sram_base = mapper.map_dense_sram(&ModelProfile::merged(&backbone, &repnet))?;
+//! // The hybrid needs far less area than the dense SRAM deployment.
+//! assert!(hybrid.total_area() < sram_base.area * 0.6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baseline;
+pub mod bus;
+pub mod core_sim;
+pub mod edp;
+pub mod geometry;
+pub mod mapper;
+pub mod memory;
+pub mod pe_model;
+pub mod scheduler;
+pub mod workload;
+
+pub use geometry::CoreGeometry;
+pub use mapper::{Deployment, HybridDeployment, Mapper};
+pub use workload::{LayerShape, ModelProfile};

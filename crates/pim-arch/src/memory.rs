@@ -1,0 +1,81 @@
+//! Off-chip memory and bus traffic model (paper Fig. 1, blocks 1 and the
+//! bus connections).
+//!
+//! Activations enter and leave the PE fabric through a shared bus backed
+//! by off-chip memory. The model charges per-bit transfer energies at
+//! typical 28 nm SoC values and computes transfer latency from a fixed
+//! bus bandwidth; deployments fold the energy into their `read` channel
+//! and overlap the latency with compute (row-stationary double buffering),
+//! surfacing it only when the bus becomes the bottleneck.
+
+use pim_device::units::{Energy, Latency};
+
+/// Bus + off-chip memory cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryModel {
+    /// Energy per bit fetched from off-chip DRAM.
+    pub dram_energy_per_bit: Energy,
+    /// Energy per bit moved on the on-chip bus.
+    pub bus_energy_per_bit: Energy,
+    /// Bus bandwidth in bits per nanosecond.
+    pub bus_bits_per_ns: f64,
+}
+
+impl MemoryModel {
+    /// Typical 28 nm SoC values: 20 pJ/bit DRAM, 0.5 pJ/bit on-chip bus,
+    /// 128 bits/ns (16 GB/s) bus.
+    pub fn dac24() -> Self {
+        Self {
+            dram_energy_per_bit: Energy::from_pj(20.0),
+            bus_energy_per_bit: Energy::from_pj(0.5),
+            bus_bits_per_ns: 128.0,
+        }
+    }
+
+    /// Energy to move `bits` from off-chip through the bus into the fabric.
+    pub fn offchip_energy(&self, bits: u64) -> Energy {
+        (self.dram_energy_per_bit + self.bus_energy_per_bit) * bits as f64
+    }
+
+    /// Energy to move `bits` between cores on the bus only.
+    pub fn onchip_energy(&self, bits: u64) -> Energy {
+        self.bus_energy_per_bit * bits as f64
+    }
+
+    /// Time to stream `bits` over the bus.
+    pub fn transfer_latency(&self, bits: u64) -> Latency {
+        Latency::from_ns(bits as f64 / self.bus_bits_per_ns)
+    }
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::dac24()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offchip_costs_dominate_onchip() {
+        let m = MemoryModel::dac24();
+        assert!(m.offchip_energy(1000) > 10.0 * m.onchip_energy(1000));
+    }
+
+    #[test]
+    fn transfer_latency_follows_bandwidth() {
+        let m = MemoryModel::dac24();
+        let t = m.transfer_latency(1280);
+        assert!((t.as_ns() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let m = MemoryModel::dac24();
+        let e1 = m.offchip_energy(100);
+        let e2 = m.offchip_energy(200);
+        assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Analytic per-tile cost models, kept bit-identical to the `pim-pe`
+//! cycle simulators.
+//!
+//! The mapper rolls deployments up from *tile counts × tile costs*; these
+//! models compute the tile costs from the same formulas the cycle
+//! simulators use, so an architecture-level estimate is exactly the sum of
+//! the cycle-level runs it stands for. Unit tests in this module run real
+//! PEs and assert equality.
+
+use pim_device::components::{MramPeComponents, SramPeComponents};
+use pim_device::sram_cell::{SramCell, SramCellKind};
+use pim_device::units::{Latency, Power};
+use pim_device::EnergyLedger;
+use pim_pe::{MramPeConfig, SramPeConfig};
+
+/// Cycles, wall-clock time and itemized energy of one tile operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileCost {
+    /// Clock cycles.
+    pub cycles: u64,
+    /// Wall-clock time.
+    pub latency: Latency,
+    /// Energy split.
+    pub energy: EnergyLedger,
+}
+
+/// Analytic model of one SRAM sparse PE tile.
+#[derive(Debug, Clone)]
+pub struct SramTileModel {
+    config: SramPeConfig,
+}
+
+impl SramTileModel {
+    /// Wraps a PE configuration.
+    pub fn new(config: SramPeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's 128×96 PE.
+    pub fn dac24() -> Self {
+        Self::new(SramPeConfig::dac24())
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SramPeConfig {
+        &self.config
+    }
+
+    /// Static leakage power of one whole PE array.
+    pub fn leakage_power(&self) -> Power {
+        let wcells = (self.config.rows * self.config.column_groups) as f64
+            * self.config.weight_bits as f64;
+        let icells = (self.config.rows * self.config.column_groups) as f64
+            * self.config.index_bits as f64;
+        let w = SramCell::new(SramCellKind::Compute8T, &self.config.tech);
+        let i = SramCell::new(SramCellKind::Index6T, &self.config.tech);
+        w.leakage() * wcells + i.leakage() * icells
+    }
+
+    fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
+        let mut e = EnergyLedger::new();
+        e.add_leakage(self.leakage_power() * elapsed);
+        e
+    }
+
+    /// Cost of one matvec on a loaded tile: `8·M + 3` cycles, Table 2
+    /// component powers, `input_rows × 8` activation bits through the
+    /// global buffer. Identical to `SramSparsePe::matvec`.
+    pub fn matvec_cost(&self, m: usize, input_rows: usize) -> TileCost {
+        let cycles = self.config.weight_bits as u64 * m as u64 + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let comp: &SramPeComponents = &self.config.components;
+        let mut energy = self.leakage_over(latency);
+        energy.add_read(
+            (comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power()) * latency,
+        );
+        energy.add_compute(
+            (comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power()) * latency,
+        );
+        let buffer_bits = input_rows as u64 * self.config.weight_bits as u64;
+        energy.add_read(comp.buffer_energy_per_bit * buffer_bits as f64);
+        TileCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    /// Cost of (re)writing `total_slots` weight+index pairs when the
+    /// deepest column group receives `rows_touched` of them. Identical to
+    /// `SramSparsePe::load`.
+    pub fn load_cost(&self, total_slots: u64, rows_touched: u64) -> TileCost {
+        let cycles = rows_touched.max(1);
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let w = SramCell::new(SramCellKind::Compute8T, &self.config.tech);
+        let i = SramCell::new(SramCellKind::Index6T, &self.config.tech);
+        let mut energy = self.leakage_over(latency);
+        energy.add_write(
+            w.write_energy() * (total_slots * self.config.weight_bits as u64) as f64
+                + i.write_energy() * (total_slots * self.config.index_bits as u64) as f64,
+        );
+        energy.add_read(self.config.components.decoder.power() * latency);
+        TileCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    /// Sustained compressed-slot throughput: slots processed per cycle when
+    /// the tile is full and the pattern is `N:m`.
+    pub fn slots_per_cycle(&self, m: usize) -> f64 {
+        let capacity = (self.config.rows * self.config.column_groups) as f64;
+        capacity / (self.config.weight_bits as f64 * m as f64 + 3.0)
+    }
+}
+
+/// Analytic model of one MRAM sparse PE tile.
+#[derive(Debug, Clone)]
+pub struct MramTileModel {
+    config: MramPeConfig,
+}
+
+impl MramTileModel {
+    /// Wraps a PE configuration.
+    pub fn new(config: MramPeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's 1024×512 sub-array.
+    pub fn dac24() -> Self {
+        Self::new(MramPeConfig::dac24())
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &MramPeConfig {
+        &self.config
+    }
+
+    /// Standby leakage of the clock-gated digital periphery (the MTJ
+    /// array itself leaks nothing).
+    pub fn leakage_power(&self) -> Power {
+        self.config.components.total_power() * 0.005
+    }
+
+    fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
+        let mut e = EnergyLedger::new();
+        e.add_leakage(self.leakage_power() * elapsed);
+        e
+    }
+
+    /// Cost of one matvec streaming `rows_used` occupied rows carrying
+    /// `pairs` weight+index pairs. Identical to `MramSparsePe::matvec`.
+    pub fn matvec_cost(&self, rows_used: u64, pairs: u64) -> TileCost {
+        let cycles = rows_used + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let comp: &MramPeComponents = &self.config.components;
+        let mut energy = self.leakage_over(latency);
+        let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
+        energy.add_read(self.config.mtj.read_energy * (pairs * pair_bits) as f64);
+        energy.add_read(
+            (comp.row_decoder_driver.power() + comp.col_decoder_driver.power()) * latency,
+        );
+        energy.add_compute((comp.parallel_shift_acc.power() + comp.adder_tree.power()) * latency);
+        TileCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    /// Cost of writing `rows_written` rows carrying `pairs` pairs, with the
+    /// differential driver toggling half the bits on average. Identical to
+    /// `MramSparsePe::load`.
+    pub fn write_cost(&self, rows_written: u64, pairs: u64) -> TileCost {
+        let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
+        let bits_written = pairs * pair_bits / 2;
+        let cycles = rows_written
+            * (self.config.mtj.write_latency.as_ns() / self.config.tech.cycle_ns()).ceil() as u64;
+        let latency =
+            Latency::from_ns(rows_written as f64 * self.config.mtj.write_latency.as_ns());
+        let comp = &self.config.components;
+        let mut energy = self.leakage_over(latency);
+        energy.add_write(self.config.mtj.write_energy * bits_written as f64);
+        energy.add_write(
+            (comp.row_decoder_driver.power() + comp.col_decoder_driver.power()) * latency,
+        );
+        TileCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    /// Sustained compressed-slot throughput (pairs per cycle at steady
+    /// state).
+    pub fn slots_per_cycle(&self) -> f64 {
+        self.config.pairs_per_row as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_pe::{MramSparsePe, SparsePe, SramSparsePe};
+    use pim_sparse::prune::prune_magnitude;
+    use pim_sparse::{CscMatrix, Matrix, NmPattern};
+
+    fn tile(rows: usize, cols: usize, pattern: NmPattern) -> CscMatrix {
+        let dense = Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+        let mask = prune_magnitude(&dense, pattern).unwrap();
+        CscMatrix::compress(&dense, &mask).unwrap()
+    }
+
+    #[test]
+    fn sram_matvec_model_matches_cycle_simulator() {
+        let pattern = NmPattern::one_of_four();
+        let csc = tile(64, 8, pattern);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let report = pe.matvec(&[7i8; 64]).unwrap();
+
+        let model = SramTileModel::dac24();
+        let cost = model.matvec_cost(pattern.m(), 64);
+        assert_eq!(cost.cycles, report.cycles);
+        assert!((cost.latency.as_ns() - report.latency.as_ns()).abs() < 1e-9);
+        assert!((cost.energy.total().as_pj() - report.energy.total().as_pj()).abs() < 1e-6);
+        assert!((cost.energy.leakage.as_pj() - report.energy.leakage.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sram_load_model_matches_cycle_simulator() {
+        let csc = tile(64, 8, NmPattern::one_of_four());
+        let mut pe = SramSparsePe::new();
+        let report = pe.load(&csc).unwrap();
+        let model = SramTileModel::dac24();
+        // 64 rows at 1:4 → 16 slots per column, 8 columns → 128 slots,
+        // deepest group gets 16.
+        let cost = model.load_cost(128, 16);
+        assert_eq!(cost.cycles, report.cycles);
+        assert!((cost.energy.total().as_pj() - report.energy.total().as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mram_matvec_model_matches_cycle_simulator() {
+        let pattern = NmPattern::one_of_eight();
+        let csc = tile(672, 4, pattern);
+        let mut pe = MramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let report = pe.matvec(&[3i8; 672]).unwrap();
+
+        // 672 rows at 1:8 → 84 slots per column → 2 rows per column → 8 rows.
+        let model = MramTileModel::dac24();
+        let cost = model.matvec_cost(8, 84 * 4);
+        assert_eq!(cost.cycles, report.cycles);
+        assert!((cost.energy.total().as_pj() - report.energy.total().as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mram_write_model_matches_cycle_simulator() {
+        let csc = tile(672, 4, NmPattern::one_of_eight());
+        let mut pe = MramSparsePe::new();
+        let report = pe.load(&csc).unwrap();
+        let model = MramTileModel::dac24();
+        let cost = model.write_cost(8, 84 * 4);
+        assert_eq!(cost.cycles, report.cycles);
+        assert!((cost.latency.as_ns() - report.latency.as_ns()).abs() < 1e-9);
+        assert!((cost.energy.total().as_pj() - report.energy.total().as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sram_leakage_dwarfs_mram_leakage() {
+        let s = SramTileModel::dac24();
+        let m = MramTileModel::dac24();
+        assert!(s.leakage_power().as_mw() > 5.0 * m.leakage_power().as_mw());
+    }
+
+    #[test]
+    fn throughput_figures_are_sane() {
+        let s = SramTileModel::dac24();
+        // 1024 slots / 35 cycles ≈ 29 slots per cycle at 1:4.
+        assert!((s.slots_per_cycle(4) - 1024.0 / 35.0).abs() < 1e-9);
+        let m = MramTileModel::dac24();
+        assert_eq!(m.slots_per_cycle(), 42.0);
+    }
+}

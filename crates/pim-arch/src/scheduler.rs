@@ -1,0 +1,305 @@
+//! The SIMT tile scheduler (paper Fig. 1, block 2).
+//!
+//! The scheduler "manages data distribution and orchestrates execution in
+//! a Single-Instruction-Multiple-Thread manner, maximizing hardware
+//! parallelism": every cycle-window it issues one **wave** of identical
+//! tile operations across the free PEs, with layers processed in order and
+//! double-buffered activations hiding the bus (row-stationary dataflow,
+//! the Eyeriss-style policy the paper adopts for its core buffers).
+//!
+//! [`Schedule::build`] performs the wave decomposition for a layer's tile
+//! list on a PE pool and reports makespan and utilization;
+//! [`simulate_layers`] runs a whole model's layers through a pool
+//! back-to-back, which the mapper's analytic latency roll-up is validated
+//! against (see the tests here and the cross-check in `pim-core`).
+
+use pim_device::units::Latency;
+use std::fmt;
+
+/// One schedulable unit of work: a tile operation with a fixed cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileOp {
+    /// Cycles the operation occupies its PE.
+    pub cycles: u64,
+}
+
+impl TileOp {
+    /// Creates a tile op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero (every real operation takes time).
+    pub fn new(cycles: u64) -> Self {
+        assert!(cycles > 0, "a tile op must take at least one cycle");
+        Self { cycles }
+    }
+}
+
+/// A wave-decomposed schedule of identical-rate tile ops on a PE pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of PEs in the pool.
+    pub pes: usize,
+    /// Waves issued; each wave is `(ops_in_wave, wave_cycles)`.
+    pub waves: Vec<(usize, u64)>,
+    /// Total operations scheduled.
+    pub total_ops: usize,
+}
+
+impl Schedule {
+    /// Decomposes `ops` into SIMT waves over `pes` processing engines.
+    /// Within a wave every PE executes one op in lockstep; the wave's
+    /// duration is its longest op (SIMT divergence penalty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero.
+    pub fn build(ops: &[TileOp], pes: usize) -> Self {
+        assert!(pes > 0, "need at least one PE");
+        // Sort descending so waves group similar-cost ops: this minimizes
+        // lockstep divergence, mirroring the scheduler's shape-bucketing.
+        let mut sorted: Vec<TileOp> = ops.to_vec();
+        sorted.sort_by_key(|op| std::cmp::Reverse(op.cycles));
+        let waves = sorted
+            .chunks(pes)
+            .map(|wave| {
+                let longest = wave.first().map_or(0, |op| op.cycles);
+                (wave.len(), longest)
+            })
+            .collect();
+        Self {
+            pes,
+            waves,
+            total_ops: ops.len(),
+        }
+    }
+
+    /// Total cycles from first issue to last retirement.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.waves.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Makespan as wall-clock time at `clock_mhz`.
+    pub fn makespan(&self, clock_mhz: f64) -> Latency {
+        Latency::from_cycles(self.makespan_cycles(), clock_mhz)
+    }
+
+    /// Fraction of PE-cycles doing useful work: `Σ op cycles /
+    /// (pes × makespan)`. 1.0 means perfect packing; low values expose
+    /// divergence or a ragged final wave.
+    pub fn utilization(&self, ops: &[TileOp]) -> f64 {
+        let useful: u64 = ops.iter().map(|op| op.cycles).sum();
+        let offered = self.pes as u64 * self.makespan_cycles();
+        if offered == 0 {
+            0.0
+        } else {
+            useful as f64 / offered as f64
+        }
+    }
+
+    /// Number of waves issued.
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops over {} PEs in {} waves, {} cycles makespan",
+            self.total_ops,
+            self.pes,
+            self.wave_count(),
+            self.makespan_cycles()
+        )
+    }
+}
+
+/// One layer's worth of tile ops for [`simulate_layers`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerOps {
+    /// Layer label.
+    pub name: String,
+    /// The tile operations of this layer (all passes expanded).
+    pub ops: Vec<TileOp>,
+}
+
+/// Result of simulating a model's layers through one PE pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Per-layer `(name, makespan cycles, utilization)`.
+    pub layers: Vec<(String, u64, f64)>,
+    /// End-to-end cycles (layers execute in order; activations of layer
+    /// `l+1` depend on layer `l`).
+    pub total_cycles: u64,
+}
+
+impl SimulationReport {
+    /// End-to-end latency at `clock_mhz`.
+    pub fn total_latency(&self, clock_mhz: f64) -> Latency {
+        Latency::from_cycles(self.total_cycles, clock_mhz)
+    }
+
+    /// Mean per-layer utilization, weighted by layer cycles.
+    pub fn weighted_utilization(&self) -> f64 {
+        let total: u64 = self.layers.iter().map(|&(_, c, _)| c).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|&(_, c, u)| u * c as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} layers, {} cycles total, {:.1}% mean utilization",
+            self.layers.len(),
+            self.total_cycles,
+            100.0 * self.weighted_utilization()
+        )?;
+        for (name, cycles, util) in &self.layers {
+            writeln!(f, "  {name:<20} {cycles:>10} cycles  {:>5.1}%", 100.0 * util)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs layers in order through a pool of `pes` engines, wave-scheduling
+/// each layer's tiles.
+///
+/// # Panics
+///
+/// Panics if `pes` is zero.
+pub fn simulate_layers(layers: &[LayerOps], pes: usize) -> SimulationReport {
+    let mut report = SimulationReport {
+        layers: Vec::with_capacity(layers.len()),
+        total_cycles: 0,
+    };
+    for layer in layers {
+        let schedule = Schedule::build(&layer.ops, pes);
+        let cycles = schedule.makespan_cycles();
+        let util = schedule.utilization(&layer.ops);
+        report.total_cycles += cycles;
+        report.layers.push((layer.name.clone(), cycles, util));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_ops(n: usize, cycles: u64) -> Vec<TileOp> {
+        vec![TileOp::new(cycles); n]
+    }
+
+    #[test]
+    fn perfect_packing_gives_full_utilization() {
+        let ops = uniform_ops(16, 10);
+        let s = Schedule::build(&ops, 8);
+        assert_eq!(s.wave_count(), 2);
+        assert_eq!(s.makespan_cycles(), 20);
+        assert!((s.utilization(&ops) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_final_wave_lowers_utilization() {
+        let ops = uniform_ops(9, 10);
+        let s = Schedule::build(&ops, 8);
+        assert_eq!(s.wave_count(), 2);
+        assert_eq!(s.makespan_cycles(), 20);
+        // 90 useful of 160 offered.
+        assert!((s.utilization(&ops) - 90.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergent_ops_are_bucketed_to_minimize_waste() {
+        // 4 long + 4 short on 4 PEs: sorting puts the longs together, so
+        // the makespan is 100 + 10, not 2 × 100.
+        let mut ops = uniform_ops(4, 100);
+        ops.extend(uniform_ops(4, 10));
+        let s = Schedule::build(&ops, 4);
+        assert_eq!(s.makespan_cycles(), 110);
+    }
+
+    #[test]
+    fn single_pe_serializes_everything() {
+        let ops = uniform_ops(5, 7);
+        let s = Schedule::build(&ops, 1);
+        assert_eq!(s.wave_count(), 5);
+        assert_eq!(s.makespan_cycles(), 35);
+        assert!((s.utilization(&ops) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_pes_never_increase_makespan() {
+        let ops: Vec<TileOp> = (1..40).map(|i| TileOp::new(i % 13 + 1)).collect();
+        let mut prev = u64::MAX;
+        for pes in [1, 2, 4, 8, 16, 64] {
+            let ms = Schedule::build(&ops, pes).makespan_cycles();
+            assert!(ms <= prev, "{pes} PEs: {ms} > {prev}");
+            prev = ms;
+        }
+    }
+
+    #[test]
+    fn empty_op_list_is_a_zero_schedule() {
+        let s = Schedule::build(&[], 8);
+        assert_eq!(s.makespan_cycles(), 0);
+        assert_eq!(s.utilization(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = Schedule::build(&[TileOp::new(1)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycle_op_rejected() {
+        let _ = TileOp::new(0);
+    }
+
+    #[test]
+    fn layer_simulation_sums_layer_makespans() {
+        let layers = vec![
+            LayerOps {
+                name: "conv1".into(),
+                ops: uniform_ops(8, 11),
+            },
+            LayerOps {
+                name: "conv2".into(),
+                ops: uniform_ops(16, 11),
+            },
+        ];
+        let report = simulate_layers(&layers, 8);
+        assert_eq!(report.total_cycles, 11 + 22);
+        assert!((report.weighted_utilization() - 1.0).abs() < 1e-12);
+        let s = report.to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("conv2"));
+    }
+
+    #[test]
+    fn simulation_matches_analytic_ceiling_formula() {
+        // For uniform ops the wave schedule must equal ceil(n/p)·c — the
+        // exact formula the mapper's analytic roll-up uses.
+        for (n, p, c) in [(100, 8, 11), (7, 8, 35), (64, 16, 67), (33, 4, 1027)] {
+            let ops = uniform_ops(n, c);
+            let s = Schedule::build(&ops, p);
+            assert_eq!(
+                s.makespan_cycles(),
+                (n as u64).div_ceil(p as u64) * c,
+                "n={n} p={p} c={c}"
+            );
+        }
+    }
+}

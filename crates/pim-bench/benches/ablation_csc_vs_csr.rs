@@ -1,0 +1,35 @@
+//! Ablation: CSC vs CSR mapping cost (the paper's §3.1 argument,
+//! quantified) with a matvec throughput comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::ablation::csc_vs_csr;
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, CsrMatrix, Matrix, NmPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Ablation: CSC vs CSR");
+    for pattern in [NmPattern::one_of_four(), NmPattern::one_of_eight()] {
+        println!("{}", csc_vs_csr(512, 128, pattern));
+    }
+
+    let dense = Matrix::from_fn(512, 128, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+    let mask = prune_magnitude(&dense, NmPattern::one_of_four()).expect("non-empty");
+    let masked = mask.apply(&dense).expect("fits");
+    let csc = CscMatrix::compress(&masked, &mask).expect("fits");
+    let csr = CsrMatrix::from_dense(&masked);
+    let x: Vec<i32> = (0..512).map(|i| i % 127 - 63).collect();
+
+    let mut group = c.benchmark_group("ablation_csc_vs_csr");
+    group.bench_function("csc_matvec_512x128_1of4", |b| {
+        b.iter(|| black_box(csc.matvec(&x).expect("len")))
+    });
+    group.bench_function("csr_matvec_512x128_1of4", |b| {
+        b.iter(|| black_box(csr.matvec(&x).expect("len")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

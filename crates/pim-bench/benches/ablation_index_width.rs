@@ -1,0 +1,38 @@
+//! Ablation: index-field width / pattern sweep (storage vs throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::ablation::index_width_sweep;
+use pim_pe::{SparsePe, SramSparsePe};
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Ablation: N:M pattern / index-width sweep");
+    for point in index_width_sweep() {
+        println!("  {point}");
+    }
+
+    let mut group = c.benchmark_group("ablation_index_width");
+    for (label, pattern) in [
+        ("1:4", NmPattern::one_of_four()),
+        ("1:8", NmPattern::one_of_eight()),
+        ("1:16", NmPattern::new(1, 16).expect("valid")),
+    ] {
+        let rows = 128 * pattern.m();
+        let dense = Matrix::from_fn(rows, 8, |r, c| {
+            if r % pattern.m() == c % pattern.m() { ((r % 63) as i8) - 31 } else { 0 }
+        });
+        let csc = CscMatrix::compress_auto(&dense, pattern).expect("fits");
+        let x: Vec<i8> = (0..rows).map(|i| (i % 120) as i8).collect();
+        group.bench_function(format!("sram_pe_matvec_{label}"), |b| {
+            let mut pe = SramSparsePe::new();
+            pe.load(&csc).expect("capacity");
+            b.iter(|| black_box(pe.matvec(&x).expect("loaded").outputs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: transposed-SRAM-PE pool sizing for backpropagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::ablation::transpose_pool_sweep;
+use pim_pe::TransposedSramPe;
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{Matrix, NmPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Ablation: transposed-buffer pool sizing");
+    for point in transpose_pool_sweep(&[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "  pool {:>2}: backprop step latency {:>10.1} ns",
+            point.pool_size, point.step_latency_ns
+        );
+    }
+
+    let dense = Matrix::from_fn(96, 8, |r, c| (((r * 13 + c * 5) % 127) as i32 - 63) as i8);
+    let mask = prune_magnitude(&dense, NmPattern::one_of_four()).expect("non-empty");
+    let masked = mask.apply(&dense).expect("fits");
+    let e: Vec<i32> = (0..8).map(|i| i * 5 - 20).collect();
+    c.bench_function("transpose_buffer/refresh_plus_backprop", |b| {
+        b.iter(|| {
+            let mut buf = TransposedSramPe::new();
+            buf.write_transposed(&masked).expect("fits");
+            black_box(buf.matvec(&e).expect("loaded").outputs)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

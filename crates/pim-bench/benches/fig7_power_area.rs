@@ -1,0 +1,18 @@
+//! Regenerates **Figure 7** (inference power and area, normalized to the
+//! dense SRAM baseline) and measures the mapping pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::run_fig7;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 7: Power and area comparison (regenerated)");
+    println!("{}", run_fig7().expect("paper-scale profile maps"));
+    c.bench_function("fig7/full_mapping_pass", |b| {
+        b.iter(|| black_box(run_fig7().expect("maps")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

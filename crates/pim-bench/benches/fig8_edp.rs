@@ -1,0 +1,18 @@
+//! Regenerates **Figure 8** (continual-learning EDP, normalized to Ours
+//! 1:8) and measures the scenario evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::run_fig8;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 8: Energy-delay product for Continual Learning (regenerated)");
+    println!("{}", run_fig8().expect("paper-scale profile maps"));
+    c.bench_function("fig8/six_scenarios", |b| {
+        b.iter(|| black_box(run_fig8().expect("maps")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

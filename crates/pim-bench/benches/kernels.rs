@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the computational kernels underlying everything:
+//! reference GEMMs, CSC compression, PE cycle simulation, and the NN
+//! layers' forward/backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_nn::layers::{Conv2d, Layer};
+use pim_nn::tensor::Tensor;
+use pim_pe::{MramSparsePe, SparsePe, SramSparsePe};
+use pim_sparse::gemm::{bit_serial_matvec, dense_matvec};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Kernel micro-benchmarks");
+    let dense = Matrix::from_fn(512, 64, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+    let pattern = NmPattern::one_of_four();
+    let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+    let masked = mask.apply(&dense).expect("fits");
+    let csc = CscMatrix::compress(&masked, &mask).expect("fits");
+    let x8: Vec<i8> = (0..512).map(|i| (i % 200) as i8).collect();
+    let x32: Vec<i32> = x8.iter().map(|&v| v as i32).collect();
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("dense_matvec_512x64", |b| {
+        b.iter(|| black_box(dense_matvec(&dense, &x32).expect("len")))
+    });
+    g.bench_function("bit_serial_matvec_512x64", |b| {
+        b.iter(|| black_box(bit_serial_matvec(&dense, &x8).expect("len")))
+    });
+    g.bench_function("csc_compress_512x64_1of4", |b| {
+        b.iter(|| black_box(CscMatrix::compress(&masked, &mask).expect("fits")))
+    });
+    g.bench_function("csc_matvec_512x64_1of4", |b| {
+        b.iter(|| black_box(csc.matvec(&x32).expect("len")))
+    });
+    g.bench_function("prune_magnitude_512x64", |b| {
+        b.iter(|| black_box(prune_magnitude(&dense, pattern).expect("non-empty")))
+    });
+
+    // Cycle-level PEs on a PE-sized tile.
+    let tile_dense = Matrix::from_fn(512, 8, |r, c| (((r * 17 + c * 3) % 251) as i32 - 125) as i8);
+    let tile = CscMatrix::compress(
+        &tile_dense,
+        &prune_magnitude(&tile_dense, pattern).expect("non-empty"),
+    )
+    .expect("fits");
+    let tx: Vec<i8> = (0..512).map(|i| (i % 100) as i8).collect();
+    g.bench_function("sram_pe_matvec_tile", |b| {
+        let mut pe = SramSparsePe::new();
+        pe.load(&tile).expect("capacity");
+        b.iter(|| black_box(pe.matvec(&tx).expect("loaded").outputs))
+    });
+    g.bench_function("mram_pe_matvec_tile", |b| {
+        let mut pe = MramSparsePe::new();
+        pe.load(&tile).expect("capacity");
+        b.iter(|| black_box(pe.matvec(&tx).expect("loaded").outputs))
+    });
+
+    // NN substrate: conv forward + backward.
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, 3);
+    let input = Tensor::from_fn(&[4, 8, 12, 12], |i| (i as f32 * 0.01).sin());
+    g.bench_function("conv2d_forward_4x8x12x12", |b| {
+        b.iter(|| black_box(conv.forward(&input, false)))
+    });
+    let out = conv.forward(&input, true);
+    let upstream = Tensor::ones(out.shape());
+    g.bench_function("conv2d_backward_4x8x12x12", |b| {
+        b.iter(|| {
+            conv.forward(&input, true);
+            black_box(conv.backward(&upstream))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

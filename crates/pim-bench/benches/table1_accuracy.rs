@@ -1,0 +1,79 @@
+//! Regenerates **Table 1** (continual-learning accuracy across sparsity
+//! and precision) and measures one rep-path training epoch.
+//!
+//! The full table trains 3 configurations × 5 synthetic datasets and takes
+//! a few minutes of CPU; set `PIM_TABLE1_QUICK=1` to print the fast
+//! variant instead, or `PIM_TABLE1_EXTENDED=1` to add NVIDIA's 2:4
+//! pattern as an extension row pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::{run_table1, Table1Config};
+use pim_core::{HybridSystem, SystemConfig};
+use pim_data::SyntheticSpec;
+use pim_nn::models::BackboneConfig;
+use pim_nn::train::FitConfig;
+use pim_sparse::NmPattern;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("PIM_TABLE1_QUICK").is_ok();
+    let extended = std::env::var("PIM_TABLE1_EXTENDED").is_ok();
+    let cfg = if quick {
+        Table1Config::quick()
+    } else if extended {
+        Table1Config::extended()
+    } else {
+        Table1Config::default()
+    };
+    banner(if quick {
+        "Table 1: Accuracy Evaluation Result (quick variant)"
+    } else if extended {
+        "Table 1: Accuracy Evaluation Result (extended, + 2:4)"
+    } else {
+        "Table 1: Accuracy Evaluation Result (regenerated)"
+    });
+    println!("{}", run_table1(&cfg));
+
+    // Criterion measurement: one task-adaptation on a small system.
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .with_samples(4, 2)
+        .generate()
+        .expect("valid spec");
+    let fit = FitConfig {
+        epochs: 2,
+        batch_size: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+    };
+    let system_cfg = SystemConfig {
+        backbone: BackboneConfig {
+            in_channels: 3,
+            image_size: 8,
+            stage_widths: vec![8, 16],
+            blocks_per_stage: 1,
+            seed: 1,
+        },
+        rep_channels: 4,
+        pattern: Some(NmPattern::one_of_four()),
+        seed: 7,
+    };
+    let mut system = HybridSystem::pretrain(system_cfg, &upstream, &fit);
+    let task = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(3, 2)
+        .generate()
+        .expect("valid spec");
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("learn_one_task", |b| {
+        b.iter(|| black_box(system.learn_task(&task, &fit)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

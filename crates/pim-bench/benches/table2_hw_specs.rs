@@ -1,0 +1,18 @@
+//! Regenerates **Table 2** (hardware specs) and measures the component
+//! roll-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_core::experiments::run_table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Table 2: Hardware Specs (regenerated)");
+    println!("{}", run_table2());
+    c.bench_function("table2/component_rollup", |b| {
+        b.iter(|| black_box(run_table2().sram_total_area_mm2()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

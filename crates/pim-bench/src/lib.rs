@@ -1,0 +1,16 @@
+//! Benchmark support crate.
+//!
+//! The binaries under `benches/` regenerate every table and figure of the
+//! paper (printing them to stdout) and attach Criterion measurements to
+//! the computational kernels behind them. Run all of them with
+//! `cargo bench --workspace`; each bench's printed artifact is the row/
+//! series to compare against the publication, and `EXPERIMENTS.md` records
+//! the paper-vs-measured comparison.
+
+/// Prints a banner separating the regenerated artifact from Criterion's
+/// measurement output.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}

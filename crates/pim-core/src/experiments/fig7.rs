@@ -1,0 +1,174 @@
+//! Figure 7 — inference power and area, normalized to the dense SRAM
+//! baseline.
+//!
+//! Four designs map the paper's ~26 MB Rep-Net model (ResNet-50 backbone +
+//! adaptor path): the ISSCC'21-like dense SRAM macro, the ISCAS'23-like
+//! dense MRAM macro, and the hybrid at 1:4 and 1:8. Power is split into
+//! leakage and read (the paper's stacked log-scale bars); area is the
+//! provisioned silicon.
+
+use pim_arch::mapper::{MapError, Mapper};
+use pim_arch::workload::ModelProfile;
+use pim_sparse::NmPattern;
+use std::fmt;
+
+/// One bar group of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Point {
+    /// Design label as in the paper's x-axis.
+    pub label: String,
+    /// Area normalized to the dense SRAM baseline.
+    pub area_norm: f64,
+    /// Leakage share of inference power, normalized to the SRAM baseline's
+    /// total power.
+    pub leakage_power_norm: f64,
+    /// Read(+compute) share of inference power, normalized likewise.
+    pub read_power_norm: f64,
+}
+
+impl Fig7Point {
+    /// Total normalized inference power.
+    pub fn total_power_norm(&self) -> f64 {
+        self.leakage_power_norm + self.read_power_norm
+    }
+}
+
+/// The regenerated Figure 7 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// Bars in the paper's order: SRAM\[29\], MRAM\[30\], Hybrid 1:4,
+    /// Hybrid 1:8.
+    pub points: Vec<Fig7Point>,
+}
+
+impl Fig7 {
+    /// Looks up a bar by label substring.
+    pub fn point(&self, label: &str) -> Option<&Fig7Point> {
+        self.points.iter().find(|p| p.label.contains(label))
+    }
+
+    /// Renders the series as CSV for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("design,area_norm,leakage_power_norm,read_power_norm\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                p.label, p.area_norm, p.leakage_power_norm, p.read_power_norm
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7: Power and area comparison (w.r.t. SRAM [29])")?;
+        writeln!(
+            f,
+            "{:<22} {:>10} {:>12} {:>10} {:>12}",
+            "Design", "Area", "Power(total)", "Leakage", "Read"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<22} {:>9.3}x {:>11.4}x {:>9.4}x {:>11.4}x",
+                p.label,
+                p.area_norm,
+                p.total_power_norm(),
+                p.leakage_power_norm,
+                p.read_power_norm
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the figure at the paper's workload scale.
+///
+/// # Errors
+///
+/// Returns [`MapError`] only for empty models (cannot happen with the
+/// built-in profile).
+pub fn run_fig7() -> Result<Fig7, MapError> {
+    let (backbone, repnet) = ModelProfile::resnet50_repnet();
+    let merged = ModelProfile::merged(&backbone, &repnet);
+    let mapper = Mapper::dac24();
+
+    let sram = mapper.map_dense_sram(&merged)?;
+    let base_area = sram.area;
+    let base_power = sram.average_power();
+
+    let mram = mapper.map_dense_mram(&merged, sram.latency)?;
+    let h14 = mapper.map_hybrid(&backbone, &repnet, NmPattern::one_of_four())?;
+    let h18 = mapper.map_hybrid(&backbone, &repnet, NmPattern::one_of_eight())?;
+
+    let points = vec![
+        Fig7Point {
+            label: "SRAM [29] (ISSCC'21)".to_owned(),
+            area_norm: 1.0,
+            leakage_power_norm: sram.leakage_power().ratio(base_power),
+            read_power_norm: sram.read_power().ratio(base_power),
+        },
+        Fig7Point {
+            label: "MRAM [30] (ISCAS'23)".to_owned(),
+            area_norm: mram.area.ratio(base_area),
+            leakage_power_norm: mram.leakage_power().ratio(base_power),
+            read_power_norm: mram.read_power().ratio(base_power),
+        },
+        Fig7Point {
+            label: "Hybrid (1:4)".to_owned(),
+            area_norm: h14.total_area().ratio(base_area),
+            leakage_power_norm: h14.leakage_power().ratio(base_power),
+            read_power_norm: h14.read_power().ratio(base_power),
+        },
+        Fig7Point {
+            label: "Hybrid (1:8)".to_owned(),
+            area_norm: h18.total_area().ratio(base_area),
+            leakage_power_norm: h18.leakage_power().ratio(base_power),
+            read_power_norm: h18.read_power().ratio(base_power),
+        },
+    ];
+    Ok(Fig7 { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_reproduces_the_paper_shape() {
+        let fig = run_fig7().unwrap();
+        assert_eq!(fig.points.len(), 4);
+
+        // Area: SRAM (1.0) > MRAM > hybrid 1:4 ≥ hybrid 1:8.
+        let a_mram = fig.point("MRAM").unwrap().area_norm;
+        let a_h14 = fig.point("1:4").unwrap().area_norm;
+        let a_h18 = fig.point("1:8").unwrap().area_norm;
+        assert!(a_mram < 1.0, "mram {a_mram}");
+        assert!(a_h14 < a_mram, "h14 {a_h14}");
+        assert!(a_h18 <= a_h14, "h18 {a_h18}");
+
+        // Power: SRAM baseline is the hungriest and leakage-dominated.
+        let sram = fig.point("SRAM").unwrap();
+        assert!((sram.total_power_norm() - 1.0).abs() < 1e-9);
+        assert!(sram.leakage_power_norm > sram.read_power_norm);
+        // Everything else is far below it (log-scale plot in the paper).
+        for label in ["MRAM", "1:4", "1:8"] {
+            let p = fig.point(label).unwrap();
+            assert!(
+                p.total_power_norm() < 0.5,
+                "{label}: {}",
+                p.total_power_norm()
+            );
+        }
+    }
+
+    #[test]
+    fn display_prints_all_bars() {
+        let s = run_fig7().unwrap().to_string();
+        assert!(s.contains("ISSCC'21"));
+        assert!(s.contains("ISCAS'23"));
+        assert!(s.contains("Hybrid (1:4)"));
+        assert!(s.contains("Hybrid (1:8)"));
+    }
+}

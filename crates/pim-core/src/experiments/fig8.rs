@@ -1,0 +1,118 @@
+//! Figure 8 — energy-delay product of continual learning.
+//!
+//! Six bars, normalized to Ours (1:8): the two dense baselines fine-tuning
+//! every weight, the two dense baselines running dense Rep-Net, and the
+//! hybrid at 1:4 and 1:8 with sparse Rep-Net. Each bar is the EDP of one
+//! training step (forward + backward + weight update) at the paper's
+//! workload scale.
+
+use pim_arch::edp::fig8_series;
+use pim_arch::mapper::{MapError, Mapper};
+use pim_arch::workload::ModelProfile;
+use std::fmt;
+
+/// The regenerated Figure 8 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// `(label, EDP normalized to Ours 1:8)`, in the paper's bar order.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl Fig8 {
+    /// Looks up a bar by label substring.
+    pub fn bar(&self, label: &str) -> Option<f64> {
+        self.bars
+            .iter()
+            .find(|(l, _)| l.contains(label))
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the series as CSV for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("configuration,edp_normalized\n");
+        for (label, value) in &self.bars {
+            out.push_str(&format!("{label},{value:.6}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: Energy-delay product (EDP) for Continual Learning"
+        )?;
+        writeln!(f, "(normalized to Ours 1:8, log-scale quantity)")?;
+        for (label, value) in &self.bars {
+            writeln!(f, "{label:<28} {value:>12.3}x")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the figure at the paper's workload scale.
+///
+/// # Errors
+///
+/// Returns [`MapError`] only for empty models (cannot happen with the
+/// built-in profile).
+pub fn run_fig8() -> Result<Fig8, MapError> {
+    let (backbone, repnet) = ModelProfile::resnet50_repnet();
+    let mapper = Mapper::dac24();
+    let series = fig8_series(&mapper, &backbone, &repnet)?;
+    let ours_18 = series.last().expect("six bars").edp();
+    let bars = series
+        .iter()
+        .map(|cost| (cost.name.clone(), cost.edp() / ours_18))
+        .collect();
+    Ok(Fig8 { bars })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_reproduces_the_paper_shape() {
+        let fig = run_fig8().unwrap();
+        assert_eq!(fig.bars.len(), 6);
+        let sram_all = fig.bar("SRAM[29] finetune-all").unwrap();
+        let mram_all = fig.bar("MRAM[30] finetune-all").unwrap();
+        let sram_rep = fig.bar("SRAM[29] RepNet").unwrap();
+        let mram_rep = fig.bar("MRAM[30] RepNet").unwrap();
+        let ours_14 = fig.bar("1:4").unwrap();
+        let ours_18 = fig.bar("1:8").unwrap();
+
+        // Normalization point.
+        assert!((ours_18 - 1.0).abs() < 1e-9);
+        // Finetune-all is categorically worse than Rep-Net per fabric.
+        assert!(sram_all > sram_rep);
+        assert!(mram_all > mram_rep);
+        // The NVM write/stream wall makes MRAM finetune-all the worst bar,
+        // orders of magnitude above ours (log scale in the paper).
+        assert!(mram_all > sram_all);
+        assert!(mram_all > 10.0);
+        // The hybrids are the two best bars.
+        for other in [sram_all, mram_all, sram_rep, mram_rep] {
+            assert!(ours_14 < other && ours_18 < other, "{:?}", fig.bars);
+        }
+    }
+
+    #[test]
+    fn display_prints_all_bars() {
+        let s = run_fig8().unwrap().to_string();
+        assert!(s.contains("finetune-all"));
+        assert!(s.contains("RepNet"));
+        assert!(s.contains("1:4"));
+        assert!(s.contains("1:8"));
+    }
+
+    #[test]
+    fn csv_has_header_and_six_rows() {
+        let csv = run_fig8().unwrap().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].starts_with("configuration,"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment drivers regenerating the paper's tables and figures.
+//!
+//! | Paper artifact | Driver | Bench target |
+//! |---|---|---|
+//! | Table 1 (accuracy grid) | [`table1::run_table1`] | `table1_accuracy` |
+//! | Table 2 (hardware specs) | [`table2::run_table2`] | `table2_hw_specs` |
+//! | Fig. 7 (power & area) | [`fig7::run_fig7`] | `fig7_power_area` |
+//! | Fig. 8 (learning EDP) | [`fig8::run_fig8`] | `fig8_edp` |
+//! | Ablations (ours) | [`ablation`] | `ablation_*` |
+//!
+//! Every driver returns a plain data struct with a `Display` impl that
+//! prints the same rows/series the paper reports, so `cargo bench` output
+//! can be compared side by side with the publication.
+
+pub mod ablation;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+
+pub use fig7::{run_fig7, Fig7};
+pub use fig8::{run_fig8, Fig8};
+pub use table1::{run_table1, Table1, Table1Config};
+pub use table2::{run_table2, Table2};

@@ -1,0 +1,121 @@
+//! Table 2 — hardware specifications of the two PE designs.
+//!
+//! Regenerates the paper's component table from the `pim-device` library:
+//! per-block area and power for the SRAM PE (128×96) and MRAM PE
+//! (1024×512), plus the MTJ device corner (P/AP resistance, single-bit
+//! set/reset energy).
+
+use pim_device::components::{MramPeComponents, SramPeComponents};
+use pim_device::mtj::MtjParams;
+use std::fmt;
+
+/// The regenerated Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    /// SRAM PE components.
+    pub sram: SramPeComponents,
+    /// MRAM PE components.
+    pub mram: MramPeComponents,
+    /// MTJ device corner.
+    pub mtj: MtjParams,
+}
+
+impl Table2 {
+    /// Total SRAM PE area in mm².
+    pub fn sram_total_area_mm2(&self) -> f64 {
+        self.sram.total_area().as_mm2()
+    }
+
+    /// Total MRAM PE area in mm².
+    pub fn mram_total_area_mm2(&self) -> f64 {
+        self.mram.total_area().as_mm2()
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: Hardware Specs")?;
+        writeln!(f, "-- SRAM PE (128x96) --")?;
+        for c in self.sram.components() {
+            writeln!(f, "  {c}")?;
+        }
+        writeln!(
+            f,
+            "  {:<24} {:>10.5} mm²  {:>8.3} mW  (total)",
+            "SRAM PE",
+            self.sram.total_area().as_mm2(),
+            self.sram.total_power().as_mw()
+        )?;
+        writeln!(
+            f,
+            "  Global Buffer access energy: {:.4} pJ/bit",
+            self.sram.buffer_energy_per_bit.as_pj()
+        )?;
+        writeln!(f, "-- MRAM PE (1024x512) --")?;
+        for c in self.mram.components() {
+            writeln!(f, "  {c}")?;
+        }
+        writeln!(
+            f,
+            "  {:<24} {:>10.5} mm²  {:>8.3} mW  (total)",
+            "MRAM PE",
+            self.mram.total_area().as_mm2(),
+            self.mram.total_power().as_mw()
+        )?;
+        writeln!(
+            f,
+            "  Resistance: {:.0} Ω (P) / {:.0} Ω (AP)",
+            self.mtj.resistance_p, self.mtj.resistance_ap
+        )?;
+        writeln!(
+            f,
+            "  Single bit Set/Reset Energy: {:.3} pJ",
+            self.mtj.write_energy.as_pj()
+        )
+    }
+}
+
+/// Builds the table from the paper's constants.
+pub fn run_table2() -> Table2 {
+    Table2 {
+        sram: SramPeComponents::dac24(),
+        mram: MramPeComponents::dac24(),
+        mtj: MtjParams::dac24(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_published_sums() {
+        let t = run_table2();
+        assert!((t.sram_total_area_mm2() - 0.26839).abs() < 1e-9);
+        assert!((t.mram_total_area_mm2() - 0.08144).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_prints_every_published_row() {
+        let s = run_table2().to_string();
+        for row in [
+            "Decoder",
+            "Bit Cell",
+            "Shift Acc",
+            "Index Decoder",
+            "Adder",
+            "Global Buffer",
+            "Global ReLU",
+            "Memory Array (1024 x 512)",
+            "Parallel Shift Acc",
+            "Col Decoder + Driver",
+            "Row Decoder + Driver",
+            "Adder Tree",
+            "4408",
+            "8759",
+            "0.048 pJ",
+        ] {
+            assert!(s.contains(row), "missing {row} in\n{s}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The MRAM-SRAM hybrid sparse PIM system for on-device continual learning
+//! — the top of the reproduction stack (DAC'24, Zhang et al.).
+//!
+//! This crate glues the substrates together into the system the paper
+//! proposes and evaluates:
+//!
+//! * [`HybridSystem`] — a continual learner whose frozen backbone lives on
+//!   MRAM sparse PEs and whose Rep-Net adaptor path learns in SRAM sparse
+//!   PEs, with N:M structured sparsity end-to-end;
+//! * [`profile`] — extracts architecture-level workload profiles from live
+//!   `pim-nn` models so the `pim-arch` mapper can size real deployments;
+//! * [`verify`] — the functional bridge: quantizes real trained layers,
+//!   compresses them to CSC, tiles them over the actual cycle-level PEs,
+//!   and checks bit-exactness against the NN-side integer reference;
+//! * [`pe_inference`] — the learnable branch compiled into loaded SRAM PE
+//!   tiles and executed end-to-end on the cycle simulators;
+//! * [`experiments`] — drivers regenerating every table and figure of the
+//!   paper's evaluation (Table 1/2, Fig. 7/8, plus ablations).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use pim_core::{HybridSystem, SystemConfig};
+//! use pim_data::SyntheticSpec;
+//! use pim_nn::train::FitConfig;
+//!
+//! let upstream = SyntheticSpec::upstream_pretraining().generate()?;
+//! let mut system = HybridSystem::pretrain(
+//!     SystemConfig::default(),
+//!     &upstream,
+//!     &FitConfig::default(),
+//! );
+//! let task = SyntheticSpec::cifar10_like().generate()?;
+//! let report = system.learn_task(&task, &FitConfig::default());
+//! println!("{}: {:.1}% (INT8 {:.1}%)", report.task,
+//!          100.0 * report.accuracy_fp32,
+//!          100.0 * report.accuracy_int8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod experiments;
+pub mod pe_inference;
+pub mod profile;
+pub mod system;
+pub mod verify;
+
+pub use system::{HybridSystem, SystemConfig, TaskReport};

@@ -1,0 +1,485 @@
+//! End-to-end inference of the learnable branch **on the cycle-level PEs**.
+//!
+//! [`PeRepNet`] compiles a trained [`RepNet`]'s Rep-Net path and classifier
+//! into weight-stationary [`SramSparsePe`] tiles — exactly the SRAM-side
+//! deployment of the paper — and executes the forward pass through them:
+//! every multiply-accumulate of the learnable branch happens inside a
+//! simulated PE array with INT8 weights, CSC-compressed indices, and
+//! bit-serial arithmetic. Elementwise glue (bias add, ReLU, average
+//! pooling, dequantization) runs in the digital periphery the paper's PE
+//! already contains (global ReLU, shift accumulators).
+//!
+//! The frozen backbone taps come from the NN backbone (the MRAM-side
+//! layers are verified bit-exactly against the MRAM PE in
+//! [`crate::verify`]); the compiled branch re-quantizes activations per
+//! layer with calibrated per-tensor scales, which is the standard INT8
+//! deployment flow. Tests check that PE-executed predictions agree with
+//! the NN-side fake-quant model on the overwhelming majority of inputs.
+
+use pim_nn::layers::predictions;
+use pim_nn::models::RepNet;
+use pim_nn::quant::QuantParams;
+use pim_nn::sparse::{SparseConv2d, SparseLinear};
+use pim_nn::tensor::Tensor;
+use pim_pe::{PeError, SparsePe, SramSparsePe};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use std::fmt;
+
+/// Aggregate execution statistics of one PE-executed forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeRunStats {
+    /// PE matvec operations issued.
+    pub matvecs: u64,
+    /// Total PE cycles across all tiles (tiles run in parallel on real
+    /// hardware; this is the summed work).
+    pub cycles: u64,
+}
+
+/// A conv or linear layer compiled into weight-stationary SRAM PE tiles.
+struct PeLayer {
+    name: String,
+    /// One loaded PE per column tile, with its output-column range.
+    tiles: Vec<(SramSparsePe, usize, usize)>,
+    weight_scale: f32,
+    bias: Vec<f32>,
+    reduction: usize,
+    outputs: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl PeLayer {
+    /// Compiles a reduction-first weight matrix under `pattern`.
+    fn compile(
+        name: &str,
+        w: &Matrix<f32>,
+        bias: &[f32],
+        pattern: NmPattern,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, PeError> {
+        let params = QuantParams::calibrate(w.as_slice());
+        let quantized = w.map(|v| params.quantize_value(v));
+        let slots_per_col = pattern.slots_for(w.rows());
+        let groups_per_col = slots_per_col.div_ceil(128).max(1);
+        let cols_per_tile = (8 / groups_per_col).max(1);
+        let mut tiles = Vec::new();
+        let mut c = 0;
+        while c < w.cols() {
+            let end = (c + cols_per_tile).min(w.cols());
+            let block = Matrix::from_fn(w.rows(), end - c, |r, j| quantized[(r, c + j)]);
+            let mask = prune_magnitude(&block, pattern).expect("non-empty block");
+            let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
+            let mut pe = SramSparsePe::new();
+            pe.load(&csc)?;
+            tiles.push((pe, c, end));
+            c = end;
+        }
+        Ok(Self {
+            name: name.to_owned(),
+            tiles,
+            weight_scale: params.scale(),
+            bias: bias.to_vec(),
+            reduction: w.rows(),
+            outputs: w.cols(),
+            kernel,
+            stride,
+            padding,
+        })
+    }
+
+    /// One quantized matvec through the tiles: `y = deq(PE(x_q)) + bias`.
+    fn matvec(&mut self, x: &[f32], stats: &mut PeRunStats) -> Vec<f32> {
+        let x_params = QuantParams::calibrate(x);
+        let x_q: Vec<i8> = x.iter().map(|&v| x_params.quantize_value(v)).collect();
+        let out_scale = self.weight_scale * x_params.scale();
+        let mut y = vec![0.0f32; self.outputs];
+        for (pe, c0, c1) in &mut self.tiles {
+            let report = pe.matvec(&x_q).expect("tile loaded at compile time");
+            stats.matvecs += 1;
+            stats.cycles += report.cycles;
+            for (j, &acc) in report.outputs.iter().enumerate() {
+                y[*c0 + j] = acc as f32 * out_scale + self.bias[*c0 + j];
+            }
+            debug_assert_eq!(*c1 - *c0, report.outputs.len());
+        }
+        y
+    }
+
+    /// Convolution over an NCHW tensor by per-position im2col matvecs.
+    fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats) -> Tensor {
+        let s = input.shape();
+        let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
+        let k = self.kernel;
+        assert_eq!(cin * k * k, self.reduction, "layer {}: geometry", self.name);
+        let oh = (h + 2 * self.padding - k) / self.stride + 1;
+        let ow = (w + 2 * self.padding - k) / self.stride + 1;
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
+        let os = out.as_mut_slice();
+        let mut patch = vec![0.0f32; self.reduction];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    patch.iter_mut().for_each(|v| *v = 0.0);
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix =
+                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                patch[(ci * k + ky) * k + kx] =
+                                    x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                    let y = self.matvec(&patch, stats);
+                    for (co, &v) in y.iter().enumerate() {
+                        os[((ni * self.outputs + co) * oh + oy) * ow + ox] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The pattern a layer compiles under: its mask's, or dense `4:4`.
+fn pattern_of_conv(conv: &SparseConv2d) -> NmPattern {
+    conv.mask()
+        .map(|m| m.pattern())
+        .unwrap_or_else(|| NmPattern::new(4, 4).expect("dense encoding"))
+}
+
+fn pattern_of_linear(fc: &SparseLinear) -> NmPattern {
+    fc.mask()
+        .map(|m| m.pattern())
+        .unwrap_or_else(|| NmPattern::new(4, 4).expect("dense encoding"))
+}
+
+/// One Rep-Net module compiled onto PEs.
+struct PeModule {
+    pools_prev: bool,
+    proj: PeLayer,
+    conv3: PeLayer,
+    conv1: PeLayer,
+}
+
+/// The Rep-Net learnable branch compiled onto SRAM sparse PEs.
+///
+/// # Example
+///
+/// ```no_run
+/// use pim_core::pe_inference::PeRepNet;
+/// # use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
+/// # use pim_nn::tensor::Tensor;
+/// let mut model = RepNet::new(
+///     Backbone::new(BackboneConfig::tiny()),
+///     RepNetConfig { rep_channels: 4, num_classes: 5, seed: 2 },
+/// );
+/// let mut compiled = PeRepNet::compile(&mut model)?;
+/// let x = Tensor::ones(&[1, 1, 8, 8]);
+/// let (logits, stats) = compiled.predict(&mut model, &x);
+/// assert_eq!(logits.shape(), &[1, 5]);
+/// assert!(stats.matvecs > 0);
+/// # Ok::<(), pim_pe::PeError>(())
+/// ```
+pub struct PeRepNet {
+    modules: Vec<PeModule>,
+    classifier: PeLayer,
+    feature_width: usize,
+}
+
+impl PeRepNet {
+    /// Compiles the learnable branch of `model` into loaded PE tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] if a layer tile exceeds PE capacity.
+    pub fn compile(model: &mut RepNet) -> Result<Self, PeError> {
+        let mut modules = Vec::new();
+        for (i, module) in model.modules().iter().enumerate() {
+            let proj_conv = module.connector();
+            let [conv3, conv1] = module.sparse_convs();
+            modules.push(PeModule {
+                pools_prev: i > 0,
+                proj: PeLayer::compile(
+                    &format!("rep{i}.proj"),
+                    &proj_conv.weight_matrix(),
+                    proj_conv.bias_values(),
+                    NmPattern::new(4, 4).expect("dense encoding"),
+                    proj_conv.kernel(),
+                    proj_conv.stride(),
+                    proj_conv.padding(),
+                )?,
+                conv3: PeLayer::compile(
+                    &format!("rep{i}.conv3"),
+                    &conv3.inner().weight_matrix(),
+                    conv3.inner().bias_values(),
+                    pattern_of_conv(conv3),
+                    conv3.inner().kernel(),
+                    conv3.inner().stride(),
+                    conv3.inner().padding(),
+                )?,
+                conv1: PeLayer::compile(
+                    &format!("rep{i}.conv1"),
+                    &conv1.inner().weight_matrix(),
+                    conv1.inner().bias_values(),
+                    pattern_of_conv(conv1),
+                    conv1.inner().kernel(),
+                    conv1.inner().stride(),
+                    conv1.inner().padding(),
+                )?,
+            });
+        }
+        let clf = model.classifier();
+        let classifier = PeLayer::compile(
+            "classifier",
+            &clf.inner().weight_matrix(),
+            clf.inner().bias_values(),
+            pattern_of_linear(clf),
+            1,
+            1,
+            0,
+        )?;
+        let feature_width = model.backbone().config().feature_width();
+        Ok(Self {
+            modules,
+            classifier,
+            feature_width,
+        })
+    }
+
+    /// Runs the compiled branch: backbone taps from the (frozen) NN
+    /// backbone, every learnable MAC on the PEs. Returns logits and PE
+    /// execution statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not the model this branch was compiled from
+    /// (shape mismatches).
+    pub fn predict(&mut self, model: &mut RepNet, input: &Tensor) -> (Tensor, PeRunStats) {
+        let mut stats = PeRunStats::default();
+        let out = model.backbone_outputs(input);
+        let batch = input.shape()[0];
+        let mut rep: Option<Tensor> = None;
+        for (module, tap) in self.modules.iter_mut().zip(&out.taps) {
+            // Activation connector on PE.
+            let projected = module.proj.conv_forward(tap, &mut stats);
+            // Mix with the (pooled) carried state; digital periphery.
+            let mix = match (&rep, module.pools_prev) {
+                (Some(r), true) => projected
+                    .add(&avg_pool2(r))
+                    .expect("rep shapes align"),
+                (Some(r), false) => projected.add(r).expect("rep shapes align"),
+                (None, _) => projected,
+            };
+            let a = mix.map(|v| v.max(0.0)); // global ReLU
+            let h = module.conv3.conv_forward(&a, &mut stats).map(|v| v.max(0.0));
+            let o = module.conv1.conv_forward(&h, &mut stats).map(|v| v.max(0.0));
+            rep = Some(o);
+        }
+        let rep_state = rep.expect("at least one module");
+        let rep_feat = global_avg_pool(&rep_state);
+        // Classifier on PE, one matvec per batch row.
+        let mut logits = Tensor::zeros(&[batch, self.classifier.outputs]);
+        for b in 0..batch {
+            let mut row = Vec::with_capacity(self.feature_width + rep_feat.shape()[1]);
+            row.extend_from_slice(
+                &out.features.as_slice()
+                    [b * self.feature_width..(b + 1) * self.feature_width],
+            );
+            let rc = rep_feat.shape()[1];
+            row.extend_from_slice(&rep_feat.as_slice()[b * rc..(b + 1) * rc]);
+            let y = self.classifier.matvec(&row, &mut stats);
+            logits.as_mut_slice()[b * y.len()..(b + 1) * y.len()].copy_from_slice(&y);
+        }
+        (logits, stats)
+    }
+
+    /// Convenience: classify a batch on the PEs.
+    pub fn classify(&mut self, model: &mut RepNet, input: &Tensor) -> (Vec<usize>, PeRunStats) {
+        let (logits, stats) = self.predict(model, input);
+        (predictions(&logits), stats)
+    }
+
+    /// Number of PE tiles loaded across the branch.
+    pub fn tile_count(&self) -> usize {
+        self.modules
+            .iter()
+            .map(|m| m.proj.tiles.len() + m.conv3.tiles.len() + m.conv1.tiles.len())
+            .sum::<usize>()
+            + self.classifier.tiles.len()
+    }
+}
+
+impl fmt::Display for PeRepNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PeRepNet: {} modules + classifier across {} SRAM PE tiles",
+            self.modules.len(),
+            self.tile_count()
+        )
+    }
+}
+
+/// 2×2 average pooling (digital periphery — shift-add).
+fn avg_pool2(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let x = t.as_slice();
+    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+    let os = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let mut acc = 0.0;
+                    for ky in 0..2 {
+                        for kx in 0..2 {
+                            acc += x[((ni * c + ci) * h + oy * 2 + ky) * w + ox * 2 + kx];
+                        }
+                    }
+                    os[((ni * c + ci) * (h / 2) + oy) * (w / 2) + ox] = acc * 0.25;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling NCHW → `[N, C]`.
+fn global_avg_pool(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let x = t.as_slice();
+    let mut out = Tensor::zeros(&[n, c]);
+    let os = out.as_mut_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            os[ni * c + ci] =
+                x[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_data::SyntheticSpec;
+    use pim_nn::models::{Backbone, BackboneConfig, RepNetConfig};
+    use pim_nn::train::{fit, FitConfig, Model};
+
+    fn trained_model(pattern: Option<NmPattern>) -> (RepNet, pim_data::Task) {
+        let backbone_cfg = BackboneConfig {
+            in_channels: 3,
+            image_size: 8,
+            stage_widths: vec![8, 16],
+            blocks_per_stage: 1,
+            seed: 1,
+        };
+        let task = SyntheticSpec::cifar10_like()
+            .with_geometry(8, 3)
+            .with_samples(8, 6)
+            .with_difficulty(0.4)
+            .generate()
+            .expect("valid spec");
+        let mut model = RepNet::new(
+            Backbone::new(backbone_cfg),
+            RepNetConfig {
+                rep_channels: 4,
+                num_classes: 10,
+                seed: 3,
+            },
+        );
+        if let Some(p) = pattern {
+            model.apply_pattern(p);
+        }
+        fit(
+            &mut model,
+            &task.train,
+            &FitConfig {
+                epochs: 8,
+                batch_size: 16,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: 5,
+            },
+        );
+        (model, task)
+    }
+
+    #[test]
+    fn pe_executed_branch_agrees_with_the_quantized_nn() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+
+        // Reference: the NN model under fake-quant evaluation.
+        let mut quantized = model.clone();
+        quantized.quantize_weights_int8();
+        quantized.set_int8_eval(true);
+
+        let indices: Vec<usize> = (0..task.test.len()).collect();
+        let (x, _) = task.test.batch(&indices);
+        let (pe_preds, stats) = compiled.classify(&mut model, &x);
+        let nn_logits = quantized.predict(&x, false);
+        let nn_preds = predictions(&nn_logits);
+        let agree = pe_preds
+            .iter()
+            .zip(&nn_preds)
+            .filter(|(a, b)| a == b)
+            .count();
+        let frac = agree as f64 / pe_preds.len() as f64;
+        assert!(
+            frac > 0.7,
+            "PE vs quantized-NN prediction agreement only {frac}"
+        );
+        assert!(stats.matvecs > 0);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn pe_executed_branch_retains_task_accuracy() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        let indices: Vec<usize> = (0..task.test.len()).collect();
+        let (x, labels) = task.test.batch(&indices);
+        let (preds, _) = compiled.classify(&mut model, &x);
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        let acc = correct as f64 / labels.len() as f64;
+        // Must stay meaningfully above 10-class chance.
+        assert!(acc > 0.2, "PE-executed accuracy {acc}");
+    }
+
+    #[test]
+    fn dense_model_also_compiles_under_4_of_4() {
+        let (mut model, _) = trained_model(None);
+        let compiled = PeRepNet::compile(&mut model).expect("dense encoding fits");
+        assert!(compiled.tile_count() > 0);
+        assert!(compiled.to_string().contains("SRAM PE tiles"));
+    }
+
+    #[test]
+    fn run_stats_scale_with_batch() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_eight()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        let (x1, _) = task.test.batch(&[0]);
+        let (x4, _) = task.test.batch(&[0, 1, 2, 3]);
+        let (_, s1) = compiled.predict(&mut model, &x1);
+        let (_, s4) = compiled.predict(&mut model, &x4);
+        assert!((3 * s1.matvecs..=5 * s1.matvecs).contains(&s4.matvecs));
+    }
+}

@@ -1,0 +1,151 @@
+//! Bridges live `pim-nn` models into `pim-arch` workload profiles.
+//!
+//! The architecture mapper sizes deployments from layer *shapes*; this
+//! module walks an actual [`Backbone`] / [`RepNet`] and emits the matching
+//! [`ModelProfile`]s, so the hardware numbers reported for a trained system
+//! describe exactly the network that was trained.
+
+use pim_arch::workload::{LayerShape, ModelProfile};
+use pim_nn::models::{Backbone, RepNet};
+
+/// Profiles a backbone from its configuration: stem, per-stage transitions
+/// and residual blocks, at the correct spatial resolutions.
+pub fn profile_backbone(backbone: &Backbone) -> ModelProfile {
+    let cfg = backbone.config();
+    let mut layers = Vec::new();
+    let hw0 = cfg.image_size;
+    layers.push(LayerShape::conv(
+        "stem",
+        cfg.in_channels,
+        cfg.stage_widths[0],
+        3,
+        hw0,
+    ));
+    for (i, &width) in cfg.stage_widths.iter().enumerate() {
+        let hw = cfg.tap_size(i);
+        if i > 0 {
+            layers.push(LayerShape::conv(
+                format!("t{i}"),
+                cfg.stage_widths[i - 1],
+                width,
+                3,
+                hw,
+            ));
+        }
+        for b in 0..cfg.blocks_per_stage {
+            layers.push(LayerShape::conv(
+                format!("s{i}b{b}.conv1"),
+                width,
+                width,
+                3,
+                hw,
+            ));
+            layers.push(LayerShape::conv(
+                format!("s{i}b{b}.conv2"),
+                width,
+                width,
+                3,
+                hw,
+            ));
+        }
+    }
+    ModelProfile::new("backbone", layers)
+}
+
+/// Profiles the learnable Rep-Net path of a model: per-module connector,
+/// 3×3 and 1×1 convolutions, plus the shared classifier.
+pub fn profile_repnet(net: &RepNet) -> ModelProfile {
+    let cfg = net.backbone().config();
+    let mut layers = Vec::new();
+    for (i, module) in net.modules().iter().enumerate() {
+        let hw = cfg.tap_size(i);
+        let proj = module.connector();
+        layers.push(LayerShape::conv(
+            format!("rep{i}.proj"),
+            proj.in_channels(),
+            proj.out_channels(),
+            proj.kernel(),
+            hw,
+        ));
+        let [conv3, conv1] = module.sparse_convs();
+        layers.push(LayerShape::conv(
+            format!("rep{i}.conv3"),
+            conv3.inner().in_channels(),
+            conv3.inner().out_channels(),
+            conv3.inner().kernel(),
+            hw,
+        ));
+        layers.push(LayerShape::conv(
+            format!("rep{i}.conv1"),
+            conv1.inner().in_channels(),
+            conv1.inner().out_channels(),
+            conv1.inner().kernel(),
+            hw,
+        ));
+    }
+    let clf = net.classifier().inner();
+    layers.push(LayerShape::new(
+        "classifier",
+        clf.in_features(),
+        clf.out_features(),
+        1,
+    ));
+    ModelProfile::new("repnet-path", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::models::{BackboneConfig, RepNetConfig};
+    use pim_nn::train::Model;
+
+    fn sample_net() -> RepNet {
+        RepNet::new(
+            Backbone::new(BackboneConfig::tiny()),
+            RepNetConfig {
+                rep_channels: 4,
+                num_classes: 5,
+                seed: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn backbone_profile_weight_count_matches_conv_parameters() {
+        let backbone = Backbone::new(BackboneConfig::tiny());
+        let profile = profile_backbone(&backbone);
+        // Sum the actual conv weight element counts for comparison.
+        let mut actual = 0u64;
+        backbone.visit_conv_weights(|w| actual += w.len() as u64);
+        assert_eq!(profile.weights(), actual);
+    }
+
+    #[test]
+    fn repnet_profile_covers_modules_and_classifier() {
+        let net = sample_net();
+        let profile = profile_repnet(&net);
+        // 2 stages → 2 modules × 3 layers + classifier.
+        assert_eq!(profile.layers.len(), 2 * 3 + 1);
+        assert!(profile.layers.iter().any(|l| l.name == "classifier"));
+    }
+
+    #[test]
+    fn repnet_profile_matches_trainable_parameter_scale() {
+        let mut net = sample_net();
+        let profile = profile_repnet(&net);
+        let trainable = net.trainable_params() as u64;
+        // Profile counts weights only; trainable params add biases and BN,
+        // so the profile is a close lower bound.
+        assert!(profile.weights() <= trainable);
+        assert!(profile.weights() * 2 > trainable, "profile too small");
+    }
+
+    #[test]
+    fn spatial_resolutions_follow_the_stage_schedule() {
+        let net = sample_net();
+        let profile = profile_repnet(&net);
+        // Module 0 runs at 8×8 = 64 passes, module 1 at 4×4 = 16.
+        assert_eq!(profile.layers[0].passes, 64);
+        assert_eq!(profile.layers[3].passes, 16);
+    }
+}

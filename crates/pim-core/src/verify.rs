@@ -1,0 +1,392 @@
+//! Bit-exactness verification of real model layers on the cycle-level PEs.
+//!
+//! This is the bridge that makes the reproduction credible end-to-end: a
+//! *trained* layer is INT8-quantized exactly as the hardware stores it,
+//! compressed to the CSC format of Fig. 4, tiled across actual
+//! [`SramSparsePe`] / [`MramSparsePe`] instances (column tiling, as the
+//! SIMT scheduler would issue it), and the integer outputs are compared —
+//! element for element — against the `pim-sparse` reference kernel and the
+//! masked dense GEMM. Error propagation through the transposed SRAM buffer
+//! (paper eq. 1) is verified the same way.
+
+use pim_nn::quant::QuantParams;
+use pim_nn::sparse::{SparseConv2d, SparseLinear};
+use pim_pe::{MramSparsePe, PeError, SparsePe, SramSparsePe, TransposedSramPe};
+use pim_sparse::gemm::dense_matvec;
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Outcome of verifying one layer on one PE fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Layer label.
+    pub layer: String,
+    /// Fabric label (`"sram"`, `"mram"`, `"transposed-sram"`).
+    pub fabric: &'static str,
+    /// Output columns checked.
+    pub columns: usize,
+    /// PE tiles the layer was split into.
+    pub tiles: usize,
+    /// Largest absolute difference between PE and reference outputs
+    /// (must be 0).
+    pub max_abs_error: i64,
+    /// Total PE cycles across tiles.
+    pub cycles: u64,
+}
+
+impl VerifyReport {
+    /// Whether the PE outputs matched the reference exactly.
+    pub fn is_exact(&self) -> bool {
+        self.max_abs_error == 0
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} cols in {} tiles, {} cycles, {}",
+            self.layer,
+            self.fabric,
+            self.columns,
+            self.tiles,
+            self.cycles,
+            if self.is_exact() {
+                "bit-exact".to_owned()
+            } else {
+                format!("MISMATCH (max |err| = {})", self.max_abs_error)
+            }
+        )
+    }
+}
+
+/// Verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A PE rejected the tile.
+    Pe(PeError),
+    /// The layer's weight matrix was empty.
+    EmptyLayer,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pe(e) => write!(f, "{e}"),
+            Self::EmptyLayer => write!(f, "layer has an empty weight matrix"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<PeError> for VerifyError {
+    fn from(e: PeError) -> Self {
+        Self::Pe(e)
+    }
+}
+
+/// Quantizes an `f32` weight matrix to the INT8 codes the arrays store.
+fn quantize_weight(w: &Matrix<f32>) -> Matrix<i8> {
+    let params = QuantParams::calibrate(w.as_slice());
+    w.map(|v| params.quantize_value(v))
+}
+
+/// The pattern a layer's weights compress under: the installed mask's
+/// pattern, or a dense `4:4` encoding when unpruned (every weight stored,
+/// 2-bit indices).
+fn effective_pattern(mask_pattern: Option<NmPattern>) -> NmPattern {
+    mask_pattern.unwrap_or_else(|| NmPattern::new(4, 4).expect("4:4 is valid"))
+}
+
+/// Deterministic INT8 test activations.
+fn test_activations(len: usize, seed: u64) -> Vec<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(-128i32..128) as i8).collect()
+}
+
+/// Splits the columns of a masked INT8 weight matrix into PE-sized tiles
+/// and runs them all, concatenating the outputs.
+fn run_tiled<P: SparsePe>(
+    masked: &Matrix<i8>,
+    pattern: NmPattern,
+    cols_per_tile: usize,
+    x: &[i8],
+    mut make_pe: impl FnMut() -> P,
+) -> Result<(Vec<i32>, usize, u64), VerifyError> {
+    let mut outputs = Vec::with_capacity(masked.cols());
+    let mut tiles = 0usize;
+    let mut cycles = 0u64;
+    let mut c = 0;
+    while c < masked.cols() {
+        let end = (c + cols_per_tile).min(masked.cols());
+        let block = Matrix::from_fn(masked.rows(), end - c, |r, j| masked[(r, c + j)]);
+        let mask = prune_magnitude(&block, pattern).map_err(|_| VerifyError::EmptyLayer)?;
+        let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
+        let mut pe = make_pe();
+        pe.load(&csc)?;
+        let report = pe.matvec(x)?;
+        cycles += report.cycles;
+        outputs.extend(report.outputs);
+        tiles += 1;
+        c = end;
+    }
+    Ok((outputs, tiles, cycles))
+}
+
+/// Generic layer verification over a reduction-first weight matrix.
+fn verify_matrix(
+    name: &str,
+    fabric: &'static str,
+    w: &Matrix<f32>,
+    mask_pattern: Option<NmPattern>,
+    on_sram: bool,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    if w.is_empty() {
+        return Err(VerifyError::EmptyLayer);
+    }
+    let pattern = effective_pattern(mask_pattern);
+    let quantized = quantize_weight(w);
+    // Re-derive the mask on the quantized values: exactly what the
+    // compression step in the mapper does.
+    let mask = prune_magnitude(&quantized, pattern).map_err(|_| VerifyError::EmptyLayer)?;
+    let masked = mask.apply(&quantized).expect("shapes agree");
+    let x = test_activations(w.rows(), seed);
+    let x_wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+    let reference = dense_matvec(&masked, &x_wide).expect("length matches");
+
+    let slots_per_col = pattern.slots_for(w.rows());
+    let (outputs, tiles, cycles) = if on_sram {
+        let groups_per_col = slots_per_col.div_ceil(128).max(1);
+        let cols_per_tile = (8 / groups_per_col).max(1);
+        run_tiled(&masked, pattern, cols_per_tile, &x, SramSparsePe::new)?
+    } else {
+        let rows_per_col = slots_per_col.div_ceil(42).max(1);
+        let cols_per_tile = (1024 / rows_per_col).max(1);
+        run_tiled(&masked, pattern, cols_per_tile, &x, MramSparsePe::new)?
+    };
+
+    let max_abs_error = outputs
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (*a as i64 - *b as i64).abs())
+        .max()
+        .unwrap_or(0);
+    Ok(VerifyReport {
+        layer: name.to_owned(),
+        fabric,
+        columns: w.cols(),
+        tiles,
+        max_abs_error,
+        cycles,
+    })
+}
+
+/// Verifies a (possibly sparse) fully-connected layer on SRAM sparse PEs.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the layer is empty or a tile exceeds PE
+/// capacity.
+pub fn verify_linear_on_sram(
+    name: &str,
+    fc: &SparseLinear,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    verify_matrix(
+        name,
+        "sram",
+        &fc.inner().weight_matrix(),
+        fc.mask().map(|m| m.pattern()),
+        true,
+        seed,
+    )
+}
+
+/// Verifies a (possibly sparse) fully-connected layer on MRAM sparse PEs
+/// (the frozen-classifier case of a deployed backbone head).
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the layer is empty or a tile exceeds PE
+/// capacity.
+pub fn verify_linear_on_mram(
+    name: &str,
+    fc: &SparseLinear,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    verify_matrix(
+        name,
+        "mram",
+        &fc.inner().weight_matrix(),
+        fc.mask().map(|m| m.pattern()),
+        false,
+        seed,
+    )
+}
+
+/// Verifies a (possibly sparse) convolution on SRAM sparse PEs (the
+/// learnable Rep-Net convolutions in their home fabric).
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the layer is empty or a tile exceeds PE
+/// capacity.
+pub fn verify_conv_on_sram(
+    name: &str,
+    conv: &SparseConv2d,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    verify_matrix(
+        name,
+        "sram",
+        &conv.inner().weight_matrix(),
+        conv.mask().map(|m| m.pattern()),
+        true,
+        seed,
+    )
+}
+
+/// Verifies a (possibly sparse) convolution's reduction-first weight matrix
+/// on MRAM sparse PEs.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the layer is empty or a tile exceeds PE
+/// capacity.
+pub fn verify_conv_on_mram(
+    name: &str,
+    conv: &SparseConv2d,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    verify_matrix(
+        name,
+        "mram",
+        &conv.inner().weight_matrix(),
+        conv.mask().map(|m| m.pattern()),
+        false,
+        seed,
+    )
+}
+
+/// Verifies error propagation `e_prev = Wᵀ·e` (paper eq. 1) through the
+/// transposed SRAM buffer for a fully-connected layer.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the transposed layout exceeds the buffer.
+pub fn verify_error_propagation(
+    name: &str,
+    fc: &SparseLinear,
+    seed: u64,
+) -> Result<VerifyReport, VerifyError> {
+    let w = fc.inner().weight_matrix();
+    if w.is_empty() {
+        return Err(VerifyError::EmptyLayer);
+    }
+    let quantized = quantize_weight(&w);
+    let pattern = effective_pattern(fc.mask().map(|m| m.pattern()));
+    let mask = prune_magnitude(&quantized, pattern).map_err(|_| VerifyError::EmptyLayer)?;
+    let masked = mask.apply(&quantized).expect("shapes agree");
+
+    let mut buf = TransposedSramPe::new();
+    buf.write_transposed(&masked)?;
+    let e: Vec<i32> = test_activations(w.cols(), seed)
+        .into_iter()
+        .map(|v| v as i32)
+        .collect();
+    let report = buf.matvec(&e)?;
+    let reference = dense_matvec(&masked.transposed(), &e).expect("length matches");
+    let max_abs_error = report
+        .outputs
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (*a as i64 - *b as i64).abs())
+        .max()
+        .unwrap_or(0);
+    Ok(VerifyReport {
+        layer: name.to_owned(),
+        fabric: "transposed-sram",
+        columns: w.rows(),
+        tiles: 1,
+        max_abs_error,
+        cycles: report.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_linear_is_bit_exact_on_sram_pes() {
+        let mut fc = SparseLinear::new(64, 24, 5);
+        fc.apply_pattern(NmPattern::one_of_four());
+        let report = verify_linear_on_sram("fc", &fc, 1).unwrap();
+        assert!(report.is_exact(), "{report}");
+        assert!(report.tiles >= 3, "24 cols over 8-col PEs");
+        assert_eq!(report.columns, 24);
+    }
+
+    #[test]
+    fn dense_linear_verifies_under_4_of_4_encoding() {
+        let fc = SparseLinear::new(32, 8, 9);
+        let report = verify_linear_on_sram("dense-fc", &fc, 2).unwrap();
+        assert!(report.is_exact(), "{report}");
+    }
+
+    #[test]
+    fn sparse_conv_is_bit_exact_on_mram_pes() {
+        let mut conv = SparseConv2d::new(8, 16, 3, 1, 1, 3);
+        conv.apply_pattern(NmPattern::one_of_eight());
+        let report = verify_conv_on_mram("conv", &conv, 7).unwrap();
+        assert!(report.is_exact(), "{report}");
+        assert_eq!(report.columns, 16);
+    }
+
+    #[test]
+    fn error_propagation_is_bit_exact_through_transposed_buffer() {
+        let mut fc = SparseLinear::new(48, 16, 11);
+        fc.apply_pattern(NmPattern::two_of_four());
+        let report = verify_error_propagation("fc", &fc, 3).unwrap();
+        assert!(report.is_exact(), "{report}");
+        assert_eq!(report.fabric, "transposed-sram");
+    }
+
+    #[test]
+    fn cross_fabric_variants_agree_with_each_other() {
+        let mut conv = SparseConv2d::new(8, 8, 3, 1, 1, 13);
+        conv.apply_pattern(NmPattern::one_of_four());
+        let on_mram = verify_conv_on_mram("conv", &conv, 21).unwrap();
+        let on_sram = verify_conv_on_sram("conv", &conv, 21).unwrap();
+        assert!(on_mram.is_exact() && on_sram.is_exact());
+
+        let mut fc = SparseLinear::new(64, 16, 14);
+        fc.apply_pattern(NmPattern::one_of_eight());
+        assert!(verify_linear_on_mram("fc", &fc, 22).unwrap().is_exact());
+        assert!(verify_linear_on_sram("fc", &fc, 22).unwrap().is_exact());
+    }
+
+    #[test]
+    fn reports_display_cleanly() {
+        let mut fc = SparseLinear::new(16, 8, 1);
+        fc.apply_pattern(NmPattern::one_of_four());
+        let report = verify_linear_on_sram("clf", &fc, 4).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("bit-exact"));
+        assert!(s.contains("clf"));
+    }
+
+    #[test]
+    fn different_seeds_still_verify() {
+        let mut conv = SparseConv2d::new(4, 8, 3, 1, 1, 2);
+        conv.apply_pattern(NmPattern::one_of_four());
+        for seed in 0..5 {
+            assert!(verify_conv_on_mram("conv", &conv, seed).unwrap().is_exact());
+        }
+    }
+}

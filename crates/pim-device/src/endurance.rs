@@ -1,0 +1,224 @@
+//! NVM write-endurance model.
+//!
+//! The paper's introduction singles out endurance as a core obstacle to
+//! training on NVM: "the endurance of certain types of NVMs, like RRAM,
+//! where each cell can sustain a finite number of write operations,
+//! becomes a critical concern due to the frequent weight updates in the
+//! training process." STT-MRAM endures far more cycles than RRAM
+//! (~10¹²–10¹⁵ versus ~10⁵–10⁸), but a training loop that rewrites the
+//! array every step still burns through either budget at a knowable rate.
+//!
+//! [`EnduranceModel`] turns a per-cell write budget and a write workload
+//! into a **lifetime estimate** — the analysis behind the hybrid design's
+//! decision to keep every frequently-written weight in SRAM.
+
+use crate::units::Latency;
+use std::fmt;
+
+/// Endurance parameters of a storage technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Write cycles a cell sustains before failure (median).
+    pub cycles_per_cell: f64,
+    /// Wear-leveling effectiveness in `[0, 1]`: 1.0 spreads writes
+    /// perfectly across the array, 0.0 hammers the same cells.
+    pub wear_leveling: f64,
+}
+
+impl EnduranceModel {
+    /// STT-MRAM: ~10¹² cycles median endurance (conservative corner of the
+    /// 10¹²–10¹⁵ literature range), modest wear-leveling (weight updates
+    /// are address-locked).
+    pub fn stt_mram() -> Self {
+        Self {
+            cycles_per_cell: 1.0e12,
+            wear_leveling: 0.2,
+        }
+    }
+
+    /// RRAM: ~10⁶ cycles — the paper's motivating worst case.
+    pub fn rram() -> Self {
+        Self {
+            cycles_per_cell: 1.0e6,
+            wear_leveling: 0.2,
+        }
+    }
+
+    /// SRAM: unlimited for practical purposes (returns effectively
+    /// infinite lifetimes from [`lifetime`](Self::lifetime)).
+    pub fn sram() -> Self {
+        Self {
+            cycles_per_cell: f64::INFINITY,
+            wear_leveling: 1.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidEnduranceError`] if the cycle budget is not
+    /// positive or wear-leveling is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), InvalidEnduranceError> {
+        // Negated comparison is deliberate: it rejects NaN as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.cycles_per_cell > 0.0) {
+            return Err(InvalidEnduranceError::NonPositiveCycles(
+                self.cycles_per_cell,
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.wear_leveling) {
+            return Err(InvalidEnduranceError::WearLevelingOutOfRange(
+                self.wear_leveling,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Effective per-cell write budget after wear-leveling: interpolates
+    /// between the raw budget (no leveling → the hottest cell dies on its
+    /// own schedule) and the array-amortized budget.
+    fn effective_budget(&self, writes_per_step_per_hot_cell: f64, array_amortized: f64) -> f64 {
+        if self.cycles_per_cell.is_infinite() {
+            // Unlimited endurance (SRAM): ∞ − ∞ would be NaN below.
+            return f64::INFINITY;
+        }
+        let hot = self.cycles_per_cell / writes_per_step_per_hot_cell.max(1e-30);
+        let leveled = self.cycles_per_cell / array_amortized.max(1e-30);
+        hot + self.wear_leveling * (leveled - hot)
+    }
+
+    /// Steps until the first cell exhausts its budget, for a training loop
+    /// that toggles `writes_per_step` cell-writes per step into an array of
+    /// `cells` cells. The hottest cell is assumed to toggle every step
+    /// (weight updates are value-correlated); wear-leveling pulls the
+    /// estimate toward the amortized `writes_per_step / cells` rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn steps_to_failure(&self, writes_per_step: u64, cells: u64) -> f64 {
+        assert!(cells > 0, "array must have cells");
+        let amortized = writes_per_step as f64 / cells as f64;
+        self.effective_budget(1.0, amortized)
+    }
+
+    /// Wall-clock lifetime under a fixed training cadence.
+    pub fn lifetime(
+        &self,
+        writes_per_step: u64,
+        cells: u64,
+        step_period: Latency,
+    ) -> Latency {
+        let steps = self.steps_to_failure(writes_per_step, cells);
+        Latency::from_ns(steps * step_period.as_ns())
+    }
+}
+
+impl fmt::Display for EnduranceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1e} write cycles/cell, wear-leveling {:.0}%",
+            self.cycles_per_cell,
+            100.0 * self.wear_leveling
+        )
+    }
+}
+
+/// Error describing inconsistent [`EnduranceModel`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InvalidEnduranceError {
+    /// The cycle budget was zero, negative, or NaN.
+    NonPositiveCycles(f64),
+    /// Wear-leveling was outside `[0, 1]`.
+    WearLevelingOutOfRange(f64),
+}
+
+impl fmt::Display for InvalidEnduranceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveCycles(v) => {
+                write!(f, "endurance cycle budget must be positive, got {v}")
+            }
+            Self::WearLevelingOutOfRange(v) => {
+                write!(f, "wear-leveling must be in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidEnduranceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_never_wears_out() {
+        let m = EnduranceModel::sram();
+        let life = m.steps_to_failure(1_000_000, 1024);
+        assert!(life.is_infinite());
+    }
+
+    #[test]
+    fn rram_wears_out_six_orders_before_mram() {
+        let writes = 10_000u64;
+        let cells = 1_000_000u64;
+        let rram = EnduranceModel::rram().steps_to_failure(writes, cells);
+        let mram = EnduranceModel::stt_mram().steps_to_failure(writes, cells);
+        let ratio = mram / rram;
+        assert!((0.5e6..2.0e6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn finetune_all_on_mram_dies_within_device_lifetime_scale() {
+        // Fine-tuning all weights every step: the hottest MTJ toggles each
+        // step, so ~10¹² steps at (say) 1 ms/step ≈ 31 years — survivable
+        // for MRAM, but the same workload on RRAM dies in ~17 minutes.
+        // This is the paper's endurance argument made quantitative.
+        let step = Latency::from_ms(1.0);
+        let mram_life = EnduranceModel::stt_mram().lifetime(26_000_000, 208_000_000, step);
+        let rram_life = EnduranceModel::rram().lifetime(26_000_000, 208_000_000, step);
+        let year_ns = 3.15e16;
+        assert!(mram_life.as_ns() > year_ns, "mram {mram_life}");
+        assert!(rram_life.as_ns() < 0.01 * year_ns, "rram {rram_life}");
+    }
+
+    #[test]
+    fn wear_leveling_extends_lifetime() {
+        let mut no_level = EnduranceModel::rram();
+        no_level.wear_leveling = 0.0;
+        let mut full_level = EnduranceModel::rram();
+        full_level.wear_leveling = 1.0;
+        let writes = 1000u64;
+        let cells = 1_000_000u64;
+        assert!(
+            full_level.steps_to_failure(writes, cells)
+                > 100.0 * no_level.steps_to_failure(writes, cells)
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut m = EnduranceModel::rram();
+        m.cycles_per_cell = 0.0;
+        assert!(matches!(
+            m.validate(),
+            Err(InvalidEnduranceError::NonPositiveCycles(_))
+        ));
+        let mut m = EnduranceModel::rram();
+        m.wear_leveling = 1.5;
+        assert!(matches!(
+            m.validate(),
+            Err(InvalidEnduranceError::WearLevelingOutOfRange(_))
+        ));
+        assert!(EnduranceModel::stt_mram().validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = EnduranceModel::stt_mram().to_string();
+        assert!(s.contains("cycles/cell"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Energy accounting shared by every simulator layer.
+//!
+//! [`EnergyLedger`] splits consumed energy into the four channels the
+//! paper's figures distinguish: **leakage** (static, ∝ elapsed time),
+//! **read** (array accesses / in-memory ops), **write** (weight updates —
+//! the channel that separates MRAM from SRAM during learning), and
+//! **compute** (adder trees, shift accumulators, peripherals). Ledgers
+//! compose with `+`, so a core's ledger is the sum of its PEs'.
+
+use crate::units::{Energy, Latency, Power};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Itemized energy record of some simulated activity.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::energy::EnergyLedger;
+/// use pim_device::units::Energy;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.add_read(Energy::from_pj(5.0));
+/// ledger.add_write(Energy::from_pj(20.0));
+/// assert_eq!(ledger.total(), Energy::from_pj(25.0));
+/// assert!(ledger.write > ledger.read);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyLedger {
+    /// Static leakage energy.
+    pub leakage: Energy,
+    /// Memory read / in-array operation energy.
+    pub read: Energy,
+    /// Memory write energy.
+    pub write: Energy,
+    /// Digital compute (adder trees, accumulators, peripherals) energy.
+    pub compute: Energy,
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds leakage energy.
+    pub fn add_leakage(&mut self, e: Energy) {
+        self.leakage += e;
+    }
+
+    /// Adds leakage as `power × elapsed`.
+    pub fn add_leakage_over(&mut self, power: Power, elapsed: Latency) {
+        self.leakage += power * elapsed;
+    }
+
+    /// Adds read energy.
+    pub fn add_read(&mut self, e: Energy) {
+        self.read += e;
+    }
+
+    /// Adds write energy.
+    pub fn add_write(&mut self, e: Energy) {
+        self.write += e;
+    }
+
+    /// Adds compute energy.
+    pub fn add_compute(&mut self, e: Energy) {
+        self.compute += e;
+    }
+
+    /// Total energy across all channels.
+    pub fn total(&self) -> Energy {
+        self.leakage + self.read + self.write + self.compute
+    }
+
+    /// Energy excluding writes — the paper's "inference" power split
+    /// (Fig. 7 shows leakage + read only, since inference never writes).
+    pub fn inference_energy(&self) -> Energy {
+        self.leakage + self.read + self.compute
+    }
+
+    /// Fraction of the total attributable to leakage (0 when empty).
+    pub fn leakage_fraction(&self) -> f64 {
+        let total = self.total().as_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.leakage.as_pj() / total
+        }
+    }
+
+    /// Average power over `elapsed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn average_power(&self, elapsed: Latency) -> Power {
+        assert!(
+            elapsed.as_ns() > 0.0,
+            "cannot average power over zero elapsed time"
+        );
+        self.total() / elapsed
+    }
+}
+
+impl Add for EnergyLedger {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            leakage: self.leakage + rhs.leakage,
+            read: self.read + rhs.read,
+            write: self.write + rhs.write,
+            compute: self.compute + rhs.compute,
+        }
+    }
+}
+
+impl AddAssign for EnergyLedger {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyLedger {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::new(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} (leak {}, read {}, write {}, compute {})",
+            self.total(),
+            self.leakage,
+            self.read,
+            self.write,
+            self.compute
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new();
+        assert!(l.total().is_zero());
+        assert_eq!(l.leakage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn channels_accumulate_independently() {
+        let mut l = EnergyLedger::new();
+        l.add_leakage(Energy::from_pj(1.0));
+        l.add_read(Energy::from_pj(2.0));
+        l.add_write(Energy::from_pj(3.0));
+        l.add_compute(Energy::from_pj(4.0));
+        assert_eq!(l.total(), Energy::from_pj(10.0));
+        assert_eq!(l.inference_energy(), Energy::from_pj(7.0));
+        assert!((l.leakage_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledgers_compose_with_add() {
+        let mut a = EnergyLedger::new();
+        a.add_read(Energy::from_pj(1.0));
+        let mut b = EnergyLedger::new();
+        b.add_write(Energy::from_pj(2.0));
+        let c = a + b;
+        assert_eq!(c.read, Energy::from_pj(1.0));
+        assert_eq!(c.write, Energy::from_pj(2.0));
+
+        let summed: EnergyLedger = [a, b, c].into_iter().sum();
+        assert_eq!(summed.total(), Energy::from_pj(6.0));
+    }
+
+    #[test]
+    fn leakage_over_time_uses_power_law() {
+        let mut l = EnergyLedger::new();
+        l.add_leakage_over(Power::from_mw(2.0), Latency::from_ns(5.0));
+        assert_eq!(l.leakage, Energy::from_pj(10.0));
+    }
+
+    #[test]
+    fn average_power_divides_by_elapsed() {
+        let mut l = EnergyLedger::new();
+        l.add_compute(Energy::from_pj(100.0));
+        let p = l.average_power(Latency::from_ns(50.0));
+        assert!((p.as_mw() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero elapsed")]
+    fn average_power_rejects_zero_elapsed() {
+        let _ = EnergyLedger::new().average_power(Latency::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_every_channel() {
+        let mut l = EnergyLedger::new();
+        l.add_write(Energy::from_pj(1.0));
+        let s = l.to_string();
+        for word in ["leak", "read", "write", "compute", "total"] {
+            assert!(s.contains(word), "missing {word} in {s}");
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Magnetic-tunnel-junction (MTJ) device model.
+//!
+//! The MTJ is the storage element of STT-MRAM: two ferromagnetic layers
+//! sandwiching a tunnel barrier. When the free layer magnetization is
+//! parallel (**P**) to the fixed layer the junction has low resistance;
+//! anti-parallel (**AP**) is high resistance. The paper's prototype extracts
+//! SPICE-compatible device models; Table 2 publishes the aggregate numbers we
+//! seed this model with:
+//!
+//! * resistance 4408 Ω (P) / 8759 Ω (AP),
+//! * single-bit set/reset energy 0.048 pJ.
+//!
+//! Writes are the expensive operation — high energy *and* long pulse width —
+//! which is exactly why the paper freezes the backbone weights in MRAM and
+//! learns only in SRAM. The model optionally injects stochastic write
+//! failures (a real STT-MRAM non-ideality) through a deterministic
+//! [`Mtj::write_stochastic`] path so higher layers can run failure-injection
+//! tests without a global RNG dependency.
+
+use crate::units::{Energy, Latency};
+use std::fmt;
+
+/// Magnetization state of an MTJ free layer relative to the fixed layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MtjState {
+    /// Parallel — low resistance; by convention stores logic `0`.
+    #[default]
+    Parallel,
+    /// Anti-parallel — high resistance; by convention stores logic `1`.
+    AntiParallel,
+}
+
+impl MtjState {
+    /// Maps a logic bit onto the conventional state encoding.
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Self::AntiParallel
+        } else {
+            Self::Parallel
+        }
+    }
+
+    /// Returns the logic bit this state encodes.
+    #[inline]
+    pub fn to_bit(self) -> bool {
+        matches!(self, Self::AntiParallel)
+    }
+}
+
+impl fmt::Display for MtjState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parallel => write!(f, "P"),
+            Self::AntiParallel => write!(f, "AP"),
+        }
+    }
+}
+
+/// Electrical and timing parameters of one MTJ device, plus its current
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::mtj::{Mtj, MtjState};
+///
+/// let mut cell = Mtj::dac24();
+/// assert_eq!(cell.state(), MtjState::Parallel);
+/// let cost = cell.write(MtjState::AntiParallel);
+/// assert!(cost.energy.as_pj() > 0.0);
+/// assert_eq!(cell.state(), MtjState::AntiParallel);
+/// // Rewriting the same value is modelled as free (write driver gated).
+/// assert!(cell.write(MtjState::AntiParallel).energy.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mtj {
+    params: MtjParams,
+    state: MtjState,
+}
+
+/// Device constants shared by every MTJ in an array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtjParams {
+    /// Parallel (low) resistance in ohms.
+    pub resistance_p: f64,
+    /// Anti-parallel (high) resistance in ohms.
+    pub resistance_ap: f64,
+    /// Energy of one set or reset pulse.
+    pub write_energy: Energy,
+    /// Write pulse width.
+    pub write_latency: Latency,
+    /// Energy of one read (sense) operation.
+    pub read_energy: Energy,
+    /// Read access latency.
+    pub read_latency: Latency,
+    /// Probability that a single write pulse fails to switch the free layer.
+    pub write_error_rate: f64,
+}
+
+impl MtjParams {
+    /// The device corner published in the paper's Table 2, with read and
+    /// reliability figures at typical 28 nm STT-MRAM values.
+    pub fn dac24() -> Self {
+        Self {
+            resistance_p: 4408.0,
+            resistance_ap: 8759.0,
+            write_energy: Energy::from_pj(0.048),
+            write_latency: Latency::from_ns(10.0),
+            read_energy: Energy::from_pj(0.004),
+            read_latency: Latency::from_ns(1.0),
+            write_error_rate: 0.0,
+        }
+    }
+
+    /// Tunnel magnetoresistance ratio `(R_AP − R_P) / R_P`.
+    pub fn tmr(&self) -> f64 {
+        (self.resistance_ap - self.resistance_p) / self.resistance_p
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMtjParamsError`] if resistances are non-positive or
+    /// inverted (AP must exceed P for the sense amplifier to distinguish the
+    /// states), or if the write error rate is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), InvalidMtjParamsError> {
+        // Negated comparisons are deliberate: they reject NaN as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.resistance_p > 0.0) || !(self.resistance_ap > 0.0) {
+            return Err(InvalidMtjParamsError::NonPositiveResistance);
+        }
+        if self.resistance_ap <= self.resistance_p {
+            return Err(InvalidMtjParamsError::InvertedResistance {
+                parallel: self.resistance_p,
+                anti_parallel: self.resistance_ap,
+            });
+        }
+        if !(0.0..1.0).contains(&self.write_error_rate) {
+            return Err(InvalidMtjParamsError::WriteErrorRateOutOfRange(
+                self.write_error_rate,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MtjParams {
+    fn default() -> Self {
+        Self::dac24()
+    }
+}
+
+/// Error describing an inconsistent [`MtjParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidMtjParamsError {
+    /// A resistance was zero, negative, or NaN.
+    NonPositiveResistance,
+    /// The anti-parallel resistance did not exceed the parallel resistance.
+    InvertedResistance {
+        /// Offending parallel resistance (Ω).
+        parallel: f64,
+        /// Offending anti-parallel resistance (Ω).
+        anti_parallel: f64,
+    },
+    /// The write error rate was outside `[0, 1)`.
+    WriteErrorRateOutOfRange(f64),
+}
+
+impl fmt::Display for InvalidMtjParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveResistance => write!(f, "mtj resistances must be positive"),
+            Self::InvertedResistance {
+                parallel,
+                anti_parallel,
+            } => write!(
+                f,
+                "anti-parallel resistance ({anti_parallel} Ω) must exceed parallel ({parallel} Ω)"
+            ),
+            Self::WriteErrorRateOutOfRange(r) => {
+                write!(f, "write error rate must be in [0, 1), got {r}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidMtjParamsError {}
+
+/// Cost of a single device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperationCost {
+    /// Energy consumed by the operation.
+    pub energy: Energy,
+    /// Time taken by the operation.
+    pub latency: Latency,
+}
+
+impl Mtj {
+    /// Creates an MTJ with the paper's device corner, initialized parallel.
+    pub fn dac24() -> Self {
+        Self::with_params(MtjParams::dac24()).expect("dac24 preset is valid")
+    }
+
+    /// Creates an MTJ from explicit parameters, initialized parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidMtjParamsError`] if the parameters are inconsistent;
+    /// see [`MtjParams::validate`].
+    pub fn with_params(params: MtjParams) -> Result<Self, InvalidMtjParamsError> {
+        params.validate()?;
+        Ok(Self {
+            params,
+            state: MtjState::Parallel,
+        })
+    }
+
+    /// Current magnetization state.
+    pub fn state(&self) -> MtjState {
+        self.state
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &MtjParams {
+        &self.params
+    }
+
+    /// Resistance of the junction in its current state, in ohms.
+    pub fn resistance(&self) -> f64 {
+        match self.state {
+            MtjState::Parallel => self.params.resistance_p,
+            MtjState::AntiParallel => self.params.resistance_ap,
+        }
+    }
+
+    /// Senses the stored bit, returning it together with the read cost.
+    pub fn read(&self) -> (bool, OperationCost) {
+        (
+            self.state.to_bit(),
+            OperationCost {
+                energy: self.params.read_energy,
+                latency: self.params.read_latency,
+            },
+        )
+    }
+
+    /// Writes a target state, returning the cost actually incurred.
+    ///
+    /// Writing the already-stored state is free: a read-before-write gate in
+    /// the driver (standard in MRAM macros, and the reason differential
+    /// weight updates are cheap) suppresses the pulse.
+    pub fn write(&mut self, target: MtjState) -> OperationCost {
+        if self.state == target {
+            return OperationCost::default();
+        }
+        self.state = target;
+        OperationCost {
+            energy: self.params.write_energy,
+            latency: self.params.write_latency,
+        }
+    }
+
+    /// Writes a target state through a stochastic channel that fails with
+    /// probability [`MtjParams::write_error_rate`].
+    ///
+    /// The pulse cost is paid whether or not the switch succeeds. `noise` is
+    /// a caller-supplied uniform sample in `[0, 1)` (keeps this crate free of
+    /// RNG dependencies and the failure injection perfectly reproducible).
+    /// Returns `true` if the device ends in `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is outside `[0, 1)`.
+    pub fn write_stochastic(&mut self, target: MtjState, noise: f64) -> (bool, OperationCost) {
+        assert!(
+            (0.0..1.0).contains(&noise),
+            "noise sample must be in [0, 1), got {noise}"
+        );
+        if self.state == target {
+            return (true, OperationCost::default());
+        }
+        let cost = OperationCost {
+            energy: self.params.write_energy,
+            latency: self.params.write_latency,
+        };
+        if noise >= self.params.write_error_rate {
+            self.state = target;
+            (true, cost)
+        } else {
+            (false, cost)
+        }
+    }
+}
+
+impl Default for Mtj {
+    fn default() -> Self {
+        Self::dac24()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac24_matches_table2_constants() {
+        let p = MtjParams::dac24();
+        assert_eq!(p.resistance_p, 4408.0);
+        assert_eq!(p.resistance_ap, 8759.0);
+        assert!((p.write_energy.as_pj() - 0.048).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tmr_is_about_one_for_the_paper_corner() {
+        let p = MtjParams::dac24();
+        // (8759 - 4408) / 4408 ≈ 0.987
+        assert!((p.tmr() - 0.987).abs() < 0.01);
+    }
+
+    #[test]
+    fn state_bit_round_trip() {
+        assert!(MtjState::from_bit(true).to_bit());
+        assert!(!MtjState::from_bit(false).to_bit());
+        assert_eq!(format!("{}", MtjState::AntiParallel), "AP");
+    }
+
+    #[test]
+    fn resistance_tracks_state() {
+        let mut m = Mtj::dac24();
+        assert_eq!(m.resistance(), 4408.0);
+        m.write(MtjState::AntiParallel);
+        assert_eq!(m.resistance(), 8759.0);
+    }
+
+    #[test]
+    fn redundant_write_is_free() {
+        let mut m = Mtj::dac24();
+        let first = m.write(MtjState::AntiParallel);
+        assert!(first.energy.as_pj() > 0.0);
+        let second = m.write(MtjState::AntiParallel);
+        assert!(second.energy.is_zero());
+        assert!(second.latency.is_zero());
+    }
+
+    #[test]
+    fn read_returns_stored_bit_and_cost() {
+        let mut m = Mtj::dac24();
+        m.write(MtjState::AntiParallel);
+        let (bit, cost) = m.read();
+        assert!(bit);
+        assert!(cost.energy.as_pj() > 0.0);
+        assert!(cost.energy < m.params().write_energy);
+    }
+
+    #[test]
+    fn stochastic_write_fails_below_error_rate() {
+        let mut params = MtjParams::dac24();
+        params.write_error_rate = 0.5;
+        let mut m = Mtj::with_params(params).expect("valid");
+        // noise < rate → failure, but cost still paid.
+        let (ok, cost) = m.write_stochastic(MtjState::AntiParallel, 0.25);
+        assert!(!ok);
+        assert!(cost.energy.as_pj() > 0.0);
+        assert_eq!(m.state(), MtjState::Parallel);
+        // noise ≥ rate → success.
+        let (ok, _) = m.write_stochastic(MtjState::AntiParallel, 0.75);
+        assert!(ok);
+        assert_eq!(m.state(), MtjState::AntiParallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sample must be in [0, 1)")]
+    fn stochastic_write_rejects_bad_noise() {
+        let mut m = Mtj::dac24();
+        let _ = m.write_stochastic(MtjState::AntiParallel, 1.5);
+    }
+
+    #[test]
+    fn validation_catches_inverted_resistance() {
+        let mut p = MtjParams::dac24();
+        p.resistance_ap = 1000.0;
+        assert!(matches!(
+            p.validate(),
+            Err(InvalidMtjParamsError::InvertedResistance { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_bad_error_rate() {
+        let mut p = MtjParams::dac24();
+        p.write_error_rate = 1.0;
+        assert_eq!(
+            p.validate(),
+            Err(InvalidMtjParamsError::WriteErrorRateOutOfRange(1.0))
+        );
+    }
+
+    #[test]
+    fn write_is_much_more_expensive_than_read() {
+        let p = MtjParams::dac24();
+        assert!(p.write_energy.as_pj() > 5.0 * p.read_energy.as_pj());
+        assert!(p.write_latency.as_ns() > 5.0 * p.read_latency.as_ns());
+    }
+}

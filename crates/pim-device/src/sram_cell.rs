@@ -1,0 +1,188 @@
+//! SRAM bit-cell models for the sparse SRAM PE.
+//!
+//! The SRAM sparse PE (paper Fig. 3) uses two kinds of cells:
+//!
+//! * an **8T compute cell** storing one weight bit. Transistors T1/T2 form a
+//!   pass-gate static AND between the stored bit and the row-shared input
+//!   word line (IWL) — the 1-bit in-memory partial product of the digital
+//!   bit-serial multiply;
+//! * a **6T index cell** storing one bit of the 4-bit CSC index that the
+//!   column comparator matches against the index generator.
+//!
+//! Both are volatile: they leak continuously (the crux of the SRAM/MRAM
+//! trade-off this paper exploits) but write in a single fast cycle, which is
+//! what makes the SRAM PE the natural home for the learnable Rep-Net
+//! weights.
+
+use crate::tech::TechnologyParams;
+use crate::units::{Area, Energy, Latency, Power};
+use std::fmt;
+
+/// Which flavour of bit-cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SramCellKind {
+    /// 8T compute cell (weight storage + in-cell AND).
+    Compute8T,
+    /// 6T storage cell (CSC index storage).
+    Index6T,
+}
+
+impl fmt::Display for SramCellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Compute8T => write!(f, "8T compute"),
+            Self::Index6T => write!(f, "6T index"),
+        }
+    }
+}
+
+/// Per-cell electrical model derived from the technology parameters.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::sram_cell::{SramCell, SramCellKind};
+/// use pim_device::tech::TechnologyParams;
+///
+/// let tech = TechnologyParams::tsmc28();
+/// let cell = SramCell::new(SramCellKind::Compute8T, &tech);
+/// // The 8T compute cell is bigger than the plain 6T storage cell.
+/// let idx = SramCell::new(SramCellKind::Index6T, &tech);
+/// assert!(cell.area() > idx.area());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramCell {
+    kind: SramCellKind,
+    area: Area,
+    leakage: Power,
+    read_energy: Energy,
+    write_energy: Energy,
+    access_latency: Latency,
+}
+
+impl SramCell {
+    /// Builds the cell model for `kind` at the given technology point.
+    ///
+    /// Areas follow typical 28 nm high-density cell sizes (6T ≈ 0.127 µm²)
+    /// scaled by transistor count; the compute AND structure adds two
+    /// transistors and the IWL contact. Leakage comes from
+    /// [`TechnologyParams::sram_leakage_per_bit`], with the 8T cell leaking
+    /// ~30% more than the 6T due to the extra pull-down path.
+    pub fn new(kind: SramCellKind, tech: &TechnologyParams) -> Self {
+        let base_leak = tech.sram_leakage_per_bit();
+        // Scale areas relative to a 0.127 µm² 28 nm 6T cell.
+        let scale = (tech.node_nm() as f64 / 28.0).powi(2);
+        match kind {
+            SramCellKind::Compute8T => Self {
+                kind,
+                area: Area::from_um2(0.190 * scale),
+                leakage: base_leak * 1.3,
+                read_energy: Energy::from_pj(0.0018),
+                write_energy: Energy::from_pj(0.0024),
+                access_latency: Latency::from_ns(tech.cycle_ns()),
+            },
+            SramCellKind::Index6T => Self {
+                kind,
+                area: Area::from_um2(0.127 * scale),
+                leakage: base_leak,
+                read_energy: Energy::from_pj(0.0012),
+                write_energy: Energy::from_pj(0.0018),
+                access_latency: Latency::from_ns(tech.cycle_ns()),
+            },
+        }
+    }
+
+    /// Cell flavour.
+    pub fn kind(&self) -> SramCellKind {
+        self.kind
+    }
+
+    /// Silicon area of one cell.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Static leakage power of one cell.
+    pub fn leakage(&self) -> Power {
+        self.leakage
+    }
+
+    /// Dynamic energy of one read / in-cell AND evaluation.
+    pub fn read_energy(&self) -> Energy {
+        self.read_energy
+    }
+
+    /// Dynamic energy of one write.
+    pub fn write_energy(&self) -> Energy {
+        self.write_energy
+    }
+
+    /// Single-access latency (one clock cycle for both flavours).
+    pub fn access_latency(&self) -> Latency {
+        self.access_latency
+    }
+
+    /// Leakage energy burned by `cells` cells over `elapsed` time.
+    pub fn leakage_energy(&self, cells: u64, elapsed: Latency) -> Energy {
+        self.leakage * cells as f64 * elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::tsmc28()
+    }
+
+    #[test]
+    fn compute_cell_is_larger_and_leakier_than_index_cell() {
+        let c = SramCell::new(SramCellKind::Compute8T, &tech());
+        let i = SramCell::new(SramCellKind::Index6T, &tech());
+        assert!(c.area() > i.area());
+        assert!(c.leakage().as_mw() > i.leakage().as_mw());
+        assert!(c.read_energy() > i.read_energy());
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let c = SramCell::new(SramCellKind::Compute8T, &tech());
+        assert!(c.write_energy() > c.read_energy());
+    }
+
+    #[test]
+    fn sram_write_is_far_cheaper_than_mtj_write() {
+        // The core premise of the hybrid design: SRAM rewrites are cheap.
+        let c = SramCell::new(SramCellKind::Compute8T, &tech());
+        let mtj = crate::mtj::MtjParams::dac24();
+        assert!(mtj.write_energy.as_pj() / c.write_energy().as_pj() > 10.0);
+    }
+
+    #[test]
+    fn leakage_energy_scales_with_population_and_time() {
+        let c = SramCell::new(SramCellKind::Index6T, &tech());
+        let e1 = c.leakage_energy(100, Latency::from_ns(10.0));
+        let e2 = c.leakage_energy(200, Latency::from_ns(10.0));
+        let e3 = c.leakage_energy(100, Latency::from_ns(20.0));
+        assert!((e2.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-12);
+        assert!((e3.as_pj() - 2.0 * e1.as_pj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_scales_with_node() {
+        let t16 = TechnologyParams::builder()
+            .node_nm(16)
+            .build()
+            .expect("valid");
+        let c28 = SramCell::new(SramCellKind::Index6T, &tech());
+        let c16 = SramCell::new(SramCellKind::Index6T, &t16);
+        assert!(c16.area() < c28.area());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SramCellKind::Compute8T.to_string(), "8T compute");
+        assert_eq!(SramCellKind::Index6T.to_string(), "6T index");
+    }
+}

@@ -1,0 +1,255 @@
+//! Technology node parameters.
+//!
+//! The paper's prototype is evaluated at the TSMC 28 nm node with a
+//! fully-digital design. [`TechnologyParams`] collects the handful of
+//! node-level constants the architecture simulator needs: clock frequency,
+//! supply voltage, and per-bit SRAM leakage. A [`TechnologyParams::tsmc28`]
+//! preset reproduces the paper's operating point; other nodes can be built
+//! with [`TechnologyParams::builder`] for scaling studies.
+
+use crate::units::Power;
+use std::fmt;
+
+/// Node-level technology constants shared by every circuit model.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::tech::TechnologyParams;
+///
+/// let tech = TechnologyParams::tsmc28();
+/// assert_eq!(tech.node_nm(), 28);
+/// assert!((tech.clock_mhz() - 1000.0).abs() < f64::EPSILON);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyParams {
+    node_nm: u32,
+    clock_mhz: f64,
+    vdd: f64,
+    sram_leakage_per_bit: Power,
+}
+
+impl TechnologyParams {
+    /// The paper's operating point: TSMC 28 nm, 1 GHz digital clock,
+    /// 0.9 V nominal supply.
+    ///
+    /// The per-bit SRAM leakage (50 nW/bit, a high-performance 28 nm
+    /// corner) makes a 128×96 SRAM PE (12,288 bit-cells) leak well under a
+    /// milliwatt, yet across a whole model-resident deployment leakage
+    /// still dominates the all-SRAM baseline's inference power, exactly as
+    /// Figure 7 of the paper shows.
+    pub fn tsmc28() -> Self {
+        Self {
+            node_nm: 28,
+            clock_mhz: 1000.0,
+            vdd: 0.9,
+            // 50 nW/bit ⇒ 12,288-cell PE leaks ≈ 0.7 mW.
+            sram_leakage_per_bit: Power::from_uw(0.05),
+        }
+    }
+
+    /// Starts building a custom technology description.
+    pub fn builder() -> TechnologyParamsBuilder {
+        TechnologyParamsBuilder::new()
+    }
+
+    /// Process node in nanometres.
+    pub fn node_nm(&self) -> u32 {
+        self.node_nm
+    }
+
+    /// Digital clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Duration of one clock cycle in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0e3 / self.clock_mhz
+    }
+
+    /// Nominal supply voltage in volts.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Static leakage of a single SRAM bit-cell.
+    pub fn sram_leakage_per_bit(&self) -> Power {
+        self.sram_leakage_per_bit
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::tsmc28()
+    }
+}
+
+impl fmt::Display for TechnologyParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nm @ {:.0} MHz, VDD {:.2} V",
+            self.node_nm, self.clock_mhz, self.vdd
+        )
+    }
+}
+
+/// Builder for [`TechnologyParams`]; starts from the [`TechnologyParams::tsmc28`]
+/// preset so callers only override what differs.
+///
+/// # Example
+///
+/// ```
+/// use pim_device::tech::TechnologyParams;
+///
+/// let slow = TechnologyParams::builder().clock_mhz(500.0).build()?;
+/// assert!((slow.cycle_ns() - 2.0).abs() < 1e-12);
+/// # Ok::<(), pim_device::tech::BuildTechnologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyParamsBuilder {
+    params: TechnologyParams,
+}
+
+impl TechnologyParamsBuilder {
+    fn new() -> Self {
+        Self {
+            params: TechnologyParams::tsmc28(),
+        }
+    }
+
+    /// Sets the process node in nanometres.
+    pub fn node_nm(mut self, node_nm: u32) -> Self {
+        self.params.node_nm = node_nm;
+        self
+    }
+
+    /// Sets the clock frequency in MHz.
+    pub fn clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.params.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the supply voltage in volts.
+    pub fn vdd(mut self, vdd: f64) -> Self {
+        self.params.vdd = vdd;
+        self
+    }
+
+    /// Sets the per-bit SRAM leakage power.
+    pub fn sram_leakage_per_bit(mut self, leakage: Power) -> Self {
+        self.params.sram_leakage_per_bit = leakage;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTechnologyError`] if the clock frequency or supply
+    /// voltage is not strictly positive, or the node size is zero.
+    pub fn build(self) -> Result<TechnologyParams, BuildTechnologyError> {
+        let p = &self.params;
+        if p.node_nm == 0 {
+            return Err(BuildTechnologyError::ZeroNode);
+        }
+        // Negated comparisons are deliberate: they reject NaN as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(p.clock_mhz > 0.0) {
+            return Err(BuildTechnologyError::NonPositiveClock(p.clock_mhz));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(p.vdd > 0.0) {
+            return Err(BuildTechnologyError::NonPositiveVdd(p.vdd));
+        }
+        Ok(self.params)
+    }
+}
+
+/// Error returned by [`TechnologyParamsBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildTechnologyError {
+    /// The process node was zero nanometres.
+    ZeroNode,
+    /// The clock frequency was zero, negative, or NaN.
+    NonPositiveClock(f64),
+    /// The supply voltage was zero, negative, or NaN.
+    NonPositiveVdd(f64),
+}
+
+impl fmt::Display for BuildTechnologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroNode => write!(f, "process node must be nonzero"),
+            Self::NonPositiveClock(v) => {
+                write!(f, "clock frequency must be positive, got {v}")
+            }
+            Self::NonPositiveVdd(v) => write!(f, "supply voltage must be positive, got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildTechnologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsmc28_preset_matches_paper_operating_point() {
+        let t = TechnologyParams::tsmc28();
+        assert_eq!(t.node_nm(), 28);
+        assert!((t.cycle_ns() - 1.0).abs() < 1e-12);
+        assert!((t.vdd() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_tsmc28() {
+        assert_eq!(TechnologyParams::default(), TechnologyParams::tsmc28());
+    }
+
+    #[test]
+    fn builder_overrides_single_field() {
+        let t = TechnologyParams::builder()
+            .clock_mhz(500.0)
+            .build()
+            .expect("valid params");
+        assert_eq!(t.node_nm(), 28);
+        assert!((t.cycle_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_clock() {
+        let err = TechnologyParams::builder().clock_mhz(0.0).build();
+        assert_eq!(err, Err(BuildTechnologyError::NonPositiveClock(0.0)));
+        let err = TechnologyParams::builder().clock_mhz(f64::NAN).build();
+        assert!(matches!(
+            err,
+            Err(BuildTechnologyError::NonPositiveClock(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_vdd_and_node() {
+        assert!(TechnologyParams::builder().vdd(-1.0).build().is_err());
+        assert!(TechnologyParams::builder().node_nm(0).build().is_err());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let msg = BuildTechnologyError::NonPositiveClock(-3.0).to_string();
+        assert!(msg.starts_with("clock frequency"));
+        assert!(msg.contains("-3"));
+    }
+
+    #[test]
+    fn sram_pe_leakage_is_milliwatt_scale() {
+        let t = TechnologyParams::tsmc28();
+        let pe_bits = 128.0 * 96.0;
+        let leak = t.sram_leakage_per_bit() * pe_bits;
+        // Sub-milliwatt per PE, but nonzero — summed over a model-resident
+        // deployment this dominates the SRAM baseline's inference power.
+        assert!(leak.as_mw() > 0.1 && leak.as_mw() < 5.0, "{leak}");
+    }
+}

@@ -1,0 +1,373 @@
+//! Model checkpointing.
+//!
+//! On-device continual learning implies persistence: the adapted Rep-Net
+//! weights (and the backbone's BN calibration) must survive power cycles.
+//! This module serializes a model's parameters **and** state buffers to a
+//! small self-describing binary format:
+//!
+//! ```text
+//! magic "PIMCKPT1" | u32 param_count | params… | u32 buffer_count | buffers…
+//! param  = u32 rank | u32 dims[rank] | f32 data[∏dims]    (little endian)
+//! buffer = u32 len  | f32 data[len]
+//! ```
+//!
+//! Loading validates every shape against the receiving model, so a
+//! checkpoint can only be restored into a structurally identical network.
+
+use crate::train::Model;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PIMCKPT1";
+
+/// Errors restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with the checkpoint magic.
+    BadMagic,
+    /// Parameter/buffer counts or shapes disagreed with the model.
+    ShapeMismatch {
+        /// Which entry disagreed.
+        index: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            Self::BadMagic => write!(f, "not a pim checkpoint (bad magic)"),
+            Self::ShapeMismatch { index, detail } => {
+                write!(f, "checkpoint entry {index} does not fit the model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32s<W: Write>(w: &mut W, data: &[f32]) -> io::Result<()> {
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32s<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<f32>> {
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(f32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Serializes a model's parameters and buffers to `writer`.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save<W: Write>(model: &mut (impl Model + ?Sized), writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+
+    let mut params: Vec<(Vec<usize>, Vec<f32>)> = Vec::new();
+    model.params(&mut |p| {
+        params.push((p.value.shape().to_vec(), p.value.as_slice().to_vec()));
+    });
+    write_u32(&mut w, params.len() as u32)?;
+    for (shape, data) in &params {
+        write_u32(&mut w, shape.len() as u32)?;
+        for &d in shape {
+            write_u32(&mut w, d as u32)?;
+        }
+        write_f32s(&mut w, data)?;
+    }
+
+    let mut buffers: Vec<Vec<f32>> = Vec::new();
+    model.buffers(&mut |b| buffers.push(b.clone()));
+    write_u32(&mut w, buffers.len() as u32)?;
+    for buffer in &buffers {
+        write_u32(&mut w, buffer.len() as u32)?;
+        write_f32s(&mut w, buffer)?;
+    }
+    w.flush()
+}
+
+/// Restores a model's parameters and buffers from `reader`.
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on I/O failure, wrong magic, or any shape
+/// disagreement between the checkpoint and the receiving model.
+pub fn load<R: Read>(
+    model: &mut (impl Model + ?Sized),
+    reader: R,
+) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+
+    let param_count = read_u32(&mut r)? as usize;
+    let mut params: Vec<(Vec<usize>, Vec<f32>)> = Vec::with_capacity(param_count);
+    for _ in 0..param_count {
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let len: usize = shape.iter().product();
+        params.push((shape, read_f32s(&mut r, len)?));
+    }
+
+    let buffer_count = read_u32(&mut r)? as usize;
+    let mut buffers: Vec<Vec<f32>> = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        let len = read_u32(&mut r)? as usize;
+        buffers.push(read_f32s(&mut r, len)?);
+    }
+
+    // Validate counts/shapes against the model before mutating anything.
+    let mut shapes: Vec<Vec<usize>> = Vec::new();
+    model.params(&mut |p| shapes.push(p.value.shape().to_vec()));
+    if shapes.len() != params.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            index: 0,
+            detail: format!(
+                "checkpoint has {} params, model has {}",
+                params.len(),
+                shapes.len()
+            ),
+        });
+    }
+    for (i, (shape, _)) in params.iter().enumerate() {
+        if &shapes[i] != shape {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                detail: format!("param shape {shape:?} vs model {:?}", shapes[i]),
+            });
+        }
+    }
+    let mut buffer_lens: Vec<usize> = Vec::new();
+    model.buffers(&mut |b| buffer_lens.push(b.len()));
+    if buffer_lens.len() != buffers.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            index: 0,
+            detail: format!(
+                "checkpoint has {} buffers, model has {}",
+                buffers.len(),
+                buffer_lens.len()
+            ),
+        });
+    }
+    for (i, buffer) in buffers.iter().enumerate() {
+        if buffer_lens[i] != buffer.len() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                detail: format!("buffer length {} vs model {}", buffer.len(), buffer_lens[i]),
+            });
+        }
+    }
+
+    let mut it = params.into_iter();
+    model.params(&mut |p| {
+        let (_, data) = it.next().expect("count validated");
+        p.value.as_mut_slice().copy_from_slice(&data);
+    });
+    let mut it = buffers.into_iter();
+    model.buffers(&mut |b| {
+        *b = it.next().expect("count validated");
+    });
+    Ok(())
+}
+
+/// Saves to a file path.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_to_file(
+    model: &mut (impl Model + ?Sized),
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    save(model, File::create(path)?)
+}
+
+/// Loads from a file path.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on I/O failure or any format/shape problem.
+pub fn load_from_file(
+    model: &mut (impl Model + ?Sized),
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    load(model, File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear, Sequential};
+    use crate::models::{Backbone, BackboneConfig, PretrainNet};
+    use crate::tensor::Tensor;
+    use crate::train::{fit, Dataset, FitConfig};
+
+    fn tiny_dataset() -> Dataset {
+        let inputs = Tensor::from_fn(&[16, 1, 8, 8], |i| (i as f32 * 0.07).sin());
+        let labels = (0..16).map(|i| i % 2).collect();
+        Dataset::new(inputs, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn round_trip_restores_exact_predictions() {
+        let mut net = PretrainNet::new(Backbone::new(BackboneConfig::tiny()), 2, 4);
+        let data = tiny_dataset();
+        fit(
+            &mut net,
+            &data,
+            &FitConfig {
+                epochs: 3,
+                batch_size: 8,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                seed: 2,
+            },
+        );
+        let x = Tensor::from_fn(&[3, 1, 8, 8], |i| (i as f32 * 0.03).cos());
+        let reference = net.predict(&x, false);
+
+        let mut bytes = Vec::new();
+        save(&mut net, &mut bytes).unwrap();
+
+        // A fresh (differently-seeded) model must reproduce the trained
+        // predictions exactly after load — including BN running stats.
+        let mut fresh = PretrainNet::new(Backbone::new(BackboneConfig::tiny()), 2, 999);
+        assert_ne!(fresh.predict(&x, false), reference);
+        load(&mut fresh, bytes.as_slice()).unwrap();
+        assert_eq!(fresh.predict(&x, false), reference);
+    }
+
+    #[test]
+    fn bn_running_stats_are_captured() {
+        let mut net = PretrainNet::new(Backbone::new(BackboneConfig::tiny()), 2, 4);
+        // Drive BN stats away from their init.
+        let data = tiny_dataset();
+        fit(
+            &mut net,
+            &data,
+            &FitConfig {
+                epochs: 2,
+                batch_size: 8,
+                lr: 0.01,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                seed: 1,
+            },
+        );
+        let mut buffers = Vec::new();
+        net.buffers(&mut |b| buffers.push(b.clone()));
+        assert!(!buffers.is_empty(), "backbone exposes BN buffers");
+        assert!(
+            buffers.iter().flatten().any(|&v| v != 0.0 && v != 1.0),
+            "stats moved away from init"
+        );
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut fc = Linear::new(2, 2, 0);
+        let err = load(&mut fc, &b"NOTACKPT........"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_without_mutation() {
+        let mut small = Linear::new(2, 2, 0);
+        let mut bytes = Vec::new();
+        save(&mut small, &mut bytes).unwrap();
+
+        let mut big = Linear::new(4, 4, 0);
+        let before = big.weight().value.clone();
+        let err = load(&mut big, bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }));
+        assert_eq!(big.weight().value, before, "failed load must not mutate");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut fc = Linear::new(3, 3, 0);
+        let mut bytes = Vec::new();
+        save(&mut fc, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let err = load(&mut fc, bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pim_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 4, 9));
+        save_to_file(&mut net, &path).unwrap();
+        let mut restored = Sequential::new();
+        restored.push(Linear::new(4, 4, 1234));
+        load_from_file(&mut restored, &path).unwrap();
+        let x = Tensor::ones(&[1, 4]);
+        assert_eq!(
+            Layer::forward(&mut net, &x, false),
+            Layer::forward(&mut restored, &x, false)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::ShapeMismatch {
+            index: 3,
+            detail: "param shape [2] vs model [4]".into(),
+        };
+        assert!(e.to_string().contains("entry 3"));
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+    }
+}

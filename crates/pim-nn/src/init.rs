@@ -1,0 +1,127 @@
+//! Seeded weight initializers.
+//!
+//! Every experiment in the reproduction is deterministic: initializers take
+//! an explicit seed and use `rand`'s `StdRng`, so Table 1 reruns
+//! bit-identically.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Kaiming-He uniform initialization for ReLU networks: samples from
+/// `U(−b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::init::kaiming_uniform;
+///
+/// let w = kaiming_uniform(&[8, 4], 4, 7);
+/// assert_eq!(w.shape(), &[8, 4]);
+/// let bound = (6.0f32 / 4.0).sqrt();
+/// assert!(w.max_abs() <= bound);
+/// ```
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be nonzero");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Xavier-Glorot uniform initialization: `U(−b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be nonzero");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, seed)
+}
+
+/// Uniform samples in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_| rng.random_range(lo..hi))
+}
+
+/// Standard-normal samples scaled by `std`.
+///
+/// # Panics
+///
+/// Panics if `std` is not finite and positive.
+pub fn normal(shape: &[usize], std: f32, seed: u64) -> Tensor {
+    assert!(std.is_finite() && std > 0.0, "std must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Box-Muller from two uniforms (keeps us off rand_distr).
+    let mut next = move || {
+        let u1 = rng.random_range(f32::EPSILON..1.0f32);
+        let u2 = rng.random_range(0.0..1.0f32);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    };
+    Tensor::from_fn(shape, |_| next() * std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = kaiming_uniform(&[16, 16], 16, 99);
+        let b = kaiming_uniform(&[16, 16], 16, 99);
+        assert_eq!(a, b);
+        let c = kaiming_uniform(&[16, 16], 16, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let fan_in = 64;
+        let w = kaiming_uniform(&[256], fan_in, 1);
+        assert!(w.max_abs() <= (6.0f32 / fan_in as f32).sqrt());
+        // And is not degenerate.
+        assert!(w.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let w = xavier_uniform(&[512], 32, 96, 2);
+        assert!(w.max_abs() <= (6.0f32 / 128.0).sqrt());
+    }
+
+    #[test]
+    fn normal_matches_requested_std_roughly() {
+        let w = normal(&[10_000], 0.5, 3);
+        let mean = w.mean();
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f32>()
+            / w.len() as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_inverted_range() {
+        let _ = uniform(&[1], 1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in must be nonzero")]
+    fn kaiming_rejects_zero_fan_in() {
+        let _ = kaiming_uniform(&[1], 0, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Elementwise activations.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit with cached pass-through mask.
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::layers::{Layer, Relu};
+/// use pim_nn::tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0])?;
+/// assert_eq!(relu.forward(&x, false).as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok::<(), pim_nn::tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called before forward(train = true)");
+        assert_eq!(mask.len(), grad_output.len(), "shape changed since forward");
+        let mut g = grad_output.clone();
+        for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, -0.1, 0.0, 3.0]).unwrap();
+        assert_eq!(relu.forward(&x, false).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_gates_on_positive_inputs() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-2.0, 5.0, 0.0, 1.0]).unwrap();
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::ones(&[4]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // ReLU'(0) = 0 by our convention (strict inequality in the mask).
+        let mut relu = Relu::new();
+        relu.forward(&Tensor::zeros(&[2]), true);
+        let g = relu.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        let _ = relu.backward(&Tensor::ones(&[1]));
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let mut relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! 2-D convolution via im2col.
+//!
+//! The weight is held as `[out_channels, in_channels, kh, kw]` but every
+//! PIM-facing export uses the **reduction-first matrix view**
+//! `[in_channels·kh·kw, out_channels]`, the same orientation as
+//! [`super::Linear`] — so N:M pruning groups run along the input-channel ×
+//! kernel axis, exactly where NVIDIA-style N:M sparsity lives.
+
+use super::{Layer, Param};
+use crate::init::kaiming_uniform;
+use crate::tensor::Tensor;
+use pim_sparse::Matrix;
+
+/// 2-D convolution over NCHW tensors.
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::layers::{Conv2d, Layer};
+/// use pim_nn::tensor::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0); // 3→8, 3×3, stride 1, pad 1
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 8, 8]), false);
+/// assert_eq!(y.shape(), &[2, 8, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached: Option<CachedForward>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedForward {
+    /// im2col matrix `[n·oh·ow, cin·k·k]`.
+    cols: Vec<f32>,
+    input_shape: [usize; 4],
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of channels, kernel, or stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "degenerate convolution"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        Self {
+            weight: Param::new(kaiming_uniform(
+                &[out_channels, in_channels, kernel, kernel],
+                fan_in,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel edge length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The bias vector, one entry per output channel.
+    pub fn bias_values(&self) -> &[f32] {
+        self.bias.value.as_slice()
+    }
+
+    /// Reduction length of the matrix view, `cin · k · k`.
+    pub fn reduction_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Output spatial size for an `(h, w)` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Exports the weight as a reduction-first `[cin·k·k, cout]` matrix.
+    pub fn weight_matrix(&self) -> Matrix<f32> {
+        let red = self.reduction_len();
+        let cout = self.out_channels;
+        let w = self.weight.value.as_slice();
+        // Stored layout is [cout, red]; transpose into [red, cout].
+        Matrix::from_fn(red, cout, |r, c| w[c * red + r])
+    }
+
+    /// Overwrites the weight from a reduction-first matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is not `[cin·k·k, cout]`.
+    pub fn set_weight_matrix(&mut self, m: &Matrix<f32>) {
+        let red = self.reduction_len();
+        assert_eq!(m.shape(), (red, self.out_channels), "weight shape mismatch");
+        let w = self.weight.value.as_mut_slice();
+        for r in 0..red {
+            for c in 0..self.out_channels {
+                w[c * red + r] = m[(r, c)];
+            }
+        }
+    }
+
+    fn im2col(&self, input: &Tensor) -> (Vec<f32>, [usize; 4], (usize, usize)) {
+        let s = input.shape();
+        let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(cin, self.in_channels, "input channel mismatch");
+        let (oh, ow) = self.output_hw(h, w);
+        let red = self.reduction_len();
+        let k = self.kernel;
+        let x = input.as_slice();
+        let mut cols = vec![0.0f32; n * oh * ow * red];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row_base = ((ni * oh + oy) * ow + ox) * red;
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix =
+                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let col = (ci * k + ky) * k + kx;
+                                cols[row_base + col] = x[((ni * cin + ci) * h
+                                    + iy as usize)
+                                    * w
+                                    + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (cols, [n, cin, h, w], (oh, ow))
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "conv expects NCHW input");
+        let (cols, in_shape, (oh, ow)) = self.im2col(input);
+        let n = in_shape[0];
+        let red = self.reduction_len();
+        let cout = self.out_channels;
+        let w = self.weight.value.as_slice(); // [cout, red]
+        let b = self.bias.value.as_slice();
+        let rows = n * oh * ow;
+        // out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co]
+        let mut flat = vec![0.0f32; rows * cout];
+        for row in 0..rows {
+            let crow = &cols[row * red..(row + 1) * red];
+            for co in 0..cout {
+                let wrow = &w[co * red..(co + 1) * red];
+                let mut acc = b[co];
+                for (a, bb) in crow.iter().zip(wrow) {
+                    acc += a * bb;
+                }
+                flat[row * cout + co] = acc;
+            }
+        }
+        // Reorder [n, oh, ow, cout] → NCHW.
+        let mut y = Tensor::zeros(&[n, cout, oh, ow]);
+        let ys = y.as_mut_slice();
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    for co in 0..cout {
+                        ys[((ni * cout + co) * oh + oy) * ow + ox] = flat[row * cout + co];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached = Some(CachedForward {
+                cols,
+                input_shape: in_shape,
+                out_hw: (oh, ow),
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cached = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward(train = true)");
+        let [n, cin, h, w] = cached.input_shape;
+        let (oh, ow) = cached.out_hw;
+        let red = self.reduction_len();
+        let cout = self.out_channels;
+        let k = self.kernel;
+        assert_eq!(grad_output.shape(), &[n, cout, oh, ow]);
+        let go = grad_output.as_slice();
+        let weight = self.weight.value.as_slice();
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+
+        // Per-position upstream in [row, cout] order.
+        let rows = n * oh * ow;
+        let mut go_rows = vec![0.0f32; rows * cout];
+        for ni in 0..n {
+            for co in 0..cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let row = (ni * oh + oy) * ow + ox;
+                        go_rows[row * cout + co] =
+                            go[((ni * cout + co) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+
+        // dW[co, r] += Σ_rows cols[row, r]·go[row, co]; db[co] += Σ go.
+        for row in 0..rows {
+            let crow = &cached.cols[row * red..(row + 1) * red];
+            let grow = &go_rows[row * cout..(row + 1) * cout];
+            for (co, &g) in grow.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                gb[co] += g;
+                let gwrow = &mut gw[co * red..(co + 1) * red];
+                for (r, &cv) in crow.iter().enumerate() {
+                    gwrow[r] += cv * g;
+                }
+            }
+        }
+
+        // dcols[row, r] = Σ_co go[row, co]·w[co, r], then col2im scatter.
+        let mut gx = Tensor::zeros(&[n, cin, h, w]);
+        let gxs = gx.as_mut_slice();
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    let grow = &go_rows[row * cout..(row + 1) * cout];
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix =
+                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let r = (ci * k + ky) * k + kx;
+                                let mut acc = 0.0;
+                                for (co, &g) in grow.iter().enumerate() {
+                                    acc += g * weight[co * red + r];
+                                }
+                                gxs[((ni * cin + ci) * h + iy as usize) * w + ix as usize] +=
+                                    acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.weight.value = Tensor::ones(&[1, 1, 1, 1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, 0);
+        conv.weight.value = Tensor::ones(&[1, 1, 3, 3]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_slice()[0], 9.0);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, 1);
+        let y = conv.forward(&Tensor::ones(&[1, 2, 5, 5]), false);
+        assert_eq!(y.shape(), &[1, 4, 5, 5]);
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_size() {
+        let mut conv = Conv2d::new(1, 1, 3, 2, 1, 2);
+        let y = conv.forward(&Tensor::ones(&[1, 1, 8, 8]), false);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 11);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| ((i * 7) % 5) as f32 * 0.3 - 0.5);
+        let y = conv.forward(&x, true);
+        let upstream = Tensor::from_fn(y.shape(), |i| ((i % 3) as f32 - 1.0) * 0.5);
+        let gx = conv.backward(&upstream);
+
+        let eps = 1e-2;
+        // Spot-check a handful of positions (full check is slow).
+        for idx in [0usize, 5, 13, 21, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp: f32 = conv
+                .forward(&xp, false)
+                .as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = conv
+                .forward(&xm, false)
+                .as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} analytic {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, 4);
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32 * 0.13).sin());
+        let y = conv.forward(&x, true);
+        let upstream = Tensor::ones(y.shape());
+        conv.backward(&upstream);
+        let analytic = conv.weight.grad.clone();
+
+        let eps = 1e-2;
+        for idx in [0usize, 4, 8, 12, 17] {
+            let orig = conv.weight.value.as_slice()[idx];
+            conv.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp: f32 = conv.forward(&x, false).sum();
+            conv.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm: f32 = conv.forward(&x, false).sum();
+            conv.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_matrix_round_trip_is_exact() {
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, 9);
+        let m = conv.weight_matrix();
+        assert_eq!(m.shape(), (27, 5));
+        let orig = conv.weight.value.clone();
+        conv.set_weight_matrix(&m);
+        assert_eq!(conv.weight.value, orig);
+    }
+
+    #[test]
+    fn conv1x1_equals_linear_per_pixel() {
+        // A 1×1 conv is a per-pixel linear map — cross-check the two paths.
+        let mut conv = Conv2d::new(3, 2, 1, 1, 0, 21);
+        let x = Tensor::from_fn(&[1, 3, 2, 2], |i| i as f32 * 0.1);
+        let y = conv.forward(&x, false);
+        let wm = conv.weight_matrix(); // [3, 2]
+        for py in 0..2 {
+            for px in 0..2 {
+                for co in 0..2 {
+                    let mut expect = conv.bias.value.as_slice()[co];
+                    for ci in 0..3 {
+                        expect += x.at(&[0, ci, py, px]) * wm[(ci, co)];
+                    }
+                    assert!((y.at(&[0, co, py, px]) - expect).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input channel mismatch")]
+    fn rejects_wrong_channel_count() {
+        let mut conv = Conv2d::new(3, 2, 3, 1, 1, 0);
+        let _ = conv.forward(&Tensor::ones(&[1, 4, 4, 4]), false);
+    }
+}

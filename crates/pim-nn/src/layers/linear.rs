@@ -1,0 +1,312 @@
+//! Fully-connected layer.
+//!
+//! The weight is stored **reduction-first** — shape `[in_features,
+//! out_features]` — matching the `pim-sparse` / PE array convention where
+//! inputs stream across array rows and each array column owns one output
+//! neuron. That makes exporting a layer to a PE a zero-transpose operation.
+
+use super::{Layer, Param};
+use crate::init::kaiming_uniform;
+use crate::tensor::Tensor;
+use pim_sparse::Matrix;
+
+/// `y = x·W + b` with `W: [in, out]`, `x: [batch, in]`.
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::layers::{Layer, Linear};
+/// use pim_nn::tensor::Tensor;
+///
+/// let mut fc = Linear::new(3, 2, 0);
+/// let y = fc.forward(&Tensor::ones(&[5, 3]), false);
+/// assert_eq!(y.shape(), &[5, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "degenerate layer");
+        Self {
+            weight: Param::new(kaiming_uniform(
+                &[in_features, out_features],
+                in_features,
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// The bias vector, one entry per output neuron.
+    pub fn bias_values(&self) -> &[f32] {
+        self.bias.value.as_slice()
+    }
+
+    /// Exports the weight as a reduction-first matrix `[in, out]` for the
+    /// sparse/PIM stack.
+    pub fn weight_matrix(&self) -> Matrix<f32> {
+        Matrix::from_vec(
+            self.in_features,
+            self.out_features,
+            self.weight.value.as_slice().to_vec(),
+        )
+        .expect("weight buffer always matches its declared shape")
+    }
+
+    /// Overwrites the weight from a reduction-first matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is not `[in, out]`.
+    pub fn set_weight_matrix(&mut self, w: &Matrix<f32>) {
+        assert_eq!(
+            w.shape(),
+            (self.in_features, self.out_features),
+            "weight matrix shape mismatch"
+        );
+        self.weight.value.as_mut_slice().copy_from_slice(w.as_slice());
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 2, "linear expects [batch, in] input");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "input width {} does not match layer in_features {}",
+            input.shape()[1],
+            self.in_features
+        );
+        let batch = input.shape()[0];
+        let (fin, fout) = (self.in_features, self.out_features);
+        let w = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let x = input.as_slice();
+        let mut y = Tensor::zeros(&[batch, fout]);
+        let out = y.as_mut_slice();
+        for n in 0..batch {
+            let xrow = &x[n * fin..(n + 1) * fin];
+            let yrow = &mut out[n * fout..(n + 1) * fout];
+            yrow.copy_from_slice(b);
+            for (i, &xi) in xrow.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let wrow = &w[i * fout..(i + 1) * fout];
+                for (o, &wv) in wrow.iter().enumerate() {
+                    yrow[o] += xi * wv;
+                }
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward(train = true)");
+        let batch = input.shape()[0];
+        assert_eq!(grad_output.shape(), &[batch, self.out_features]);
+        let (fin, fout) = (self.in_features, self.out_features);
+        let x = input.as_slice();
+        let go = grad_output.as_slice();
+        let w = self.weight.value.as_slice();
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+        let mut gx = Tensor::zeros(&[batch, fin]);
+        let gxs = gx.as_mut_slice();
+        for n in 0..batch {
+            let xrow = &x[n * fin..(n + 1) * fin];
+            let gorow = &go[n * fout..(n + 1) * fout];
+            // Gradient: g[i][o] += a[i] · e[o]  (paper eq. 2).
+            for (i, &xi) in xrow.iter().enumerate() {
+                if xi != 0.0 {
+                    let gwrow = &mut gw[i * fout..(i + 1) * fout];
+                    for (o, &g) in gorow.iter().enumerate() {
+                        gwrow[o] += xi * g;
+                    }
+                }
+            }
+            for (o, &g) in gorow.iter().enumerate() {
+                gb[o] += g;
+            }
+            // Error propagation: e_in = W · e_out  (paper eq. 1, Wᵀ in the
+            // output-major convention).
+            let gxrow = &mut gxs[n * fin..(n + 1) * fin];
+            for (i, gxi) in gxrow.iter_mut().enumerate() {
+                let wrow = &w[i * fout..(i + 1) * fout];
+                *gxi = wrow
+                    .iter()
+                    .zip(gorow)
+                    .map(|(&wv, &g)| wv * g)
+                    .sum();
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_answer() {
+        let mut fc = Linear::new(2, 2, 0);
+        // W = [[1, 2], [3, 4]] (in-major), b = [10, 20].
+        fc.weight.value = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        fc.bias.value = Tensor::from_vec(vec![2], vec![10., 20.]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1., 1.]).unwrap();
+        let y = fc.forward(&x, false);
+        assert_eq!(y.as_slice(), &[14., 26.]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut fc = Linear::new(3, 2, 7);
+        let x = Tensor::from_vec(vec![2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]).unwrap();
+        let upstream = Tensor::from_vec(vec![2, 2], vec![1.0, -0.5, 0.25, 2.0]).unwrap();
+
+        fc.forward(&x, true);
+        let gx = fc.backward(&upstream);
+
+        // Scalar objective L = Σ upstream ⊙ y; check dL/dx numerically.
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let yp = fc.forward(&xp, false);
+            let ym = fc.forward(&xm, false);
+            let lp: f32 = yp.as_slice().iter().zip(upstream.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = ym.as_slice().iter().zip(upstream.as_slice()).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} analytic {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut fc = Linear::new(2, 2, 3);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.5, -0.5]).unwrap();
+        let upstream = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
+        fc.forward(&x, true);
+        fc.backward(&upstream);
+        let analytic = fc.weight.grad.clone();
+
+        let eps = 1e-3;
+        for idx in 0..fc.weight.value.len() {
+            let orig = fc.weight.value.as_slice()[idx];
+            fc.weight.value.as_mut_slice()[idx] = orig + eps;
+            let lp: f32 = fc.forward(&x, false).sum();
+            fc.weight.value.as_mut_slice()[idx] = orig - eps;
+            let lm: f32 = fc.forward(&x, false).sum();
+            fc.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut fc = Linear::new(2, 2, 1);
+        let x = Tensor::ones(&[3, 2]);
+        fc.forward(&x, true);
+        fc.backward(&Tensor::ones(&[3, 2]));
+        assert_eq!(fc.bias.grad.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn weight_matrix_round_trip() {
+        let mut fc = Linear::new(3, 2, 5);
+        let m = fc.weight_matrix();
+        assert_eq!(m.shape(), (3, 2));
+        let doubled = m.map(|v| v * 2.0);
+        fc.set_weight_matrix(&doubled);
+        assert_eq!(fc.weight_matrix(), doubled);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut fc = Linear::new(2, 2, 0);
+        let _ = fc.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn forward_rejects_wrong_width() {
+        let mut fc = Linear::new(3, 2, 0);
+        let _ = fc.forward(&Tensor::ones(&[1, 5]), false);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut fc = Linear::new(2, 1, 0);
+        let x = Tensor::ones(&[1, 2]);
+        fc.forward(&x, true);
+        fc.backward(&Tensor::ones(&[1, 1]));
+        let g1 = fc.bias.grad.as_slice()[0];
+        fc.forward(&x, true);
+        fc.backward(&Tensor::ones(&[1, 1]));
+        assert_eq!(fc.bias.grad.as_slice()[0], 2.0 * g1);
+    }
+}

@@ -1,0 +1,379 @@
+//! INT8 post-training quantization.
+//!
+//! The hardware is a fully-digital INT8 bit-serial design, so the paper
+//! evaluates models after symmetric per-tensor **PTQ** ("We only performed
+//! INT8 Post-Training Quantization", §5.1). This module provides:
+//!
+//! * [`QuantParams`] — a symmetric scale calibrated from data,
+//! * [`quantize`] / [`dequantize`] / [`fake_quant`] — the standard
+//!   simulated-quantization path used for accuracy evaluation, and
+//! * [`quantize_matrix`] + [`quantized_matvec`] — the *bit-true* integer
+//!   path (`i8 × i8 → i32`) that matches the PE arithmetic exactly, used to
+//!   cross-validate the cycle simulators against the NN stack.
+
+use crate::tensor::Tensor;
+use pim_sparse::gemm::dense_matvec;
+use pim_sparse::Matrix;
+use std::fmt;
+
+/// Symmetric INT8 quantization parameters: `q = round(v / scale)` clamped
+/// to `[-127, 127]` (the −128 code is unused, keeping the range symmetric
+/// as PIM MAC arrays prefer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Creates parameters from an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_scale(scale: f32) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive, got {scale}"
+        );
+        Self { scale }
+    }
+
+    /// Calibrates from data: `scale = max|v| / 127` (with a floor so an
+    /// all-zero tensor still quantizes losslessly).
+    pub fn calibrate(values: &[f32]) -> Self {
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        Self {
+            scale: (max_abs / 127.0).max(1e-12),
+        }
+    }
+
+    /// Calibrates from a tensor.
+    pub fn calibrate_tensor(t: &Tensor) -> Self {
+        Self::calibrate(t.as_slice())
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value.
+    #[inline]
+    pub fn quantize_value(&self, v: f32) -> i8 {
+        (v / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one code.
+    #[inline]
+    pub fn dequantize_value(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+impl fmt::Display for QuantParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "int8 scale {:.6e}", self.scale)
+    }
+}
+
+/// Quantizes a slice to INT8 codes.
+pub fn quantize(values: &[f32], params: QuantParams) -> Vec<i8> {
+    values.iter().map(|&v| params.quantize_value(v)).collect()
+}
+
+/// Dequantizes INT8 codes back to floats.
+pub fn dequantize(codes: &[i8], params: QuantParams) -> Vec<f32> {
+    codes.iter().map(|&q| params.dequantize_value(q)).collect()
+}
+
+/// Simulated quantization: quantize-then-dequantize a tensor in place of
+/// the real value (the standard PTQ accuracy-evaluation trick).
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::quant::{fake_quant, QuantParams};
+/// use pim_nn::tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![3], vec![0.0, 0.5, 1.0])?;
+/// let p = QuantParams::calibrate_tensor(&t);
+/// let fq = fake_quant(&t, p);
+/// // Max-abs value round-trips exactly.
+/// assert!((fq.as_slice()[2] - 1.0).abs() < 1e-6);
+/// # Ok::<(), pim_nn::tensor::TensorError>(())
+/// ```
+pub fn fake_quant(t: &Tensor, params: QuantParams) -> Tensor {
+    t.map(|v| params.dequantize_value(params.quantize_value(v)))
+}
+
+/// Calibrates on the tensor itself and fake-quantizes it.
+pub fn fake_quant_auto(t: &Tensor) -> Tensor {
+    fake_quant(t, QuantParams::calibrate_tensor(t))
+}
+
+/// Quantizes an `f32` matrix to INT8 with a per-matrix calibrated scale.
+pub fn quantize_matrix(m: &Matrix<f32>) -> (Matrix<i8>, QuantParams) {
+    let params = QuantParams::calibrate(m.as_slice());
+    (m.map(|v| params.quantize_value(v)), params)
+}
+
+/// Per-output-channel symmetric INT8 scales: one scale per weight-matrix
+/// column, which preserves small-magnitude channels that a single
+/// per-tensor scale would crush. The hardware cost is one extra
+/// per-column multiplier in the dequantization stage — the shift
+/// accumulator the PE already has.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelQuantParams {
+    scales: Vec<f32>,
+}
+
+impl ChannelQuantParams {
+    /// Calibrates one scale per column of a reduction-first matrix.
+    pub fn calibrate(w: &Matrix<f32>) -> Self {
+        let scales = (0..w.cols())
+            .map(|c| {
+                let max_abs = (0..w.rows())
+                    .map(|r| w[(r, c)].abs())
+                    .fold(0.0f32, f32::max);
+                (max_abs / 127.0).max(1e-12)
+            })
+            .collect();
+        Self { scales }
+    }
+
+    /// The per-column scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+}
+
+/// Quantizes a matrix with per-output-channel scales.
+pub fn quantize_matrix_per_channel(w: &Matrix<f32>) -> (Matrix<i8>, ChannelQuantParams) {
+    let params = ChannelQuantParams::calibrate(w);
+    let q = Matrix::from_fn(w.rows(), w.cols(), |r, c| {
+        (w[(r, c)] / params.scales[c]).round().clamp(-127.0, 127.0) as i8
+    });
+    (q, params)
+}
+
+/// Bit-true per-channel quantized matvec (`i8 × i8 → i32`, per-column
+/// dequantization).
+///
+/// # Errors
+///
+/// Propagates the dimension error if `x.len()` does not match the
+/// weight's reduction dimension.
+pub fn quantized_matvec_per_channel(
+    w_q: &Matrix<i8>,
+    params: &ChannelQuantParams,
+    x: &[f32],
+) -> Result<Vec<f32>, pim_sparse::gemm::DimensionError> {
+    let x_params = QuantParams::calibrate(x);
+    let x_q: Vec<i32> = x
+        .iter()
+        .map(|&v| x_params.quantize_value(v) as i32)
+        .collect();
+    let acc = dense_matvec(w_q, &x_q)?;
+    Ok(acc
+        .into_iter()
+        .zip(&params.scales)
+        .map(|(v, &s)| v as f32 * s * x_params.scale())
+        .collect())
+}
+
+/// Bit-true quantized matvec: quantizes `x`, runs the INT8×INT8→INT32
+/// reference kernel, and dequantizes with the combined scale. This is the
+/// exact arithmetic the PEs implement.
+///
+/// # Errors
+///
+/// Propagates the dimension error if `x.len()` does not match the weight's
+/// reduction dimension.
+pub fn quantized_matvec(
+    w_q: &Matrix<i8>,
+    w_params: QuantParams,
+    x: &[f32],
+) -> Result<Vec<f32>, pim_sparse::gemm::DimensionError> {
+    let x_params = QuantParams::calibrate(x);
+    let x_q: Vec<i32> = x
+        .iter()
+        .map(|&v| x_params.quantize_value(v) as i32)
+        .collect();
+    let acc = dense_matvec(w_q, &x_q)?;
+    let out_scale = w_params.scale() * x_params.scale();
+    Ok(acc.into_iter().map(|v| v as f32 * out_scale).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_covers_max_abs() {
+        let p = QuantParams::calibrate(&[0.1, -2.54, 1.0]);
+        assert!((p.scale() - 2.54 / 127.0).abs() < 1e-9);
+        assert_eq!(p.quantize_value(-2.54), -127);
+        assert_eq!(p.quantize_value(2.54), 127);
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let p = QuantParams::calibrate(&[0.0; 8]);
+        assert_eq!(p.quantize_value(0.0), 0);
+        assert_eq!(p.dequantize_value(0), 0.0);
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let p = QuantParams::with_scale(0.01);
+        assert_eq!(p.quantize_value(100.0), 127);
+        assert_eq!(p.quantize_value(-100.0), -127);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let values: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let p = QuantParams::calibrate(&values);
+        let rt = dequantize(&quantize(&values, p), p);
+        for (a, b) in values.iter().zip(&rt) {
+            assert!((a - b).abs() <= p.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let t = Tensor::from_fn(&[64], |i| (i as f32 * 0.21).cos());
+        let p = QuantParams::calibrate_tensor(&t);
+        let once = fake_quant(&t, p);
+        let twice = fake_quant(&once, p);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn quantized_matvec_tracks_float_reference() {
+        let w = Matrix::from_fn(16, 4, |r, c| ((r * 3 + c) as f32 * 0.17).sin());
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.29).cos()).collect();
+        let (w_q, w_params) = quantize_matrix(&w);
+        let quantized = quantized_matvec(&w_q, w_params, &x).unwrap();
+        let reference = pim_sparse::gemm::dense_matvec_f32(&w, &x).unwrap();
+        for (q, r) in quantized.iter().zip(&reference) {
+            // INT8 PTQ error on a 16-long reduction stays small.
+            assert!((q - r).abs() < 0.1, "quantized {q} vs float {r}");
+        }
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_disparate_columns() {
+        // Column 0 has magnitudes ~100, column 1 ~0.1: a per-tensor scale
+        // crushes column 1 to ±1 code, per-channel keeps full resolution.
+        let w = Matrix::from_fn(32, 2, |r, c| {
+            let base = if c == 0 { 100.0 } else { 0.1 };
+            base * ((r as f32 * 0.37).sin())
+        });
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.21).cos()).collect();
+        let reference = pim_sparse::gemm::dense_matvec_f32(&w, &x).unwrap();
+
+        let (wq_t, p_t) = quantize_matrix(&w);
+        let per_tensor = quantized_matvec(&wq_t, p_t, &x).unwrap();
+        let (wq_c, p_c) = quantize_matrix_per_channel(&w);
+        let per_channel = quantized_matvec_per_channel(&wq_c, &p_c, &x).unwrap();
+
+        let err = |got: &[f32]| -> f32 {
+            got.iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b).abs() / b.abs().max(1e-6))
+                .fold(0.0, f32::max)
+        };
+        let e_tensor = err(&per_tensor);
+        let e_channel = err(&per_channel);
+        assert!(
+            e_channel < 0.5 * e_tensor,
+            "per-channel {e_channel} vs per-tensor {e_tensor}"
+        );
+    }
+
+    #[test]
+    fn per_channel_scales_cover_each_column_max() {
+        let w = Matrix::from_fn(8, 3, |r, c| (c as f32 + 1.0) * (r as f32 - 4.0));
+        let (wq, params) = quantize_matrix_per_channel(&w);
+        for c in 0..3 {
+            let max_code = (0..8).map(|r| wq[(r, c)].unsigned_abs()).max().unwrap();
+            assert!(max_code >= 120, "column {c} underuses the code range");
+            assert!(params.scales()[c] > 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_range_never_emits_minus_128() {
+        let p = QuantParams::with_scale(0.001);
+        for v in [-1000.0, -0.1281, f32::MIN] {
+            assert!(p.quantize_value(v) >= -127);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn with_scale_rejects_zero() {
+        let _ = QuantParams::with_scale(0.0);
+    }
+
+    #[test]
+    fn display_shows_scale() {
+        assert!(QuantParams::with_scale(0.5).to_string().contains("scale"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantization_error_is_bounded_by_half_scale(
+            values in proptest::collection::vec(-1000.0f32..1000.0, 1..256),
+        ) {
+            let p = QuantParams::calibrate(&values);
+            for &v in &values {
+                let rt = p.dequantize_value(p.quantize_value(v));
+                // Half-step bound with f32 headroom: values landing exactly
+                // between codes can round either way under f32 division.
+                let bound = 0.5 * p.scale() * (1.0 + 1e-3) + 1e-5;
+                prop_assert!((v - rt).abs() <= bound,
+                             "v {} rt {} scale {}", v, rt, p.scale());
+            }
+        }
+
+        #[test]
+        fn fake_quant_is_idempotent_for_any_data(
+            values in proptest::collection::vec(-50.0f32..50.0, 1..128),
+        ) {
+            let t = Tensor::from_vec(vec![values.len()], values).expect("sized");
+            let p = QuantParams::calibrate_tensor(&t);
+            let once = fake_quant(&t, p);
+            prop_assert_eq!(fake_quant(&once, p), once);
+        }
+
+        #[test]
+        fn per_channel_error_bound_is_per_column(
+            data in proptest::collection::vec(-10.0f32..10.0, 64),
+            gains in proptest::collection::vec(0.01f32..100.0, 4),
+        ) {
+            // Per-channel scales never exceed the per-tensor scale, and
+            // each column reconstructs within half its own (smaller)
+            // quantization step.
+            let w = Matrix::from_fn(16, 4, |r, c| data[r * 4 + c] * gains[c]);
+            let (_, p_t) = quantize_matrix(&w);
+            let (wq_c, p_c) = quantize_matrix_per_channel(&w);
+            for c in 0..4 {
+                let scale_c = p_c.scales()[c];
+                prop_assert!(scale_c <= p_t.scale() + 1e-9);
+                for r in 0..16 {
+                    let err = (wq_c[(r, c)] as f32 * scale_c - w[(r, c)]).abs();
+                    prop_assert!(err <= 0.5 * scale_c + 1e-4,
+                                 "({}, {}): err {} scale {}", r, c, err, scale_c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! N:M-sparse variants of the trainable layers.
+//!
+//! The paper's flow (§5.1): a one-epoch saliency pass picks the most
+//! important `N` weights of every aligned `M`-group, then fine-tuning
+//! learns the surviving weights while the pruned positions stay exactly
+//! zero. [`SparseLinear`] and [`SparseConv2d`] wrap the dense layers and
+//! enforce both halves of that contract:
+//!
+//! * applying a pattern zeroes the pruned weights immediately, and
+//! * every backward pass zeroes the gradients of pruned positions, so no
+//!   optimizer step can resurrect them.
+//!
+//! Masks live on the **reduction-first matrix view** (`[in, out]` /
+//! `[cin·k·k, cout]`) so the same mask object later drives the CSC
+//! compression when the layer is mapped onto a PE.
+
+use crate::layers::{Conv2d, Layer, Linear, Param};
+use crate::tensor::Tensor;
+use pim_sparse::prune::{prune_magnitude, prune_saliency};
+use pim_sparse::{Matrix, NmMask, NmPattern};
+
+/// A [`Linear`] layer with an optional N:M mask on its weight.
+///
+/// # Example
+///
+/// ```
+/// use pim_nn::sparse::SparseLinear;
+/// use pim_nn::layers::Layer;
+/// use pim_nn::tensor::Tensor;
+/// use pim_sparse::NmPattern;
+///
+/// let mut fc = SparseLinear::new(8, 4, 3);
+/// fc.apply_pattern(NmPattern::new(1, 4)?);
+/// // At most 1 of every 4 weights per group survives.
+/// assert!(fc.density() <= 0.25 + 1e-6);
+/// let y = fc.forward(&Tensor::ones(&[2, 8]), true);
+/// assert_eq!(y.shape(), &[2, 4]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLinear {
+    inner: Linear,
+    mask: Option<NmMask>,
+}
+
+impl SparseLinear {
+    /// Creates an (initially dense) sparse-capable layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Self {
+            inner: Linear::new(in_features, out_features, seed),
+            mask: None,
+        }
+    }
+
+    /// The wrapped dense layer.
+    pub fn inner(&self) -> &Linear {
+        &self.inner
+    }
+
+    /// The active mask, if a pattern has been applied.
+    pub fn mask(&self) -> Option<&NmMask> {
+        self.mask.as_ref()
+    }
+
+    /// Prunes by weight magnitude to `pattern` and zeroes pruned weights.
+    pub fn apply_pattern(&mut self, pattern: NmPattern) {
+        let w = self.inner.weight_matrix();
+        let mask = prune_magnitude(&w, pattern).expect("non-empty weight");
+        self.install_mask(mask);
+    }
+
+    /// Prunes by first-order saliency `|w·g|` using the layer's currently
+    /// accumulated gradient (the paper's one-epoch calibration pass), then
+    /// zeroes pruned weights.
+    pub fn apply_saliency_pattern(&mut self, pattern: NmPattern) {
+        let w = self.inner.weight_matrix();
+        let g = Matrix::from_vec(
+            w.rows(),
+            w.cols(),
+            self.inner.weight().grad.as_slice().to_vec(),
+        )
+        .expect("grad matches weight shape");
+        let mask = prune_saliency(&w, &g, pattern).expect("shapes match");
+        self.install_mask(mask);
+    }
+
+    fn install_mask(&mut self, mask: NmMask) {
+        let w = self.inner.weight_matrix();
+        let masked = mask.apply(&w).expect("mask built from this weight");
+        self.inner.set_weight_matrix(&masked);
+        self.mask = Some(mask);
+    }
+
+    /// Fraction of weights currently allowed to be non-zero (1.0 if dense).
+    pub fn density(&self) -> f64 {
+        self.mask.as_ref().map_or(1.0, |m| m.density())
+    }
+
+    /// Number of trainable (kept) weights plus biases.
+    pub fn learnable_weights(&self) -> usize {
+        let bias = self.inner.out_features();
+        match &self.mask {
+            Some(m) => m.kept() + bias,
+            None => self.inner.in_features() * self.inner.out_features() + bias,
+        }
+    }
+}
+
+impl Layer for SparseLinear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.inner.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let gx = self.inner.backward(grad_output);
+        if let Some(mask) = &self.mask {
+            let (fin, fout) = mask.shape();
+            let gw = self.inner.weight_mut().grad.as_mut_slice();
+            for i in 0..fin {
+                for o in 0..fout {
+                    if !mask.is_kept(i, o) {
+                        gw[i * fout + o] = 0.0;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params(f);
+    }
+}
+
+/// A [`Conv2d`] layer with an optional N:M mask on its reduction-first
+/// weight view.
+#[derive(Debug, Clone)]
+pub struct SparseConv2d {
+    inner: Conv2d,
+    mask: Option<NmMask>,
+}
+
+impl SparseConv2d {
+    /// Creates an (initially dense) sparse-capable convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            inner: Conv2d::new(in_channels, out_channels, kernel, stride, padding, seed),
+            mask: None,
+        }
+    }
+
+    /// The wrapped dense layer.
+    pub fn inner(&self) -> &Conv2d {
+        &self.inner
+    }
+
+    /// The active mask, if a pattern has been applied.
+    pub fn mask(&self) -> Option<&NmMask> {
+        self.mask.as_ref()
+    }
+
+    /// Prunes by weight magnitude to `pattern` and zeroes pruned weights.
+    pub fn apply_pattern(&mut self, pattern: NmPattern) {
+        let w = self.inner.weight_matrix();
+        let mask = prune_magnitude(&w, pattern).expect("non-empty weight");
+        self.install_mask(mask);
+    }
+
+    /// Prunes by first-order saliency `|w·g|` using the accumulated
+    /// gradient, then zeroes pruned weights.
+    pub fn apply_saliency_pattern(&mut self, pattern: NmPattern) {
+        let w = self.inner.weight_matrix();
+        // Gradient tensor is [cout, red]; view it reduction-first like w.
+        let red = self.inner.reduction_len();
+        let cout = self.inner.out_channels();
+        let g = self.inner.weight().grad.as_slice();
+        let gm = Matrix::from_fn(red, cout, |r, c| g[c * red + r]);
+        let mask = prune_saliency(&w, &gm, pattern).expect("shapes match");
+        self.install_mask(mask);
+    }
+
+    fn install_mask(&mut self, mask: NmMask) {
+        let w = self.inner.weight_matrix();
+        let masked = mask.apply(&w).expect("mask built from this weight");
+        self.inner.set_weight_matrix(&masked);
+        self.mask = Some(mask);
+    }
+
+    /// Fraction of weights currently allowed to be non-zero (1.0 if dense).
+    pub fn density(&self) -> f64 {
+        self.mask.as_ref().map_or(1.0, |m| m.density())
+    }
+
+    /// Number of trainable (kept) weights plus biases.
+    pub fn learnable_weights(&self) -> usize {
+        let bias = self.inner.out_channels();
+        match &self.mask {
+            Some(m) => m.kept() + bias,
+            None => self.inner.reduction_len() * self.inner.out_channels() + bias,
+        }
+    }
+}
+
+impl Layer for SparseConv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.inner.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let gx = self.inner.backward(grad_output);
+        if let Some(mask) = &self.mask {
+            let (red, cout) = mask.shape();
+            let gw = self.inner.weight_mut().grad.as_mut_slice();
+            // Weight tensor layout is [cout, red].
+            for r in 0..red {
+                for c in 0..cout {
+                    if !mask.is_kept(r, c) {
+                        gw[c * red + r] = 0.0;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.inner.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Sgd;
+
+    #[test]
+    fn pattern_zeroes_pruned_weights_immediately() {
+        let mut fc = SparseLinear::new(8, 4, 1);
+        fc.apply_pattern(NmPattern::one_of_four());
+        let w = fc.inner().weight_matrix();
+        let mask = fc.mask().unwrap().clone();
+        for ((r, c), v) in w.indexed_iter() {
+            if !mask.is_kept(r, c) {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_positions_stay_zero_through_training() {
+        let mut fc = SparseLinear::new(8, 4, 2);
+        fc.apply_pattern(NmPattern::one_of_four());
+        let mask = fc.mask().unwrap().clone();
+        let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+        for step in 0..5 {
+            let x = Tensor::from_fn(&[3, 8], |i| ((i + step) % 7) as f32 - 3.0);
+            fc.zero_grad();
+            fc.forward(&x, true);
+            fc.backward(&Tensor::ones(&[3, 4]));
+            sgd.step(&mut fc);
+        }
+        let w = fc.inner().weight_matrix();
+        for ((r, c), v) in w.indexed_iter() {
+            if !mask.is_kept(r, c) {
+                assert_eq!(v, 0.0, "pruned weight at ({r}, {c}) was resurrected");
+            }
+        }
+        // And the kept weights did move.
+        assert!(w.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn sparse_conv_respects_mask_through_training() {
+        let mut conv = SparseConv2d::new(4, 4, 3, 1, 1, 5);
+        conv.apply_pattern(NmPattern::one_of_eight());
+        let mask = conv.mask().unwrap().clone();
+        let mut sgd = Sgd::new(0.05, 0.0, 0.0);
+        for _ in 0..3 {
+            let x = Tensor::from_fn(&[2, 4, 4, 4], |i| (i as f32 * 0.11).sin());
+            conv.zero_grad();
+            let y = conv.forward(&x, true);
+            conv.backward(&Tensor::ones(y.shape()));
+            sgd.step(&mut conv);
+        }
+        let w = conv.inner().weight_matrix();
+        for ((r, c), v) in w.indexed_iter() {
+            if !mask.is_kept(r, c) {
+                assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn density_reflects_pattern() {
+        let mut fc = SparseLinear::new(16, 4, 7);
+        assert_eq!(fc.density(), 1.0);
+        fc.apply_pattern(NmPattern::one_of_eight());
+        assert!(fc.density() <= 0.125 + 1e-9);
+    }
+
+    #[test]
+    fn learnable_weights_counts_kept_plus_bias() {
+        let mut fc = SparseLinear::new(16, 4, 7);
+        assert_eq!(fc.learnable_weights(), 16 * 4 + 4);
+        fc.apply_pattern(NmPattern::one_of_four());
+        assert!(fc.learnable_weights() <= 16 * 4 / 4 + 4);
+    }
+
+    #[test]
+    fn saliency_pruning_uses_gradient_information() {
+        let mut fc = SparseLinear::new(4, 1, 3);
+        // Hand-craft weights and gradient so saliency disagrees with
+        // magnitude: big weight, tiny gradient vs small weight, huge grad.
+        fc.inner
+            .weight_mut()
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[10.0, 1.0, 0.5, 0.1]);
+        fc.inner
+            .weight_mut()
+            .grad
+            .as_mut_slice()
+            .copy_from_slice(&[0.001, 50.0, 0.0, 0.0]);
+        fc.apply_saliency_pattern(NmPattern::one_of_four());
+        let mask = fc.mask().unwrap();
+        assert!(mask.is_kept(1, 0));
+        assert!(!mask.is_kept(0, 0));
+    }
+
+    #[test]
+    fn conv_mask_lives_on_reduction_view() {
+        let mut conv = SparseConv2d::new(2, 3, 3, 1, 1, 9);
+        conv.apply_pattern(NmPattern::one_of_four());
+        let mask = conv.mask().unwrap();
+        assert_eq!(mask.shape(), (2 * 9, 3));
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors shared by the PE simulators.
+
+use std::fmt;
+
+/// Error returned by PE operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeError {
+    /// The compressed tile needs more slots than the array provides.
+    CapacityExceeded {
+        /// Slots the tile requires.
+        required: usize,
+        /// Slots the array provides.
+        available: usize,
+    },
+    /// The pattern's index range exceeds the hardware index field.
+    PatternUnsupported {
+        /// Bits the pattern needs.
+        needed_bits: u32,
+        /// Bits the hardware provides.
+        hardware_bits: u32,
+    },
+    /// `matvec` was called before any tile was loaded.
+    NotLoaded,
+    /// The input vector length disagrees with the loaded tile.
+    InputLength {
+        /// Length the tile requires.
+        expected: usize,
+        /// Length supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CapacityExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "tile needs {required} slots but the array holds {available}"
+            ),
+            Self::PatternUnsupported {
+                needed_bits,
+                hardware_bits,
+            } => write!(
+                f,
+                "pattern needs {needed_bits}-bit indices, hardware field is {hardware_bits} bits"
+            ),
+            Self::NotLoaded => write!(f, "no weight tile loaded"),
+            Self::InputLength { expected, actual } => {
+                write!(f, "input length {actual} does not match tile rows {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = PeError::CapacityExceeded {
+            required: 2048,
+            available: 1024,
+        };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("1024"));
+        assert!(PeError::NotLoaded.to_string().contains("no weight tile"));
+    }
+}

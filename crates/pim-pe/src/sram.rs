@@ -1,0 +1,529 @@
+//! The fully-digital bit-serial SRAM sparse PE (paper Fig. 3).
+//!
+//! Geometry: a 128×96 array per PE — each of the 128 rows holds eight
+//! 12-bit weight/index pairs (8-bit INT8 weight in 8T compute cells, 4-bit
+//! CSC index in 6T cells), organized as eight **column groups** of 128×12.
+//! Each column group owns an index generator, 128 comparators, and a
+//! 128-input 8-bit adder tree; all groups share a shift accumulator (for
+//! bit-serial input precision compensation) and a row-wise accumulator
+//! (for logical columns whose compressed slots spill across groups).
+//!
+//! ## Cycle model
+//!
+//! The three steps of §3.1 are pipelined per cycle:
+//!
+//! 1. activations are applied bit-serially on the shared input word lines
+//!    (8 bit planes for INT8);
+//! 2. per bit plane, the index generators sweep the `M` offsets of the
+//!    current N:M pattern — in phase `j` the IWLs broadcast the activations
+//!    at offset `j` of every group and the comparators enable exactly the
+//!    rows whose stored 4-bit index equals `j`;
+//! 3. matched partial products enter the adder trees, the shift
+//!    accumulator weights the plane by `2^bit` (negatively for the sign
+//!    plane), and the row-wise accumulator merges group segments of the
+//!    same logical column.
+//!
+//! One matvec over a loaded tile therefore takes `8 × M + 3` cycles
+//! (3 = pipeline fill + output drain). Because a tile covers `128·M/N`
+//! logical reduction rows per column instead of 128, the PE's logical
+//! throughput exceeds a dense array of the same geometry by `M/N` — the
+//! paper's sparse-processing speedup.
+//!
+//! ## Energy model
+//!
+//! Dynamic energy is `component power × active time` using the Table 2
+//! powers (`decoder + bit cells + index decoder` → the *read* channel,
+//! `shift acc + adder + ReLU` → the *compute* channel); array leakage is
+//! `per-bit leakage × 12,288 cells × elapsed`; weight loads pay per-cell
+//! SRAM write energy (fast and cheap — the reason learnable weights live
+//! here).
+
+use crate::error::PeError;
+use crate::stats::{LoadReport, MatvecReport, PeStats};
+use crate::SparsePe;
+use pim_device::components::SramPeComponents;
+use pim_device::sram_cell::{SramCell, SramCellKind};
+use pim_device::units::Latency;
+use pim_device::{EnergyLedger, TechnologyParams};
+use pim_sparse::csc::CscSlot;
+use pim_sparse::CscMatrix;
+
+/// Geometry and technology of an SRAM sparse PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramPeConfig {
+    /// Array rows (compressed slots per column group).
+    pub rows: usize,
+    /// Number of column groups (parallel logical-column segments).
+    pub column_groups: usize,
+    /// Weight resolution in bits.
+    pub weight_bits: u32,
+    /// Hardware index field width in bits.
+    pub index_bits: u32,
+    /// Technology point.
+    pub tech: TechnologyParams,
+    /// Component area/power library.
+    pub components: SramPeComponents,
+}
+
+impl SramPeConfig {
+    /// The paper's 128×96 PE at 28 nm.
+    pub fn dac24() -> Self {
+        Self {
+            rows: 128,
+            column_groups: 8,
+            weight_bits: 8,
+            index_bits: 4,
+            tech: TechnologyParams::tsmc28(),
+            components: SramPeComponents::dac24(),
+        }
+    }
+
+    /// Total bit-cells in the array (weight + index sections).
+    pub fn total_cells(&self) -> u64 {
+        (self.rows * self.column_groups) as u64 * (self.weight_bits + self.index_bits) as u64
+    }
+
+    /// Compressed slots the array holds.
+    pub fn capacity_slots(&self) -> usize {
+        self.rows * self.column_groups
+    }
+}
+
+impl Default for SramPeConfig {
+    fn default() -> Self {
+        Self::dac24()
+    }
+}
+
+/// One column-group segment of a logical column.
+#[derive(Debug, Clone)]
+struct Segment {
+    logical_col: usize,
+    /// Slots stored in this group, each with its logical group index so the
+    /// comparator phase can locate the activation.
+    slots: Vec<(usize, CscSlot)>, // (logical_group, slot)
+}
+
+/// The SRAM sparse PE simulator. See the module-level documentation for the
+/// cycle and energy models.
+pub struct SramSparsePe {
+    config: SramPeConfig,
+    segments: Vec<Segment>,
+    tile: Option<TileInfo>,
+    stats: PeStats,
+}
+
+#[derive(Debug, Clone)]
+struct TileInfo {
+    rows: usize,
+    cols: usize,
+    m: usize,
+    occupied_slots: u64,
+}
+
+impl SramSparsePe {
+    /// Creates a PE with the paper's default configuration.
+    pub fn new() -> Self {
+        Self::with_config(SramPeConfig::dac24())
+    }
+
+    /// Creates a PE with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero rows or groups).
+    pub fn with_config(config: SramPeConfig) -> Self {
+        assert!(
+            config.rows > 0 && config.column_groups > 0,
+            "degenerate PE geometry"
+        );
+        Self {
+            config,
+            segments: Vec::new(),
+            tile: None,
+            stats: PeStats::new(),
+        }
+    }
+
+    /// The PE configuration.
+    pub fn config(&self) -> &SramPeConfig {
+        &self.config
+    }
+
+    /// Number of column groups currently occupied.
+    pub fn groups_used(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn cell(&self, kind: SramCellKind) -> SramCell {
+        SramCell::new(kind, &self.config.tech)
+    }
+
+    fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
+        let mut e = EnergyLedger::new();
+        // Weight cells (8T) and index cells (6T) leak at different rates.
+        let wcells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.weight_bits as u64;
+        let icells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.index_bits as u64;
+        e.add_leakage(self.cell(SramCellKind::Compute8T).leakage_energy(wcells, elapsed));
+        e.add_leakage(self.cell(SramCellKind::Index6T).leakage_energy(icells, elapsed));
+        e
+    }
+}
+
+impl Default for SramSparsePe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparsePe for SramSparsePe {
+    fn load(&mut self, weights: &CscMatrix) -> Result<LoadReport, PeError> {
+        let pattern = weights.pattern();
+        if pattern.index_bits() > self.config.index_bits {
+            return Err(PeError::PatternUnsupported {
+                needed_bits: pattern.index_bits(),
+                hardware_bits: self.config.index_bits,
+            });
+        }
+        // Each logical column occupies ceil(slots / rows) groups.
+        let slots_per_col = weights.slots_per_col();
+        let groups_per_col = slots_per_col.div_ceil(self.config.rows).max(1);
+        let groups_needed = groups_per_col * weights.cols();
+        if groups_needed > self.config.column_groups {
+            return Err(PeError::CapacityExceeded {
+                required: groups_needed * self.config.rows,
+                available: self.config.capacity_slots(),
+            });
+        }
+
+        let n = pattern.n();
+        let mut segments = Vec::with_capacity(groups_needed);
+        let mut occupied = 0u64;
+        for c in 0..weights.cols() {
+            let col_slots = weights.column_slots(c);
+            for (chunk_idx, chunk) in col_slots.chunks(self.config.rows).enumerate() {
+                let base_slot = chunk_idx * self.config.rows;
+                let slots: Vec<(usize, CscSlot)> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| ((base_slot + i) / n, s))
+                    .collect();
+                occupied += slots.iter().filter(|(_, s)| s.occupied).count() as u64;
+                segments.push(Segment {
+                    logical_col: c,
+                    slots,
+                });
+            }
+        }
+        self.segments = segments;
+        self.tile = Some(TileInfo {
+            rows: weights.rows(),
+            cols: weights.cols(),
+            m: pattern.m(),
+            occupied_slots: occupied,
+        });
+
+        // Write cost: every stored slot writes weight + index cells; the
+        // array is written one physical row (across all groups) per cycle.
+        let rows_touched = self
+            .segments
+            .iter()
+            .map(|s| s.slots.len())
+            .max()
+            .unwrap_or(0) as u64;
+        let cycles = rows_touched.max(1);
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let total_slots: u64 = self.segments.iter().map(|s| s.slots.len() as u64).sum();
+        let bits_written =
+            total_slots * (self.config.weight_bits + self.config.index_bits) as u64;
+        let mut energy = self.leakage_over(latency);
+        let w_cell = self.cell(SramCellKind::Compute8T);
+        let i_cell = self.cell(SramCellKind::Index6T);
+        energy.add_write(
+            w_cell.write_energy() * (total_slots * self.config.weight_bits as u64) as f64
+                + i_cell.write_energy() * (total_slots * self.config.index_bits as u64) as f64,
+        );
+        // Row decoder active during the write.
+        energy.add_read(self.config.components.decoder.power() * latency);
+
+        let report = LoadReport {
+            cycles,
+            latency,
+            energy,
+            bits_written,
+        };
+        self.stats.record_load(&report);
+        Ok(report)
+    }
+
+    fn matvec(&mut self, x: &[i8]) -> Result<MatvecReport, PeError> {
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        if x.len() != tile.rows {
+            return Err(PeError::InputLength {
+                expected: tile.rows,
+                actual: x.len(),
+            });
+        }
+
+        // --- Functional bit-serial compute (exact) ---------------------
+        // acc[col] accumulates the shift-weighted adder-tree outputs; the
+        // row-wise accumulator is the per-logical-column merge below.
+        let m = tile.m;
+        let mut acc = vec![0i64; tile.cols];
+        for bit in 0..self.config.weight_bits {
+            for segment in &self.segments {
+                let mut tree = 0i64; // one adder-tree evaluation per phase,
+                                     // summed over the M comparator phases
+                for &(group, slot) in &segment.slots {
+                    if !slot.occupied {
+                        continue;
+                    }
+                    let logical_row = group * m + slot.offset as usize;
+                    let xv = x[logical_row] as u8;
+                    if (xv >> bit) & 1 == 1 {
+                        tree += slot.value as i64;
+                    }
+                }
+                let weighted = tree << bit;
+                if bit == self.config.weight_bits - 1 {
+                    acc[segment.logical_col] -= weighted; // sign plane
+                } else {
+                    acc[segment.logical_col] += weighted;
+                }
+            }
+        }
+        let outputs: Vec<i32> = acc.into_iter().map(|v| v as i32).collect();
+
+        // --- Cycle model -----------------------------------------------
+        let cycles = self.config.weight_bits as u64 * m as u64 + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+
+        // --- Energy model ----------------------------------------------
+        let comp = &self.config.components;
+        let mut energy = self.leakage_over(latency);
+        let read_power =
+            comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
+        energy.add_read(read_power * latency);
+        let compute_power = comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power();
+        energy.add_compute(compute_power * latency);
+        // Activation traffic through the global buffer.
+        let buffer_bits = (tile.rows as u64) * self.config.weight_bits as u64;
+        energy.add_read(comp.buffer_energy_per_bit * buffer_bits as f64);
+
+        let report = MatvecReport {
+            outputs,
+            cycles,
+            latency,
+            energy,
+        };
+        self.stats.record_matvec(&report, tile.occupied_slots);
+        Ok(report)
+    }
+
+    fn stats(&self) -> &PeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PeStats::new();
+    }
+
+    fn capacity_slots(&self) -> usize {
+        self.config.capacity_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sparse::gemm::{dense_matvec, masked_dense};
+    use pim_sparse::prune::prune_magnitude;
+    use pim_sparse::{Matrix, NmPattern};
+
+    fn sparse_tile(rows: usize, cols: usize, pattern: NmPattern, seed: usize) -> CscMatrix {
+        let dense = Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 17 + seed * 7) % 251) as i32 - 125) as i8
+        });
+        let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+        CscMatrix::compress(&dense, &mask).expect("shapes match")
+    }
+
+    #[test]
+    fn matvec_is_bit_exact_vs_reference() {
+        for (pattern, seed) in [
+            (NmPattern::one_of_four(), 1),
+            (NmPattern::one_of_eight(), 2),
+            (NmPattern::two_of_four(), 3),
+            (NmPattern::new(4, 16).unwrap(), 4),
+        ] {
+            let csc = sparse_tile(64, 8, pattern, seed);
+            let mut pe = SramSparsePe::new();
+            pe.load(&csc).unwrap();
+            let x: Vec<i8> = (0..64).map(|i| ((i * 37 + seed) % 256) as u8 as i8).collect();
+            let report = pe.matvec(&x).unwrap();
+            let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+            assert_eq!(report.outputs, csc.matvec(&wide).unwrap(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn matvec_equals_masked_dense() {
+        let pattern = NmPattern::one_of_four();
+        let dense = Matrix::from_fn(32, 4, |r, c| ((r * 13 + c * 5) % 19) as i8 - 9);
+        let mask = prune_magnitude(&dense, pattern).unwrap();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let x: Vec<i8> = (0..32).map(|i| i as i8 - 16).collect();
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        assert_eq!(
+            pe.matvec(&x).unwrap().outputs,
+            dense_matvec(&masked_dense(&dense, &mask).unwrap(), &wide).unwrap()
+        );
+    }
+
+    #[test]
+    fn column_spillover_uses_row_accumulator() {
+        // 1024 logical rows at 1:8 → 128 slots per column: exactly one
+        // group. 2048 rows → 256 slots: two groups per column (spill).
+        let csc = sparse_tile(1024, 2, NmPattern::one_of_eight(), 9);
+        // 1024 rows / 8 = 128 slots per column -> 1 group each.
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        assert_eq!(pe.groups_used(), 2);
+
+        // Same density, longer reduction: columns must span 2 groups.
+        let wide = {
+            let dense = Matrix::from_fn(1536, 2, |r, c| {
+                if r % 8 == (c + 1) % 8 { ((r % 63) as i8) - 31 } else { 0 }
+            });
+            CscMatrix::compress_auto(&dense, NmPattern::one_of_eight()).unwrap()
+        };
+        let mut pe = SramSparsePe::new();
+        pe.load(&wide).unwrap();
+        assert_eq!(pe.groups_used(), 4, "two groups per spilled column");
+        let x: Vec<i8> = (0..1536).map(|i| (i % 127) as i8).collect();
+        let report = pe.matvec(&x).unwrap();
+        let wide_x: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        assert_eq!(report.outputs, wide.matvec(&wide_x).unwrap());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        // 9 columns of one group each exceeds the 8 column groups.
+        let csc = sparse_tile(64, 9, NmPattern::one_of_four(), 3);
+        let mut pe = SramSparsePe::new();
+        assert!(matches!(
+            pe.load(&csc),
+            Err(PeError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_without_load_fails() {
+        let mut pe = SramSparsePe::new();
+        assert_eq!(pe.matvec(&[0i8; 4]), Err(PeError::NotLoaded));
+    }
+
+    #[test]
+    fn input_length_is_checked() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 5);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        assert!(matches!(
+            pe.matvec(&[0i8; 10]),
+            Err(PeError::InputLength {
+                expected: 64,
+                actual: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn cycles_scale_with_pattern_group_size() {
+        let mut pe = SramSparsePe::new();
+        let c4 = sparse_tile(64, 4, NmPattern::one_of_four(), 6);
+        pe.load(&c4).unwrap();
+        let r4 = pe.matvec(&[1i8; 64]).unwrap();
+        let c8 = sparse_tile(64, 4, NmPattern::one_of_eight(), 6);
+        pe.load(&c8).unwrap();
+        let r8 = pe.matvec(&[1i8; 64]).unwrap();
+        // 8 bits × M phases: 1:8 sweeps twice the phases of 1:4 per tile —
+        // but each 1:8 tile covers twice the logical rows per slot, which
+        // the arch layer exploits. Here we check the raw per-tile model.
+        assert_eq!(r4.cycles, 8 * 4 + 3);
+        assert_eq!(r8.cycles, 8 * 8 + 3);
+    }
+
+    #[test]
+    fn energy_has_leakage_read_and_compute() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 7);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let r = pe.matvec(&[3i8; 64]).unwrap();
+        assert!(r.energy.leakage.as_pj() > 0.0);
+        assert!(r.energy.read.as_pj() > 0.0);
+        assert!(r.energy.compute.as_pj() > 0.0);
+        assert!(r.energy.write.is_zero(), "inference never writes");
+    }
+
+    #[test]
+    fn load_energy_is_write_dominated_and_cheap() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 8);
+        let mut pe = SramSparsePe::new();
+        let report = pe.load(&csc).unwrap();
+        assert!(report.energy.write.as_pj() > 0.0);
+        // SRAM weight loads are cheap relative to an MRAM write of the same
+        // bits (0.048 pJ/bit): under 10% here.
+        let mtj_equivalent = 0.048 * report.bits_written as f64;
+        assert!(report.energy.write.as_pj() < 0.1 * mtj_equivalent);
+    }
+
+    #[test]
+    fn stats_accumulate_across_operations() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 2);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        pe.matvec(&[1i8; 64]).unwrap();
+        pe.matvec(&[2i8; 64]).unwrap();
+        assert_eq!(pe.stats().loads, 1);
+        assert_eq!(pe.stats().matvecs, 2);
+        assert!(pe.stats().macs > 0);
+        pe.reset_stats();
+        assert_eq!(pe.stats().matvecs, 0);
+    }
+
+    #[test]
+    fn rejects_pattern_wider_than_index_field() {
+        let mut cfg = SramPeConfig::dac24();
+        cfg.index_bits = 2;
+        let mut pe = SramSparsePe::with_config(cfg);
+        let csc = sparse_tile(64, 4, NmPattern::one_of_eight(), 2);
+        assert_eq!(
+            pe.load(&csc),
+            Err(PeError::PatternUnsupported {
+                needed_bits: 3,
+                hardware_bits: 2
+            })
+        );
+    }
+
+    #[test]
+    fn int8_extreme_inputs_are_exact() {
+        let csc = sparse_tile(32, 4, NmPattern::two_of_four(), 11);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let x: Vec<i8> = (0..32)
+            .map(|i| match i % 4 {
+                0 => i8::MIN,
+                1 => i8::MAX,
+                2 => -1,
+                _ => 0,
+            })
+            .collect();
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        assert_eq!(pe.matvec(&x).unwrap().outputs, csc.matvec(&wide).unwrap());
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-operation reports and cumulative PE statistics.
+
+use pim_device::{Energy, EnergyLedger, Latency};
+use std::fmt;
+
+/// Result of loading a weight tile into a PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Clock cycles spent writing.
+    pub cycles: u64,
+    /// Wall-clock time of the load (write pulses can exceed a clock cycle
+    /// on MRAM).
+    pub latency: Latency,
+    /// Energy split of the load (dominated by the `write` channel).
+    pub energy: EnergyLedger,
+    /// Device bits actually toggled (differential write).
+    pub bits_written: u64,
+}
+
+/// Result of one matvec on a PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatvecReport {
+    /// Exact INT32 accumulator outputs, one per logical column.
+    pub outputs: Vec<i32>,
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Wall-clock time.
+    pub latency: Latency,
+    /// Energy split of the operation.
+    pub energy: EnergyLedger,
+}
+
+/// Cumulative counters over a PE's lifetime (or since the last reset).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeStats {
+    /// Total clock cycles across all operations.
+    pub cycles: u64,
+    /// Total elapsed time.
+    pub busy_time: Latency,
+    /// Total energy, split by channel.
+    pub energy: EnergyLedger,
+    /// Number of weight-tile loads.
+    pub loads: u64,
+    /// Number of matvec operations.
+    pub matvecs: u64,
+    /// Total MAC operations performed (occupied slots × matvecs).
+    pub macs: u64,
+}
+
+impl PeStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a load report into the counters.
+    pub fn record_load(&mut self, report: &LoadReport) {
+        self.cycles += report.cycles;
+        self.busy_time += report.latency;
+        self.energy += report.energy;
+        self.loads += 1;
+    }
+
+    /// Folds a matvec report into the counters.
+    pub fn record_matvec(&mut self, report: &MatvecReport, macs: u64) {
+        self.cycles += report.cycles;
+        self.busy_time += report.latency;
+        self.energy += report.energy;
+        self.matvecs += 1;
+        self.macs += macs;
+    }
+
+    /// Total energy consumed.
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// MACs per nanosecond (0 when idle) — a throughput figure of merit.
+    pub fn macs_per_ns(&self) -> f64 {
+        let t = self.busy_time.as_ns();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.macs as f64 / t
+        }
+    }
+}
+
+impl fmt::Display for PeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} busy, {} loads, {} matvecs, {} MACs, energy {}",
+            self.cycles, self.busy_time, self.loads, self.matvecs, self.macs, self.energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_device::Energy;
+
+    fn load_report() -> LoadReport {
+        let mut energy = EnergyLedger::new();
+        energy.add_write(Energy::from_pj(100.0));
+        LoadReport {
+            cycles: 10,
+            latency: Latency::from_ns(10.0),
+            energy,
+            bits_written: 512,
+        }
+    }
+
+    fn matvec_report() -> MatvecReport {
+        let mut energy = EnergyLedger::new();
+        energy.add_read(Energy::from_pj(5.0));
+        energy.add_compute(Energy::from_pj(3.0));
+        MatvecReport {
+            outputs: vec![1, 2],
+            cycles: 8,
+            latency: Latency::from_ns(8.0),
+            energy,
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_loads_and_matvecs() {
+        let mut stats = PeStats::new();
+        stats.record_load(&load_report());
+        stats.record_matvec(&matvec_report(), 64);
+        stats.record_matvec(&matvec_report(), 64);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.matvecs, 2);
+        assert_eq!(stats.cycles, 10 + 16);
+        assert_eq!(stats.macs, 128);
+        assert!((stats.total_energy().as_pj() - 116.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_macs_over_time() {
+        let mut stats = PeStats::new();
+        assert_eq!(stats.macs_per_ns(), 0.0);
+        stats.record_matvec(&matvec_report(), 80);
+        assert!((stats.macs_per_ns() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_covers_counters() {
+        let mut stats = PeStats::new();
+        stats.record_load(&load_report());
+        let s = stats.to_string();
+        assert!(s.contains("loads"));
+        assert!(s.contains("MACs"));
+    }
+}

@@ -1,0 +1,343 @@
+//! The transposed SRAM PE buffer used during backpropagation (Fig. 6-2).
+//!
+//! Error propagation needs `e^{l−1} = (W^l)ᵀ · e^l` (paper eq. 1), but the
+//! forward PEs store `W` column-compressed — the transpose of an N:M matrix
+//! is *not* N:M along its new reduction dimension. The paper's answer is a
+//! pool of **transposed SRAM PE buffers**: each training step, the current
+//! layer's weights are transposed and *written* into such a buffer, which
+//! then performs the in-memory matvec as usual.
+//!
+//! The buffer reuses the SRAM PE fabric but with free-form column
+//! compression: a column's surviving entries are stored in ascending
+//! reduction order, the 4-bit index field holds the offset within a sliding
+//! 16-wide window, and the index generator advances the window when the
+//! stored offsets wrap — so a matvec sweeps `8 bits × windows` cycles where
+//! `windows` is the deepest window count over all stored columns. Columns
+//! whose entries exceed one column group spill into neighbours and are
+//! merged by the row-wise accumulator, exactly as in the forward PE.
+//!
+//! The recurring **write cost** of refreshing this buffer every step is the
+//! honest price of training support, and it is why the buffers are SRAM:
+//! the same refresh in MRAM would pay 0.048 pJ and 10 ns per toggled bit.
+
+use crate::error::PeError;
+use crate::sram::SramPeConfig;
+use crate::stats::{LoadReport, MatvecReport, PeStats};
+use pim_device::sram_cell::SramCellKind;
+use pim_device::units::Latency;
+use pim_device::EnergyLedger;
+use pim_sparse::Matrix;
+
+/// Window width addressed by the 4-bit index field.
+const WINDOW: usize = 16;
+
+/// A transposed-weight SRAM buffer.
+///
+/// # Example
+///
+/// ```
+/// use pim_pe::TransposedSramPe;
+/// use pim_sparse::Matrix;
+///
+/// // Forward weight W: 4 inputs × 2 outputs.
+/// let w = Matrix::from_rows(vec![
+///     vec![1i8, 0],
+///     vec![0, 2],
+///     vec![3, 0],
+///     vec![0, 0],
+/// ])?;
+/// let mut buf = TransposedSramPe::new();
+/// buf.write_transposed(&w)?;
+/// // Error propagation: e_prev = Wᵀ-stored matvec over e (len = outputs).
+/// let e_prev = buf.matvec(&[10, -1])?;
+/// assert_eq!(e_prev.outputs, vec![10, -2, 30, 0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TransposedSramPe {
+    config: SramPeConfig,
+    /// Per stored column (= original weight row): ascending
+    /// `(reduction_index, value)` entries.
+    columns: Vec<Vec<(usize, i8)>>,
+    /// Reduction length (= original output count).
+    reduction: usize,
+    stats: PeStats,
+}
+
+impl TransposedSramPe {
+    /// Creates a buffer with the paper's 128×96 geometry.
+    pub fn new() -> Self {
+        Self::with_config(SramPeConfig::dac24())
+    }
+
+    /// Creates a buffer with an explicit configuration.
+    pub fn with_config(config: SramPeConfig) -> Self {
+        Self {
+            config,
+            columns: Vec::new(),
+            reduction: 0,
+            stats: PeStats::new(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &PeStats {
+        &self.stats
+    }
+
+    /// Clears the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PeStats::new();
+    }
+
+    /// Writes the transpose of forward weight `w` (`[inputs, outputs]`)
+    /// into the buffer, replacing previous contents. Only non-zero entries
+    /// are stored (the mask's zeros compress away).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError::CapacityExceeded`] if the transposed layout does
+    /// not fit the array.
+    pub fn write_transposed(&mut self, w: &Matrix<i8>) -> Result<LoadReport, PeError> {
+        let (inputs, outputs) = w.shape();
+        // Stored matrix is Wᵀ: `inputs` columns, reduction length `outputs`.
+        let mut columns: Vec<Vec<(usize, i8)>> = vec![Vec::new(); inputs];
+        for k in 0..inputs {
+            for c in 0..outputs {
+                let v = w[(k, c)];
+                if v != 0 {
+                    columns[k].push((c, v));
+                }
+            }
+        }
+        // Capacity: total stored entries must fit the array. Columns far
+        // smaller than a group are packed several to a group and processed
+        // in time-multiplexed rounds (see `matvec`'s cycle model), so the
+        // only hard limits are total slots and the widest single column.
+        let total_entries: usize = columns.iter().map(Vec::len).sum();
+        if total_entries > self.config.capacity_slots() {
+            return Err(PeError::CapacityExceeded {
+                required: total_entries,
+                available: self.config.capacity_slots(),
+            });
+        }
+        if let Some(widest) = columns.iter().map(Vec::len).max() {
+            if widest > self.config.rows * self.config.column_groups {
+                return Err(PeError::CapacityExceeded {
+                    required: widest,
+                    available: self.config.rows * self.config.column_groups,
+                });
+            }
+        }
+
+        let total_slots: u64 = columns.iter().map(|c| c.len() as u64).sum();
+        let rows_touched = columns
+            .iter()
+            .map(|c| c.len().min(self.config.rows))
+            .max()
+            .unwrap_or(0) as u64;
+        let cycles = rows_touched.max(1);
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
+        let bits_written = total_slots * pair_bits;
+
+        let mut energy = EnergyLedger::new();
+        let w_cell =
+            pim_device::sram_cell::SramCell::new(SramCellKind::Compute8T, &self.config.tech);
+        let i_cell = pim_device::sram_cell::SramCell::new(SramCellKind::Index6T, &self.config.tech);
+        energy.add_write(
+            w_cell.write_energy() * (total_slots * self.config.weight_bits as u64) as f64
+                + i_cell.write_energy() * (total_slots * self.config.index_bits as u64) as f64,
+        );
+        energy.add_leakage(
+            self.config.tech.sram_leakage_per_bit() * self.config.total_cells() as f64 * latency,
+        );
+
+        self.columns = columns;
+        self.reduction = outputs;
+        let report = LoadReport {
+            cycles,
+            latency,
+            energy,
+            bits_written,
+        };
+        self.stats.record_load(&report);
+        Ok(report)
+    }
+
+    /// Propagates an error vector: returns `e_prev[k] = Σ_c W[k][c]·e[c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError::NotLoaded`] before any write, or
+    /// [`PeError::InputLength`] on a length mismatch.
+    pub fn matvec(&mut self, e: &[i32]) -> Result<MatvecReport, PeError> {
+        if self.columns.is_empty() {
+            return Err(PeError::NotLoaded);
+        }
+        if e.len() != self.reduction {
+            return Err(PeError::InputLength {
+                expected: self.reduction,
+                actual: e.len(),
+            });
+        }
+
+        let outputs: Vec<i32> = self
+            .columns
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|&(c, v)| v as i64 * e[c] as i64)
+                    .sum::<i64>() as i32
+            })
+            .collect();
+
+        // Cycle model: 8 bit planes × deepest window sweep, repeated for
+        // each time-multiplexed round (the 8 column groups serve at most 8
+        // stored columns — or fewer, when a column spills over groups — per
+        // round).
+        let windows = self
+            .columns
+            .iter()
+            .map(|col| {
+                let mut distinct = 0usize;
+                let mut last = usize::MAX;
+                for &(c, _) in col {
+                    let w = c / WINDOW;
+                    if w != last {
+                        distinct += 1;
+                        last = w;
+                    }
+                }
+                distinct
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let groups_demanded: usize = self
+            .columns
+            .iter()
+            .map(|col| col.len().div_ceil(self.config.rows).max(1))
+            .sum();
+        let rounds = groups_demanded.div_ceil(self.config.column_groups).max(1) as u64;
+        let cycles = rounds * self.config.weight_bits as u64 * windows as u64 + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+
+        let comp = &self.config.components;
+        let mut energy = EnergyLedger::new();
+        energy.add_leakage(
+            self.config.tech.sram_leakage_per_bit() * self.config.total_cells() as f64 * latency,
+        );
+        energy
+            .add_read((comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power()) * latency);
+        energy.add_compute(
+            (comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power()) * latency,
+        );
+
+        let macs: u64 = self.columns.iter().map(|c| c.len() as u64).sum();
+        let report = MatvecReport {
+            outputs,
+            cycles,
+            latency,
+            energy,
+        };
+        self.stats.record_matvec(&report, macs);
+        Ok(report)
+    }
+}
+
+impl Default for TransposedSramPe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sparse::gemm::dense_matvec;
+    use pim_sparse::prune::prune_magnitude;
+    use pim_sparse::NmPattern;
+
+    fn nm_sparse_weight(rows: usize, cols: usize) -> Matrix<i8> {
+        let dense = Matrix::from_fn(rows, cols, |r, c| ((r * 23 + c * 7) % 31) as i8 - 15);
+        let mask = prune_magnitude(&dense, NmPattern::one_of_four()).unwrap();
+        mask.apply(&dense).unwrap()
+    }
+
+    #[test]
+    fn error_propagation_matches_dense_transpose() {
+        let w = nm_sparse_weight(24, 6);
+        let mut buf = TransposedSramPe::new();
+        buf.write_transposed(&w).unwrap();
+        let e: Vec<i32> = (0..6).map(|i| i * 5 - 12).collect();
+        let got = buf.matvec(&e).unwrap().outputs;
+        // Reference: dense matvec on Wᵀ (rows = outputs after transpose).
+        let wt = w.transposed();
+        let expect = dense_matvec(&wt, &e).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transposed_nm_matrix_is_not_nm_but_still_fits() {
+        // 1:4 sparse W transposed has irregular columns; the buffer must
+        // accept it (that is its whole purpose).
+        let w = nm_sparse_weight(64, 8);
+        let mut buf = TransposedSramPe::new();
+        assert!(buf.write_transposed(&w).is_ok());
+    }
+
+    #[test]
+    fn rewrite_cost_is_paid_every_step() {
+        let w = nm_sparse_weight(32, 8);
+        let mut buf = TransposedSramPe::new();
+        let r1 = buf.write_transposed(&w).unwrap();
+        let r2 = buf.write_transposed(&w).unwrap();
+        assert_eq!(buf.stats().loads, 2);
+        assert!(r1.energy.write.as_pj() > 0.0);
+        assert_eq!(r1.bits_written, r2.bits_written);
+    }
+
+    #[test]
+    fn cycles_scale_with_window_depth() {
+        // Wide reduction (many output windows) sweeps more cycles.
+        let narrow = nm_sparse_weight(8, 16); // reduction 16 → ≥1 window
+        let wide = nm_sparse_weight(8, 128); // reduction 128 → up to 8 windows
+        let mut buf = TransposedSramPe::new();
+        buf.write_transposed(&narrow).unwrap();
+        let c_narrow = buf.matvec(&[1; 16]).unwrap().cycles;
+        buf.write_transposed(&wide).unwrap();
+        let c_wide = buf.matvec(&[1; 128]).unwrap().cycles;
+        assert!(c_wide > c_narrow, "{c_wide} vs {c_narrow}");
+    }
+
+    #[test]
+    fn capacity_rejects_oversized_transpose() {
+        // A dense 64×1024 weight transposes to 1024 columns: far more than
+        // 8 groups can serve.
+        let w = Matrix::from_fn(1024, 64, |r, c| ((r + c) % 5) as i8 + 1);
+        let mut buf = TransposedSramPe::new();
+        assert!(matches!(
+            buf.write_transposed(&w),
+            Err(PeError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_before_write_and_on_length() {
+        let mut buf = TransposedSramPe::new();
+        assert_eq!(buf.matvec(&[1, 2]), Err(PeError::NotLoaded));
+        let w = nm_sparse_weight(16, 4);
+        buf.write_transposed(&w).unwrap();
+        assert!(buf.matvec(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn zero_columns_produce_zero_outputs() {
+        let mut w = Matrix::zeros(8, 4);
+        w[(0, 0)] = 5i8;
+        let mut buf = TransposedSramPe::new();
+        buf.write_transposed(&w).unwrap();
+        let out = buf.matvec(&[2, 2, 2, 2]).unwrap().outputs;
+        assert_eq!(out, vec![10, 0, 0, 0, 0, 0, 0, 0]);
+    }
+}

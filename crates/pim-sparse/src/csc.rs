@@ -1,0 +1,485 @@
+//! Structured compressed-sparse-column storage — the format the PEs consume.
+//!
+//! Figure 4 of the paper shows the mapping: the sparse weight matrix is
+//! compressed **along the column direction** into a pair of matrices — the
+//! compressed weight values and the corresponding index matrix. Because the
+//! sparsity is N:M structured, the compressed layout has *fixed geometry*:
+//! every aligned group of `M` logical rows maps to exactly `N` physical
+//! slots, each slot holding an 8-bit weight and a 4-bit offset-within-group
+//! index. Empty slots (groups with fewer than `N` survivors) store a zero
+//! weight, which contributes nothing when accumulated.
+//!
+//! The fixed geometry is what lets the hardware lay out a whole column in
+//! `groups × N` physical rows and decode it with nothing but a per-row
+//! comparator — no pointers, no variable-length records.
+
+use crate::mask::{MaskShapeError, NmMask};
+use crate::matrix::Matrix;
+use crate::pattern::NmPattern;
+use crate::prune::prune_magnitude;
+use std::fmt;
+
+/// One physical storage slot: an INT8 weight plus its offset within the
+/// logical `M`-group (what the 4-bit hardware index field stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CscSlot {
+    /// Stored weight value.
+    pub value: i8,
+    /// Offset of the weight within its group, `0..M`.
+    pub offset: u8,
+    /// Whether the slot holds a real (mask-kept) weight. Unoccupied slots
+    /// are zero-filled padding that the accumulate path can skip.
+    pub occupied: bool,
+}
+
+/// An N:M structured sparse matrix in compressed sparse column form.
+///
+/// Logical shape is `(rows, cols)` with `rows` the reduction dimension;
+/// physical storage is `cols` columns × `groups × N` slots.
+///
+/// # Example
+///
+/// ```
+/// use pim_sparse::{CscMatrix, Matrix, NmPattern};
+///
+/// let dense = Matrix::from_rows(vec![
+///     vec![0i8, 4],
+///     vec![7, 0],
+///     vec![0, 0],
+///     vec![0, 0],
+/// ])?;
+/// let csc = CscMatrix::compress_auto(&dense, NmPattern::new(1, 4)?)?;
+/// assert_eq!(csc.nnz(), 2);
+/// assert_eq!(csc.decompress(), dense);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    pattern: NmPattern,
+    /// `slots[col]` has `pattern.slots_for(rows)` entries, `N` per group in
+    /// group order.
+    slots: Vec<Vec<CscSlot>>,
+}
+
+impl CscMatrix {
+    /// Compresses `dense` under an explicit, already-validated mask.
+    ///
+    /// Mask-kept entries land in their group's slots in row order; remaining
+    /// slots are zero padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::Shape`] if the mask and matrix shapes
+    /// disagree.
+    pub fn compress(dense: &Matrix<i8>, mask: &NmMask) -> Result<Self, CompressError> {
+        if dense.shape() != mask.shape() {
+            return Err(CompressError::Shape(MaskShapeError {
+                mask: mask.shape(),
+                matrix: dense.shape(),
+            }));
+        }
+        let pattern = mask.pattern();
+        let (rows, cols) = dense.shape();
+        let n = pattern.n();
+        let m = pattern.m();
+        let groups = pattern.groups_for(rows);
+        let mut slots = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut col_slots = vec![CscSlot::default(); groups * n];
+            for g in 0..groups {
+                let start = g * m;
+                let end = (start + m).min(rows);
+                let mut slot = 0;
+                for r in start..end {
+                    if mask.is_kept(r, c) {
+                        col_slots[g * n + slot] = CscSlot {
+                            value: dense[(r, c)],
+                            offset: (r - start) as u8,
+                            occupied: true,
+                        };
+                        slot += 1;
+                    }
+                }
+            }
+            slots.push(col_slots);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            pattern,
+            slots,
+        })
+    }
+
+    /// Compresses `dense` by deriving the mask from its non-zero structure
+    /// via magnitude pruning — convenient when the matrix is already N:M
+    /// sparse (the pruning then keeps exactly the non-zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::Empty`] for an empty matrix.
+    pub fn compress_auto(dense: &Matrix<i8>, pattern: NmPattern) -> Result<Self, CompressError> {
+        let mask = prune_magnitude(dense, pattern).map_err(|_| CompressError::Empty)?;
+        Self::compress(dense, &mask)
+    }
+
+    /// Logical `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Logical reduction-dimension length.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of output columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sparsity pattern of the encoding.
+    pub fn pattern(&self) -> NmPattern {
+        self.pattern
+    }
+
+    /// Number of groups per column.
+    pub fn groups(&self) -> usize {
+        self.pattern.groups_for(self.rows)
+    }
+
+    /// Physical slots per column (`groups × N`).
+    pub fn slots_per_col(&self) -> usize {
+        self.pattern.slots_for(self.rows)
+    }
+
+    /// The slot array of one column, in group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn column_slots(&self, col: usize) -> &[CscSlot] {
+        &self.slots[col]
+    }
+
+    /// Number of occupied slots (true non-zero structure count).
+    pub fn nnz(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|s| s.occupied)
+            .count()
+    }
+
+    /// Total storage in bits: every physical slot pays
+    /// `weight_bits + index_bits`, occupied or not (fixed geometry).
+    pub fn storage_bits(&self, weight_bits: u32) -> u64 {
+        (self.cols * self.slots_per_col()) as u64
+            * (weight_bits + self.pattern.index_bits()) as u64
+    }
+
+    /// Reconstructs the dense matrix (pruned entries become zero).
+    pub fn decompress(&self) -> Matrix<i8> {
+        let m = self.pattern.m();
+        let n = self.pattern.n();
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (c, col_slots) in self.slots.iter().enumerate() {
+            for (i, slot) in col_slots.iter().enumerate() {
+                if slot.occupied {
+                    let group = i / n;
+                    let row = group * m + slot.offset as usize;
+                    out[(row, c)] = slot.value;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over `(row, col, value)` of occupied slots.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, i8)> + '_ {
+        let m = self.pattern.m();
+        let n = self.pattern.n();
+        self.slots.iter().enumerate().flat_map(move |(c, col)| {
+            col.iter().enumerate().filter(|(_, s)| s.occupied).map(
+                move |(i, s)| {
+                    let row = (i / n) * m + s.offset as usize;
+                    (row, c, s.value)
+                },
+            )
+        })
+    }
+
+    /// Sparse matrix–vector product `y = Wᵀ·x` in the PE's orientation:
+    /// `y[c] = Σ_r W[r][c] · x[r]`, accumulating in `i32`.
+    ///
+    /// This is the functional reference the cycle-level PEs are tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] if `x.len() != rows`.
+    pub fn matvec(&self, x: &[i32]) -> Result<Vec<i32>, DimensionError> {
+        if x.len() != self.rows {
+            return Err(DimensionError {
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let m = self.pattern.m();
+        let n = self.pattern.n();
+        let mut y = vec![0i32; self.cols];
+        for (c, col_slots) in self.slots.iter().enumerate() {
+            let mut acc = 0i32;
+            for (i, slot) in col_slots.iter().enumerate() {
+                if slot.occupied {
+                    let row = (i / n) * m + slot.offset as usize;
+                    acc += slot.value as i32 * x[row];
+                }
+            }
+            y[c] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Sparse matrix–matrix product against a dense right-hand side
+    /// `X: (rows × batch)`, producing `(cols × batch)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] if `x.rows() != rows`.
+    pub fn matmul(&self, x: &Matrix<i32>) -> Result<Matrix<i32>, DimensionError> {
+        if x.rows() != self.rows {
+            return Err(DimensionError {
+                expected: self.rows,
+                actual: x.rows(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        for b in 0..x.cols() {
+            let xb = x.col(b);
+            let y = self.matvec(&xb)?;
+            for c in 0..self.cols {
+                out[(c, b)] = y[c];
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix {}x{} pattern {} ({} nnz in {} slots)",
+            self.rows,
+            self.cols,
+            self.pattern,
+            self.nnz(),
+            self.cols * self.slots_per_col()
+        )
+    }
+}
+
+/// Error compressing a matrix into CSC form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Mask and matrix shapes disagreed.
+    Shape(MaskShapeError),
+    /// The matrix was empty.
+    Empty,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape(e) => write!(f, "{e}"),
+            Self::Empty => write!(f, "cannot compress an empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<MaskShapeError> for CompressError {
+    fn from(e: MaskShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+/// Error: an operand length disagreed with the matrix's logical shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionError {
+    /// Required length.
+    pub expected: usize,
+    /// Supplied length.
+    pub actual: usize,
+}
+
+impl fmt::Display for DimensionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operand length {} does not match reduction dimension {}",
+            self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for DimensionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{dense_matvec, masked_dense};
+
+    fn sample() -> (Matrix<i8>, NmMask) {
+        let dense = Matrix::from_rows(vec![
+            vec![3i8, 0, -1],
+            vec![0, 5, 0],
+            vec![0, 0, 0],
+            vec![-2, 0, 0],
+            vec![0, 0, 9],
+            vec![0, -6, 0],
+            vec![1, 0, 0],
+            vec![0, 0, -4],
+        ])
+        .unwrap();
+        let mask = prune_magnitude(&dense, NmPattern::two_of_four()).unwrap();
+        (dense, mask)
+    }
+
+    #[test]
+    fn compress_decompress_round_trip() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let masked = mask.apply(&dense).unwrap();
+        assert_eq!(csc.decompress(), masked);
+    }
+
+    #[test]
+    fn auto_compress_of_already_sparse_matrix_is_lossless() {
+        let dense = Matrix::from_rows(vec![
+            vec![0i8, 4],
+            vec![7, 0],
+            vec![0, 0],
+            vec![0, 0],
+        ])
+        .unwrap();
+        let csc = CscMatrix::compress_auto(&dense, NmPattern::one_of_four()).unwrap();
+        assert_eq!(csc.decompress(), dense);
+        assert_eq!(csc.nnz(), 2);
+    }
+
+    #[test]
+    fn matvec_matches_masked_dense_reference() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let x: Vec<i32> = (1..=8).collect();
+        let reference = dense_matvec(&masked_dense(&dense, &mask).unwrap(), &x).unwrap();
+        assert_eq!(csc.matvec(&x).unwrap(), reference);
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let err = csc.matvec(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.expected, 8);
+        assert_eq!(err.actual, 3);
+    }
+
+    #[test]
+    fn matmul_runs_per_batch_column() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let x = Matrix::from_fn(8, 3, |r, c| (r + c) as i32);
+        let out = csc.matmul(&x).unwrap();
+        assert_eq!(out.shape(), (3, 3));
+        for b in 0..3 {
+            let y = csc.matvec(&x.col(b)).unwrap();
+            assert_eq!(out.col(b), y);
+        }
+    }
+
+    #[test]
+    fn fixed_geometry_slot_counts() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        // 8 rows, 2:4 → 2 groups × 2 slots = 4 slots per column.
+        assert_eq!(csc.slots_per_col(), 4);
+        assert_eq!(csc.groups(), 2);
+        // Storage: 3 cols × 4 slots × (8 + 2) bits.
+        assert_eq!(csc.storage_bits(8), 3 * 4 * 10);
+    }
+
+    #[test]
+    fn entries_iterate_occupied_slots_only() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let masked = mask.apply(&dense).unwrap();
+        for (r, c, v) in csc.entries() {
+            assert_eq!(masked[(r, c)], v);
+            assert_ne!(v, 0, "auto mask never keeps zeros in this sample");
+        }
+        assert_eq!(csc.entries().count(), csc.nnz());
+    }
+
+    #[test]
+    fn tail_partial_group_maps_correctly() {
+        // 6 rows with 1:4 → 2 groups, tail group covers rows 4..6.
+        let dense = Matrix::from_rows(vec![
+            vec![0i8],
+            vec![2],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![-3],
+        ])
+        .unwrap();
+        let csc = CscMatrix::compress_auto(&dense, NmPattern::one_of_four()).unwrap();
+        assert_eq!(csc.decompress(), dense);
+        let y = csc.matvec(&[1, 10, 100, 1000, 10_000, 100_000]).unwrap();
+        assert_eq!(y, vec![20 - 300_000]);
+    }
+
+    #[test]
+    fn compress_rejects_shape_mismatch() {
+        let (dense, mask) = sample();
+        let small: Matrix<i8> = Matrix::zeros(4, 3);
+        assert!(matches!(
+            CscMatrix::compress(&small, &mask),
+            Err(CompressError::Shape(_))
+        ));
+        drop(dense);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (dense, mask) = sample();
+        let csc = CscMatrix::compress(&dense, &mask).unwrap();
+        let s = csc.to_string();
+        assert!(s.contains("2:4"));
+        assert!(s.contains("8x3"));
+    }
+
+    #[test]
+    fn int8_extremes_survive_compression() {
+        let dense = Matrix::from_rows(vec![
+            vec![i8::MIN],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![i8::MAX],
+            vec![0],
+            vec![0],
+        ])
+        .unwrap();
+        let csc = CscMatrix::compress_auto(&dense, NmPattern::one_of_four()).unwrap();
+        assert_eq!(csc.decompress(), dense);
+        let y = csc.matvec(&[1, 0, 0, 0, 1, 1, 0, 0]).unwrap();
+        assert_eq!(y, vec![i8::MIN as i32 + i8::MAX as i32]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Compressed sparse row storage — the dual of CSC, kept for the mapping
+//! ablation.
+//!
+//! The paper argues (§3.1) that CSR is the *wrong* format for a digital PIM
+//! whose multiplications ride on shared row word-lines: CSR preserves row
+//! structure (accumulation) but breaks column structure (multiplication),
+//! forcing input reordering and a per-cycle write-back buffer. We implement
+//! CSR anyway so the `ablation_csc_vs_csr` bench can quantify that cost —
+//! [`CsrMatrix::matvec_with_stats`] counts the input-gather and write-back
+//! traffic a CSR mapping would induce, next to the same counts for CSC.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+pub use crate::csc::DimensionError;
+
+/// Classic CSR: row pointers, column indices, values.
+///
+/// # Example
+///
+/// ```
+/// use pim_sparse::{CsrMatrix, Matrix};
+///
+/// let dense = Matrix::from_rows(vec![vec![0i8, 2], vec![3, 0]])?;
+/// let csr = CsrMatrix::from_dense(&dense);
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.to_dense(), dense);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<i8>,
+}
+
+/// Traffic counters for the mapping ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CsrTrafficStats {
+    /// Random input gathers (one per stored non-zero: CSR walks columns
+    /// out of order within a row).
+    pub input_gathers: u64,
+    /// Partial-sum write-backs (one per row per pass — CSR accumulates
+    /// in-place in an output buffer every cycle).
+    pub writebacks: u64,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a dense one, storing only non-zeros.
+    pub fn from_dense(dense: &Matrix<i8>) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[(r, c)];
+                if v != 0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Logical `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage in bits: each non-zero pays `weight_bits` plus a full column
+    /// index (`ceil(log2(cols))` bits — unlike N:M CSC, CSR cannot use a
+    /// short offset because non-zeros are unaligned), plus the row-pointer
+    /// array.
+    pub fn storage_bits(&self, weight_bits: u32) -> u64 {
+        let idx_bits = if self.cols <= 1 {
+            1
+        } else {
+            usize::BITS - (self.cols - 1).leading_zeros()
+        };
+        let ptr_bits = 32u64 * (self.rows as u64 + 1);
+        self.nnz() as u64 * (weight_bits as u64 + idx_bits as u64) + ptr_bits
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn to_dense(&self) -> Matrix<i8> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out[(r, self.col_idx[i] as usize)] = self.values[i];
+            }
+        }
+        out
+    }
+
+    /// `y = Wᵀ·x` in the same orientation as [`crate::CscMatrix::matvec`]:
+    /// `y[c] = Σ_r W[r][c] · x[r]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] if `x.len() != rows`.
+    pub fn matvec(&self, x: &[i32]) -> Result<Vec<i32>, DimensionError> {
+        Ok(self.matvec_with_stats(x)?.0)
+    }
+
+    /// Like [`matvec`](Self::matvec) but also reports the gather /
+    /// write-back traffic a row-major PIM mapping would pay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionError`] if `x.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // row index r addresses x and row_ptr
+    pub fn matvec_with_stats(
+        &self,
+        x: &[i32],
+    ) -> Result<(Vec<i32>, CsrTrafficStats), DimensionError> {
+        if x.len() != self.rows {
+            return Err(DimensionError {
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0i32; self.cols];
+        let mut stats = CsrTrafficStats::default();
+        for r in 0..self.rows {
+            let begin = self.row_ptr[r];
+            let end = self.row_ptr[r + 1];
+            for i in begin..end {
+                y[self.col_idx[i] as usize] += self.values[i] as i32 * x[r];
+                stats.input_gathers += 1;
+            }
+            if end > begin {
+                // Every non-empty row flushes its partial sums to the
+                // output buffer (the per-cycle write-back the paper calls
+                // out as CSR's cost on a row-word-line PIM).
+                stats.writebacks += 1;
+            }
+        }
+        Ok((y, stats))
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix {}x{} ({} nnz)",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::dense_matvec;
+
+    fn sample() -> Matrix<i8> {
+        Matrix::from_rows(vec![
+            vec![3i8, 0, -1],
+            vec![0, 5, 0],
+            vec![0, 0, 0],
+            vec![-2, 0, 9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let dense = sample();
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nnz(), 5);
+    }
+
+    #[test]
+    fn matvec_matches_dense_reference() {
+        let dense = sample();
+        let csr = CsrMatrix::from_dense(&dense);
+        let x = vec![1, -2, 3, 4];
+        assert_eq!(
+            csr.matvec(&x).unwrap(),
+            dense_matvec(&dense, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let csr = CsrMatrix::from_dense(&sample());
+        assert!(csr.matvec(&[1]).is_err());
+    }
+
+    #[test]
+    fn traffic_stats_count_gathers_and_writebacks() {
+        let csr = CsrMatrix::from_dense(&sample());
+        let (_, stats) = csr.matvec_with_stats(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(stats.input_gathers, 5); // one per nnz
+        assert_eq!(stats.writebacks, 3); // rows 0, 1, 3 are non-empty
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let dense: Matrix<i8> = Matrix::zeros(0, 0);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.matvec(&[]).unwrap(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn storage_uses_full_column_indices() {
+        let dense = Matrix::from_fn(16, 256, |r, c| if (r + c) % 64 == 0 { 1i8 } else { 0 });
+        let csr = CsrMatrix::from_dense(&dense);
+        // 256 columns → 8 index bits per nnz vs CSC's short offsets.
+        let bits = csr.storage_bits(8);
+        assert_eq!(
+            bits,
+            csr.nnz() as u64 * (8 + 8) + 32 * (16 + 1)
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let csr = CsrMatrix::from_dense(&sample());
+        assert!(csr.to_string().contains("4x3"));
+    }
+}

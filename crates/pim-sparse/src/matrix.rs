@@ -1,0 +1,320 @@
+//! A minimal row-major matrix container shared across the simulator stack.
+//!
+//! [`Matrix<T>`] is deliberately tiny: shape + flat `Vec<T>` with checked
+//! constructors, element access, iteration, and transpose. The weight
+//! convention throughout the workspace is **`rows` = reduction (input)
+//! dimension, `cols` = output neurons**, matching how the PE arrays are
+//! laid out (inputs stream across array rows, outputs accumulate down
+//! array columns).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix.
+///
+/// # Example
+///
+/// ```
+/// use pim_sparse::Matrix;
+///
+/// let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]])?;
+/// assert_eq!(m.shape(), (2, 3));
+/// assert_eq!(m[(1, 2)], 6);
+/// let t = m.transposed();
+/// assert_eq!(t.shape(), (3, 2));
+/// assert_eq!(t[(2, 1)], 6);
+/// # Ok::<(), pim_sparse::matrix::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a matrix of the given shape filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Result<Self, ShapeError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in &rows {
+            if row.len() != ncols {
+                return Err(ShapeError {
+                    expected: ncols,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Checked element access.
+    pub fn get(&self, row: usize, col: usize) -> Option<&T> {
+        if row < self.rows && col < self.cols {
+            Some(&self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Borrow of one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies one column into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn col(&self, col: usize) -> Vec<T> {
+        assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Returns a transposed copy.
+    pub fn transposed(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Returns a new matrix with `f` applied elementwise.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Iterates over `((row, col), value)` pairs in row-major order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = ((usize, usize), T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| ((i / cols, i % cols), v))
+    }
+}
+
+impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl<T: Copy> IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+/// Error returned when a buffer or row length disagrees with the declared
+/// matrix shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Length the shape requires.
+    pub expected: usize,
+    /// Length actually supplied.
+    pub actual: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer length {} does not match expected {}",
+            self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1, 2, 3]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m[(0, 1)], 2);
+        assert_eq!(m[(1, 0)], 3);
+    }
+
+    #[test]
+    fn from_rows_validates_consistency() {
+        assert!(Matrix::from_rows(vec![vec![1, 2], vec![3]]).is_err());
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m: Matrix<i8> = Matrix::from_rows(vec![]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.shape(), (0, 0));
+    }
+
+    #[test]
+    fn row_and_col_extractors() {
+        let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.col(2), vec![3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m: Matrix<i8> = Matrix::zeros(2, 2);
+        let _ = m.row(5);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn map_changes_element_type() {
+        let m = Matrix::from_rows(vec![vec![1i8, -2], vec![3, -4]]).unwrap();
+        let wide = m.map(|v| v as i32 * 100);
+        assert_eq!(wide[(1, 1)], -400);
+    }
+
+    #[test]
+    fn indexed_iter_walks_row_major() {
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        let items: Vec<_> = m.indexed_iter().collect();
+        assert_eq!(
+            items,
+            vec![((0, 0), 1), ((0, 1), 2), ((1, 0), 3), ((1, 1), 4)]
+        );
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let m: Matrix<i8> = Matrix::zeros(2, 2);
+        assert!(m.get(1, 1).is_some());
+        assert!(m.get(2, 0).is_none());
+        assert!(m.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn shape_error_displays() {
+        let e = Matrix::<i8>::from_vec(2, 2, vec![0; 3]).unwrap_err();
+        assert_eq!(e, ShapeError { expected: 4, actual: 3 });
+        assert!(e.to_string().contains("does not match"));
+    }
+}

@@ -1,0 +1,290 @@
+//! N:M mask selection (pruning criteria).
+//!
+//! The paper selects masks by "a one-epoch gradient calculation across all
+//! weights … to identify the most crucial N weights among every consecutive
+//! M weights, based on magnitude" (§5.1). Two criteria are provided:
+//!
+//! * [`prune_magnitude`] — keep the largest-|w| entries per group (the
+//!   fine-tuning baseline and what's used when no gradient is available);
+//! * [`prune_saliency`] — keep the largest `|w·g|` entries per group, where
+//!   `g` is an accumulated gradient (first-order Taylor saliency, the
+//!   paper's one-epoch gradient pass).
+//!
+//! Both work on any element type that exposes a non-negative score, and are
+//! deterministic: ties break toward the lower row index, which keeps
+//! compressed layouts reproducible across runs.
+
+use crate::mask::NmMask;
+use crate::matrix::Matrix;
+use crate::pattern::NmPattern;
+use std::fmt;
+
+/// Keeps the `n` largest-magnitude entries of every aligned `m`-group down
+/// each column of `weights`.
+///
+/// Entries equal to zero are never kept in preference to a non-zero entry,
+/// and groups with fewer than `n` non-zero entries keep only the non-zeros
+/// (the mask is allowed to be sparser than the pattern).
+///
+/// # Errors
+///
+/// Propagates [`PruneError`] if the matrix is empty.
+///
+/// # Example
+///
+/// ```
+/// use pim_sparse::{Matrix, NmPattern};
+/// use pim_sparse::prune::prune_magnitude;
+///
+/// let w = Matrix::from_rows(vec![vec![1i8], vec![-9], vec![3], vec![0]])?;
+/// let mask = prune_magnitude(&w, NmPattern::new(1, 4)?)?;
+/// assert!(mask.is_kept(1, 0)); // -9 has the largest magnitude
+/// assert_eq!(mask.kept(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn prune_magnitude<T: Score>(
+    weights: &Matrix<T>,
+    pattern: NmPattern,
+) -> Result<NmMask, PruneError> {
+    prune_by(weights, pattern, |w, _| w.score())
+}
+
+/// Keeps the `n` largest first-order-saliency (`|w · g|`) entries of every
+/// group, where `grads` holds the gradient accumulated over the paper's
+/// one-epoch calibration pass.
+///
+/// # Errors
+///
+/// Returns [`PruneError::ShapeMismatch`] if `weights` and `grads` differ in
+/// shape, or [`PruneError::Empty`] if the matrix is empty.
+pub fn prune_saliency<T: Score, G: Score>(
+    weights: &Matrix<T>,
+    grads: &Matrix<G>,
+    pattern: NmPattern,
+) -> Result<NmMask, PruneError> {
+    if weights.shape() != grads.shape() {
+        return Err(PruneError::ShapeMismatch {
+            weights: weights.shape(),
+            grads: grads.shape(),
+        });
+    }
+    prune_by(weights, pattern, |w, (r, c)| {
+        w.score() * grads[(r, c)].score()
+    })
+}
+
+/// Generic group-top-`n` selection with a custom scoring closure.
+fn prune_by<T: Score>(
+    weights: &Matrix<T>,
+    pattern: NmPattern,
+    score: impl Fn(T, (usize, usize)) -> f64,
+) -> Result<NmMask, PruneError> {
+    if weights.is_empty() {
+        return Err(PruneError::Empty);
+    }
+    let m = pattern.m();
+    let n = pattern.n();
+    let mut keep = Matrix::from_fn(weights.rows(), weights.cols(), |_, _| false);
+    for c in 0..weights.cols() {
+        let mut start = 0;
+        while start < weights.rows() {
+            let end = (start + m).min(weights.rows());
+            // Score the group; exclude exact zeros (keeping a zero wastes a
+            // compressed slot and changes nothing numerically).
+            let mut scored: Vec<(usize, f64)> = (start..end)
+                .map(|r| (r, score(weights[(r, c)], (r, c))))
+                .filter(|&(_, s)| s > 0.0)
+                .collect();
+            // Sort by descending score; stable tie-break on row index.
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            for &(r, _) in scored.iter().take(n) {
+                keep[(r, c)] = true;
+            }
+            start = end;
+        }
+    }
+    NmMask::new(keep, pattern).map_err(|_| {
+        // Unreachable by construction: we never keep more than n per group.
+        PruneError::Empty
+    })
+}
+
+/// Types that expose a non-negative pruning score (absolute magnitude).
+pub trait Score: Copy {
+    /// Non-negative magnitude used to rank entries within a group.
+    fn score(self) -> f64;
+}
+
+impl Score for i8 {
+    fn score(self) -> f64 {
+        (self as f64).abs()
+    }
+}
+
+impl Score for i32 {
+    fn score(self) -> f64 {
+        (self as f64).abs()
+    }
+}
+
+impl Score for f32 {
+    fn score(self) -> f64 {
+        (self as f64).abs()
+    }
+}
+
+impl Score for f64 {
+    fn score(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// Error selecting a pruning mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneError {
+    /// The weight matrix was empty.
+    Empty,
+    /// Weight and gradient shapes disagreed.
+    ShapeMismatch {
+        /// Shape of the weight matrix.
+        weights: (usize, usize),
+        /// Shape of the gradient matrix.
+        grads: (usize, usize),
+    },
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot prune an empty matrix"),
+            Self::ShapeMismatch { weights, grads } => write!(
+                f,
+                "weight shape {weights:?} does not match gradient shape {grads:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PruneError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_keeps_largest_per_group() {
+        let w = Matrix::from_rows(vec![
+            vec![1i8, -8],
+            vec![-9, 2],
+            vec![3, 1],
+            vec![0, -3],
+            vec![5, 0],
+            vec![6, 7],
+            vec![-7, 1],
+            vec![2, 2],
+        ])
+        .unwrap();
+        let mask = prune_magnitude(&w, NmPattern::one_of_four()).unwrap();
+        // Column 0: groups {1,-9,3,0} → keep -9 (row 1); {5,6,-7,2} → keep -7 (row 6).
+        assert!(mask.is_kept(1, 0));
+        assert!(mask.is_kept(6, 0));
+        // Column 1: {-8,2,1,-3} → keep -8 (row 0); {0,7,1,2} → keep 7 (row 5).
+        assert!(mask.is_kept(0, 1));
+        assert!(mask.is_kept(5, 1));
+        assert_eq!(mask.kept(), 4);
+    }
+
+    #[test]
+    fn two_of_four_keeps_two() {
+        let w = Matrix::from_rows(vec![vec![4i8], vec![-1], vec![3], vec![2]]).unwrap();
+        let mask = prune_magnitude(&w, NmPattern::two_of_four()).unwrap();
+        assert!(mask.is_kept(0, 0) && mask.is_kept(2, 0));
+        assert_eq!(mask.kept(), 2);
+    }
+
+    #[test]
+    fn zeros_are_never_kept() {
+        let w = Matrix::from_rows(vec![vec![0i8], vec![0], vec![0], vec![1]]).unwrap();
+        let mask = prune_magnitude(&w, NmPattern::two_of_four()).unwrap();
+        assert_eq!(mask.kept(), 1);
+        assert!(mask.is_kept(3, 0));
+    }
+
+    #[test]
+    fn all_zero_group_keeps_nothing() {
+        let w: Matrix<i8> = Matrix::zeros(8, 3);
+        let mask = prune_magnitude(&w, NmPattern::one_of_four()).unwrap();
+        assert_eq!(mask.kept(), 0);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_row() {
+        let w = Matrix::from_rows(vec![vec![5i8], vec![-5], vec![5], vec![5]]).unwrap();
+        let mask = prune_magnitude(&w, NmPattern::one_of_four()).unwrap();
+        assert!(mask.is_kept(0, 0));
+        assert_eq!(mask.kept(), 1);
+    }
+
+    #[test]
+    fn saliency_overrides_raw_magnitude() {
+        let w = Matrix::from_rows(vec![vec![8.0f32], vec![2.0], vec![1.0], vec![1.0]]).unwrap();
+        // Large gradient on the small weight flips the choice.
+        let g = Matrix::from_rows(vec![vec![0.01f32], vec![100.0], vec![0.0], vec![0.0]]).unwrap();
+        let mask = prune_saliency(&w, &g, NmPattern::one_of_four()).unwrap();
+        assert!(mask.is_kept(1, 0));
+        assert!(!mask.is_kept(0, 0));
+    }
+
+    #[test]
+    fn saliency_rejects_shape_mismatch() {
+        let w: Matrix<f32> = Matrix::zeros(4, 1);
+        let g: Matrix<f32> = Matrix::zeros(4, 2);
+        assert!(matches!(
+            prune_saliency(&w, &g, NmPattern::one_of_four()),
+            Err(PruneError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_is_an_error() {
+        let w: Matrix<i8> = Matrix::from_rows(vec![]).unwrap();
+        assert_eq!(
+            prune_magnitude(&w, NmPattern::one_of_four()),
+            Err(PruneError::Empty)
+        );
+    }
+
+    #[test]
+    fn tail_group_shorter_than_m_is_pruned_correctly() {
+        // 6 rows with m = 4: the tail group has rows 4..6.
+        let w = Matrix::from_rows(vec![
+            vec![1i8],
+            vec![2],
+            vec![3],
+            vec![4],
+            vec![-6],
+            vec![5],
+        ])
+        .unwrap();
+        let mask = prune_magnitude(&w, NmPattern::one_of_four()).unwrap();
+        assert!(mask.is_kept(3, 0));
+        assert!(mask.is_kept(4, 0));
+        assert_eq!(mask.kept(), 2);
+    }
+
+    #[test]
+    fn resulting_mask_always_validates() {
+        // Randomish deterministic matrix; the produced mask must satisfy the
+        // pattern by construction.
+        let w = Matrix::from_fn(64, 16, |r, c| ((r * 31 + c * 17) % 23) as i8 - 11);
+        for pattern in [
+            NmPattern::one_of_four(),
+            NmPattern::one_of_eight(),
+            NmPattern::two_of_four(),
+            NmPattern::new(4, 16).unwrap(),
+        ] {
+            let mask = prune_magnitude(&w, pattern).unwrap();
+            assert!(mask.density() <= pattern.density() + 1e-12);
+        }
+    }
+}

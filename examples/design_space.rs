@@ -1,0 +1,70 @@
+//! Design-space exploration at the paper's workload scale.
+//!
+//! Sweeps the N:M pattern across the ResNet-50 + Rep-Net profile and
+//! reports area, inference power (leakage/read split), and training-step
+//! EDP for each hybrid configuration next to the two dense baselines —
+//! i.e. the raw material behind Fig. 7 and Fig. 8, plus the patterns the
+//! paper did not show.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use pim_arch::edp::{fig8_series, hybrid_training_step};
+use pim_arch::mapper::Mapper;
+use pim_arch::workload::ModelProfile;
+use pim_sparse::NmPattern;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let (backbone, repnet) = ModelProfile::resnet50_repnet();
+    let merged = ModelProfile::merged(&backbone, &repnet);
+    println!("workload: {backbone}");
+    println!("          {repnet}\n");
+
+    let mapper = Mapper::dac24();
+    let sram = mapper.map_dense_sram(&merged)?;
+    let mram = mapper.map_dense_mram(&merged, sram.latency)?;
+    println!(
+        "{:<16} {:>12} {:>14} {:>14} {:>12}",
+        "design", "area mm²", "power (leak)", "power (read)", "norm area"
+    );
+    let base_area = sram.area;
+    for dep in [&sram, &mram] {
+        println!(
+            "{:<16} {:>12.1} {:>14} {:>14} {:>11.3}x",
+            if dep.name.contains("SRAM") { "dense SRAM[29]" } else { "dense MRAM[30]" },
+            dep.area.as_mm2(),
+            dep.leakage_power().to_string(),
+            dep.read_power().to_string(),
+            dep.area.ratio(base_area)
+        );
+    }
+
+    let patterns = [
+        NmPattern::new(2, 4)?,
+        NmPattern::new(1, 4)?,
+        NmPattern::new(2, 8)?,
+        NmPattern::new(1, 8)?,
+        NmPattern::new(1, 16)?,
+    ];
+    for pattern in patterns {
+        let hybrid = mapper.map_hybrid(&backbone, &repnet, pattern)?;
+        let step = hybrid_training_step(&mapper, &backbone, &repnet, pattern)?;
+        println!(
+            "{:<16} {:>12.1} {:>14} {:>14} {:>11.3}x   (train-step EDP {:.3e})",
+            format!("hybrid {pattern}"),
+            hybrid.total_area().as_mm2(),
+            hybrid.leakage_power().to_string(),
+            hybrid.read_power().to_string(),
+            hybrid.total_area().ratio(base_area),
+            step.edp()
+        );
+    }
+
+    println!("\n== Fig. 8 series (normalized to Ours 1:8) ==");
+    let series = fig8_series(&mapper, &backbone, &repnet)?;
+    let norm = series.last().expect("six bars").edp();
+    for cost in &series {
+        println!("  {:<28} {:>10.3}x", cost.name, cost.edp() / norm);
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: pretrain a backbone, learn one downstream task on the
+//! hybrid MRAM-SRAM system, and print the accuracy + hardware report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pim_core::{HybridSystem, SystemConfig};
+use pim_data::SyntheticSpec;
+use pim_nn::models::BackboneConfig;
+use pim_nn::train::FitConfig;
+use pim_sparse::NmPattern;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A compact configuration that runs in seconds.
+    let config = SystemConfig {
+        backbone: BackboneConfig {
+            in_channels: 3,
+            image_size: 8,
+            stage_widths: vec![8, 16],
+            blocks_per_stage: 1,
+            seed: 1,
+        },
+        rep_channels: 4,
+        pattern: Some(NmPattern::new(1, 4)?),
+        seed: 7,
+    };
+    let fit = FitConfig {
+        epochs: 10,
+        batch_size: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+    };
+
+    println!("== pretraining backbone on the upstream task ==");
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .generate()?;
+    let mut system = HybridSystem::pretrain(config, &upstream, &fit);
+    if let Some((fp32, int8)) = system.upstream_accuracy(&upstream.test) {
+        println!(
+            "backbone@upstream: fp32 {:.1}%, int8 {:.1}%",
+            100.0 * fp32,
+            100.0 * int8
+        );
+    }
+
+    println!("\n== learning a downstream task (CIFAR-10 stand-in) ==");
+    let task = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(10, 5)
+        .generate()?;
+    let report = system.learn_task(&task, &fit);
+    println!("{report}");
+
+    println!("\n== architecture deployment of this exact model ==");
+    let dep = system.deployment()?;
+    println!("MRAM branch: {}", dep.mram);
+    println!("SRAM branch: {}", dep.sram);
+    println!(
+        "total area {:.3} mm² ({:.1}% SRAM), inference power {}",
+        dep.total_area().as_mm2(),
+        100.0 * dep.sram_area_fraction(),
+        dep.average_power()
+    );
+
+    println!("\n== bit-exactness of the trained layers on the cycle-level PEs ==");
+    for report in system.verify_on_pes()? {
+        println!("  {report}");
+    }
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! Learning-dynamics integration tests: the accuracy relationships that
+//! make Table 1 meaningful must hold on a controlled task.
+
+use pim_core::{HybridSystem, SystemConfig};
+use pim_data::SyntheticSpec;
+use pim_nn::models::BackboneConfig;
+use pim_nn::train::{FitConfig, Model};
+use pim_sparse::NmPattern;
+
+fn backbone() -> BackboneConfig {
+    // Wide enough that 87.5% magnitude pruning leaves the frozen branch
+    // with usable features (the paper's ResNet-50 absorbs this easily; a
+    // too-narrow test backbone would collapse to chance at 1:8).
+    BackboneConfig {
+        in_channels: 3,
+        image_size: 8,
+        stage_widths: vec![16, 32],
+        blocks_per_stage: 1,
+        seed: 1,
+    }
+}
+
+fn fit(epochs: usize) -> FitConfig {
+    FitConfig {
+        epochs,
+        batch_size: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+    }
+}
+
+fn run(pattern: Option<NmPattern>, difficulty: f64) -> (f64, f64) {
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .generate()
+        .expect("valid spec");
+    let mut system = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 8,
+            pattern,
+            seed: 7,
+        },
+        &upstream,
+        &fit(8),
+    );
+    let task = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(10, 6)
+        .with_difficulty(difficulty)
+        .generate()
+        .expect("valid spec");
+    let report = system.learn_task(&task, &fit(10));
+    (report.accuracy_fp32, report.accuracy_int8)
+}
+
+#[test]
+fn accuracy_orders_with_sparsity_like_the_paper() {
+    // The paper's headline shape: dense ≥ 1:4 ≥ 1:8, all above chance.
+    // Our miniature backbone amplifies the pruning penalty relative to
+    // ResNet-50 (documented in EXPERIMENTS.md), so we assert the ordering
+    // and above-chance margins, not the paper's 1.5%/5% deltas.
+    let (dense, _) = run(None, 0.6);
+    let (sparse14, _) = run(Some(NmPattern::one_of_four()), 0.6);
+    let (sparse18, _) = run(Some(NmPattern::one_of_eight()), 0.6);
+    assert!(dense > 0.5, "dense learns the task: {dense}");
+    assert!(
+        dense >= sparse14 - 0.05,
+        "dense {dense} vs sparse 1:4 {sparse14}"
+    );
+    assert!(
+        sparse14 >= sparse18 - 0.08,
+        "1:4 {sparse14} vs 1:8 {sparse18}"
+    );
+    // Both sparse configurations stay clearly above 10-class chance.
+    assert!(sparse14 > 0.2, "{sparse14}");
+    assert!(sparse18 > 0.15, "{sparse18}");
+}
+
+#[test]
+fn int8_is_close_to_fp32_in_every_configuration() {
+    for pattern in [None, Some(NmPattern::one_of_four()), Some(NmPattern::one_of_eight())] {
+        let (fp32, int8) = run(pattern, 0.5);
+        assert!(
+            int8 >= fp32 - 0.15,
+            "{pattern:?}: int8 {int8} vs fp32 {fp32}"
+        );
+    }
+}
+
+#[test]
+fn sparse_training_touches_fewer_weights() {
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .with_samples(3, 1)
+        .generate()
+        .expect("valid spec");
+    let quick = fit(1);
+    let mut dense = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 4,
+            pattern: None,
+            seed: 7,
+        },
+        &upstream,
+        &quick,
+    );
+    let mut sparse = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 4,
+            pattern: Some(NmPattern::one_of_four()),
+            seed: 7,
+        },
+        &upstream,
+        &quick,
+    );
+    let task = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(3, 2)
+        .generate()
+        .expect("valid spec");
+    dense.learn_task(&task, &quick);
+    sparse.learn_task(&task, &quick);
+
+    // Count weights the sparse model is allowed to move.
+    let count_learnable = |sys: &HybridSystem| {
+        let mut kept = 0usize;
+        for m in sys.model().modules() {
+            for conv in m.sparse_convs() {
+                kept += conv.learnable_weights();
+            }
+        }
+        kept + sys.model().classifier().learnable_weights()
+    };
+    let dense_learnable = count_learnable(&dense);
+    let sparse_learnable = count_learnable(&sparse);
+    assert!(
+        (sparse_learnable as f64) < 0.5 * dense_learnable as f64,
+        "sparse {sparse_learnable} vs dense {dense_learnable}"
+    );
+}
+
+#[test]
+fn harder_tasks_are_harder() {
+    let (easy, _) = run(Some(NmPattern::one_of_four()), 0.3);
+    let (hard, _) = run(Some(NmPattern::one_of_four()), 1.4);
+    assert!(easy > hard, "easy {easy} vs hard {hard}");
+}
+
+#[test]
+fn rep_path_learns_while_backbone_params_stay_majority_frozen() {
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .with_samples(3, 1)
+        .generate()
+        .expect("valid spec");
+    let mut system = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 4,
+            pattern: None,
+            seed: 7,
+        },
+        &upstream,
+        &fit(1),
+    );
+    let total: usize = {
+        let m = system.model_mut();
+        let mut n = 0;
+        Model::params(m, &mut |p| n += p.value.len());
+        n
+    };
+    let trainable = system.model_mut().trainable_params();
+    assert!(trainable * 2 < total, "trainable {trainable} of {total}");
+}
+
+#[test]
+fn shared_adaptor_interference_is_measurable_but_bounded() {
+    // Learn task A, snapshot its head, learn task B (shared rep path
+    // drifts), then re-evaluate A with its old head: the Rep-Net design
+    // confines forgetting to the shared adaptor, so A stays well above
+    // chance even though its accuracy may dip.
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .generate()
+        .expect("valid spec");
+    let mut system = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 8,
+            pattern: None,
+            seed: 7,
+        },
+        &upstream,
+        &fit(8),
+    );
+    let task_a = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(10, 6)
+        .with_difficulty(0.5)
+        .generate()
+        .expect("valid spec");
+    let task_b = SyntheticSpec::pets_like()
+        .with_geometry(8, 3)
+        .with_samples(6, 3)
+        .with_difficulty(0.5)
+        .generate()
+        .expect("valid spec");
+
+    let report_a = system.learn_task(&task_a, &fit(10));
+    let head_a = system.snapshot_head();
+    let before = system.evaluate_with_head(&head_a, &task_a.test);
+    assert!(
+        (before - report_a.accuracy_fp32).abs() < 1e-9,
+        "snapshot evaluation must equal the fresh report"
+    );
+
+    system.learn_task(&task_b, &fit(10));
+    let after = system.evaluate_with_head(&head_a, &task_a.test);
+    let chance = 0.1;
+    assert!(after > chance * 1.5, "task A collapsed to {after}");
+    // And the current head still serves task B.
+    let head_b = system.snapshot_head();
+    let b_acc = system.evaluate_with_head(&head_b, &task_b.test);
+    assert!(b_acc > 1.0 / 37.0 * 2.0, "task B at {b_acc}");
+}
+
+#[test]
+#[should_panic(expected = "head does not match the task")]
+fn head_task_mismatch_is_rejected() {
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .with_samples(2, 1)
+        .generate()
+        .expect("valid spec");
+    let mut system = HybridSystem::pretrain(
+        SystemConfig {
+            backbone: backbone(),
+            rep_channels: 8,
+            pattern: None,
+            seed: 7,
+        },
+        &upstream,
+        &fit(1),
+    );
+    let ten = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(2, 1)
+        .generate()
+        .expect("valid spec");
+    let hundred = SyntheticSpec::cifar100_like()
+        .with_geometry(8, 3)
+        .with_samples(1, 1)
+        .generate()
+        .expect("valid spec");
+    system.learn_task(&ten, &fit(1));
+    let head = system.snapshot_head();
+    let _ = system.evaluate_with_head(&head, &hundred.test);
+}

@@ -1,0 +1,154 @@
+//! Cross-crate functional-exactness suite: both cycle-level PEs and the
+//! transposed buffer must agree bit-for-bit with the `pim-sparse`
+//! reference kernels, and with the NN-side quantized arithmetic, across
+//! randomized shapes and patterns.
+
+use pim_nn::quant::{quantize_matrix, QuantParams};
+use pim_pe::{MramSparsePe, SparsePe, SramSparsePe, TransposedSramPe};
+use pim_sparse::gemm::{bit_serial_matvec, dense_matvec, masked_dense};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = NmPattern> {
+    prop_oneof![
+        Just(NmPattern::one_of_four()),
+        Just(NmPattern::one_of_eight()),
+        Just(NmPattern::two_of_four()),
+        Just(NmPattern::new(2, 8).expect("valid")),
+        Just(NmPattern::new(1, 16).expect("valid")),
+        Just(NmPattern::new(4, 16).expect("valid")),
+    ]
+}
+
+fn arb_tile() -> impl Strategy<Value = (Matrix<i8>, Vec<i8>)> {
+    (8usize..96, 1usize..8).prop_flat_map(|(rows, cols)| {
+        (
+            proptest::collection::vec(any::<i8>(), rows * cols),
+            proptest::collection::vec(any::<i8>(), rows),
+        )
+            .prop_map(move |(w, x)| {
+                (
+                    Matrix::from_vec(rows, cols, w).expect("sized"),
+                    x,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sram_pe_equals_reference_on_random_tiles(
+        (dense, x) in arb_tile(),
+        pattern in arb_pattern(),
+    ) {
+        let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+        let csc = CscMatrix::compress(&dense, &mask).expect("fits");
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).expect("capacity");
+        let got = pe.matvec(&x).expect("loaded").outputs;
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        let expect = dense_matvec(&masked_dense(&dense, &mask).expect("fits"), &wide)
+            .expect("length");
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mram_pe_equals_reference_on_random_tiles(
+        (dense, x) in arb_tile(),
+        pattern in arb_pattern(),
+    ) {
+        let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+        let csc = CscMatrix::compress(&dense, &mask).expect("fits");
+        let mut pe = MramSparsePe::new();
+        pe.load(&csc).expect("capacity");
+        let got = pe.matvec(&x).expect("loaded").outputs;
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        prop_assert_eq!(got, csc.matvec(&wide).expect("length"));
+    }
+
+    #[test]
+    fn both_pes_agree_with_each_other(
+        (dense, x) in arb_tile(),
+        pattern in arb_pattern(),
+    ) {
+        let csc = CscMatrix::compress(
+            &dense,
+            &prune_magnitude(&dense, pattern).expect("non-empty"),
+        )
+        .expect("fits");
+        let mut sram = SramSparsePe::new();
+        let mut mram = MramSparsePe::new();
+        sram.load(&csc).expect("capacity");
+        mram.load(&csc).expect("capacity");
+        prop_assert_eq!(
+            sram.matvec(&x).expect("loaded").outputs,
+            mram.matvec(&x).expect("loaded").outputs
+        );
+    }
+
+    #[test]
+    fn transposed_buffer_implements_eq1(
+        (dense, _) in arb_tile(),
+        pattern in arb_pattern(),
+        es in proptest::collection::vec(-500i32..500, 8),
+    ) {
+        let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+        let masked = mask.apply(&dense).expect("fits");
+        let mut buf = TransposedSramPe::new();
+        if buf.write_transposed(&masked).is_ok() {
+            let e = &es[..masked.cols()];
+            let got = buf.matvec(e).expect("loaded").outputs;
+            let expect = dense_matvec(&masked.transposed(), e).expect("length");
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn quantized_nn_weights_run_bit_true_on_pes(
+        seedling in proptest::collection::vec(-2.0f32..2.0, 32 * 6),
+        xs in proptest::collection::vec(any::<i8>(), 32),
+    ) {
+        // An f32 "layer weight" quantized the NN way must produce the same
+        // integer accumulators on a PE as the reference integer GEMM.
+        let wf = Matrix::from_vec(32, 6, seedling).expect("sized");
+        let (wq, _params): (Matrix<i8>, QuantParams) = quantize_matrix(&wf);
+        let pattern = NmPattern::two_of_four();
+        let mask = prune_magnitude(&wq, pattern).expect("non-empty");
+        let csc = CscMatrix::compress(&wq, &mask).expect("fits");
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).expect("capacity");
+        let got = pe.matvec(&xs).expect("loaded").outputs;
+        let wide: Vec<i32> = xs.iter().map(|&v| v as i32).collect();
+        prop_assert_eq!(got, csc.matvec(&wide).expect("length"));
+    }
+
+    #[test]
+    fn bit_serial_reference_is_internally_consistent(
+        (dense, x) in arb_tile(),
+    ) {
+        // The SRAM PE's arithmetic decomposition equals plain integer GEMM.
+        let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
+        prop_assert_eq!(
+            bit_serial_matvec(&dense, &x).expect("length"),
+            dense_matvec(&dense, &wide).expect("length")
+        );
+    }
+}
+
+#[test]
+fn pe_stats_accumulate_identically_for_identical_work() {
+    let dense = Matrix::from_fn(64, 8, |r, c| ((r * 3 + c * 5) % 21) as i8 - 10);
+    let csc = CscMatrix::compress_auto(&dense, NmPattern::one_of_four()).expect("fits");
+    let x = vec![1i8; 64];
+    let mut a = SramSparsePe::new();
+    let mut b = SramSparsePe::new();
+    for pe in [&mut a, &mut b] {
+        pe.load(&csc).expect("capacity");
+        pe.matvec(&x).expect("loaded");
+        pe.matvec(&x).expect("loaded");
+    }
+    assert_eq!(a.stats(), b.stats());
+}
