@@ -64,7 +64,8 @@ impl DenseMacro {
         let cell = SramCell::new(SramCellKind::Compute8T, &tech);
         // Strip the sparse circuitry: index decoder block and the 4/12
         // index share of the bit-cell array.
-        let area = comp.total_area() - comp.index_decoder.area() - comp.bit_cell.area() * (4.0 / 12.0);
+        let area =
+            comp.total_area() - comp.index_decoder.area() - comp.bit_cell.area() * (4.0 / 12.0);
         let cells = 128u64 * 64;
         Self {
             name: "ISSCC'21 dense SRAM",
@@ -180,9 +181,8 @@ impl DenseMacro {
         // Rows written sequentially per PE but PEs in parallel; the
         // per-deployment roll-up divides by PE count. Here: per-PE view.
         let rows_per_pe_write = rows.min(self.rows_per_pe).max(1);
-        let latency = Latency::from_ns(
-            rows_per_pe_write as f64 * self.write_latency_per_row.as_ns(),
-        );
+        let latency =
+            Latency::from_ns(rows_per_pe_write as f64 * self.write_latency_per_row.as_ns());
         let cycles = (latency.as_ns() / self.node.cycle_ns()).ceil() as u64;
         let mut energy = EnergyLedger::new();
         energy.add_write(self.write_energy_per_bit * bits as f64);

@@ -206,8 +206,16 @@ mod tests {
     fn idle_gaps_are_respected() {
         let bus = SharedBus::dac24();
         let requests = vec![
-            TransferRequest { pe: 0, ready_cycle: 0, bits: 64 },
-            TransferRequest { pe: 1, ready_cycle: 100, bits: 64 },
+            TransferRequest {
+                pe: 0,
+                ready_cycle: 0,
+                bits: 64,
+            },
+            TransferRequest {
+                pe: 1,
+                ready_cycle: 100,
+                bits: 64,
+            },
         ];
         let grants = bus.arbitrate(&requests);
         assert_eq!(grants[1].start_cycle, 100, "bus idles until ready");

@@ -55,10 +55,7 @@ impl fmt::Display for CoreRunReport {
         write!(
             f,
             "{} PEs: {} compute + {} bus cycles, energy {}",
-            self.pes_used,
-            self.compute_cycles,
-            self.bus_drain_cycles,
-            self.energy
+            self.pes_used, self.compute_cycles, self.bus_drain_cycles, self.energy
         )
     }
 }
@@ -200,7 +197,9 @@ mod tests {
     use pim_sparse::gemm::{dense_matvec, masked_dense};
 
     fn layer(rows: usize, cols: usize) -> Matrix<i8> {
-        Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8)
+        Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 7) % 251) as i32 - 125) as i8
+        })
     }
 
     #[test]

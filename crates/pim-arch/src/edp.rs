@@ -193,10 +193,10 @@ pub fn hybrid_training_step(
     latency += update_latency;
 
     // Idle leakage of the whole hybrid fabric over the added wall-clock.
-    let sram_leak = crate::pe_model::SramTileModel::dac24().leakage_power()
-        * hybrid.sram.pe_count as f64;
-    let mram_leak = crate::pe_model::MramTileModel::dac24().leakage_power()
-        * hybrid.mram.pe_count as f64;
+    let sram_leak =
+        crate::pe_model::SramTileModel::dac24().leakage_power() * hybrid.sram.pe_count as f64;
+    let mram_leak =
+        crate::pe_model::MramTileModel::dac24().leakage_power() * hybrid.mram.pe_count as f64;
     energy.add_leakage((sram_leak + mram_leak) * (bwd_latency + update_latency));
 
     Ok(TrainingCost {

@@ -371,8 +371,7 @@ impl Mapper {
         Ok(Deployment {
             name: format!("{} {pattern} on MRAM sparse PEs", model.name),
             pe_count,
-            area: pim_device::components::MramPeComponents::dac24().total_area()
-                * pe_count as f64,
+            area: pim_device::components::MramPeComponents::dac24().total_area() * pe_count as f64,
             storage_bits,
             latency,
             energy,
@@ -611,22 +610,20 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_model() -> impl Strategy<Value = ModelProfile> {
-        proptest::collection::vec(
-            (16usize..512, 8usize..256, 1usize..64),
-            1..6,
+        proptest::collection::vec((16usize..512, 8usize..256, 1usize..64), 1..6).prop_map(
+            |layers| {
+                ModelProfile::new(
+                    "prop",
+                    layers
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (red, out, passes))| {
+                            LayerShape::new(format!("l{i}"), red, out, passes)
+                        })
+                        .collect(),
+                )
+            },
         )
-        .prop_map(|layers| {
-            ModelProfile::new(
-                "prop",
-                layers
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (red, out, passes))| {
-                        LayerShape::new(format!("l{i}"), red, out, passes)
-                    })
-                    .collect(),
-            )
-        })
     }
 
     proptest! {

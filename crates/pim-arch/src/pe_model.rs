@@ -48,10 +48,10 @@ impl SramTileModel {
 
     /// Static leakage power of one whole PE array.
     pub fn leakage_power(&self) -> Power {
-        let wcells = (self.config.rows * self.config.column_groups) as f64
-            * self.config.weight_bits as f64;
-        let icells = (self.config.rows * self.config.column_groups) as f64
-            * self.config.index_bits as f64;
+        let wcells =
+            (self.config.rows * self.config.column_groups) as f64 * self.config.weight_bits as f64;
+        let icells =
+            (self.config.rows * self.config.column_groups) as f64 * self.config.index_bits as f64;
         let w = SramCell::new(SramCellKind::Compute8T, &self.config.tech);
         let i = SramCell::new(SramCellKind::Index6T, &self.config.tech);
         w.leakage() * wcells + i.leakage() * icells
@@ -177,8 +177,7 @@ impl MramTileModel {
         let bits_written = pairs * pair_bits / 2;
         let cycles = rows_written
             * (self.config.mtj.write_latency.as_ns() / self.config.tech.cycle_ns()).ceil() as u64;
-        let latency =
-            Latency::from_ns(rows_written as f64 * self.config.mtj.write_latency.as_ns());
+        let latency = Latency::from_ns(rows_written as f64 * self.config.mtj.write_latency.as_ns());
         let comp = &self.config.components;
         let mut energy = self.leakage_over(latency);
         energy.add_write(self.config.mtj.write_energy * bits_written as f64);
@@ -207,7 +206,9 @@ mod tests {
     use pim_sparse::{CscMatrix, Matrix, NmPattern};
 
     fn tile(rows: usize, cols: usize, pattern: NmPattern) -> CscMatrix {
-        let dense = Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+        let dense = Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 7) % 251) as i32 - 125) as i8
+        });
         let mask = prune_magnitude(&dense, pattern).unwrap();
         CscMatrix::compress(&dense, &mask).unwrap()
     }

@@ -165,7 +165,11 @@ impl fmt::Display for SimulationReport {
             100.0 * self.weighted_utilization()
         )?;
         for (name, cycles, util) in &self.layers {
-            writeln!(f, "  {name:<20} {cycles:>10} cycles  {:>5.1}%", 100.0 * util)?;
+            writeln!(
+                f,
+                "  {name:<20} {cycles:>10} cycles  {:>5.1}%",
+                100.0 * util
+            )?;
         }
         Ok(())
     }

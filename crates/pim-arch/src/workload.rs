@@ -151,7 +151,13 @@ impl ModelProfile {
                 let cin = if b == 0 { cin_stage } else { cout };
                 let pfx = format!("s{}b{}", s + 2, b);
                 layers.push(LayerShape::conv(format!("{pfx}.conv1"), cin, width, 1, hw));
-                layers.push(LayerShape::conv(format!("{pfx}.conv2"), width, width, 3, hw));
+                layers.push(LayerShape::conv(
+                    format!("{pfx}.conv2"),
+                    width,
+                    width,
+                    3,
+                    hw,
+                ));
                 layers.push(LayerShape::conv(format!("{pfx}.conv3"), width, cout, 1, hw));
                 if b == 0 {
                     layers.push(LayerShape::conv(format!("{pfx}.down"), cin, cout, 1, hw));

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
         println!("{}", csc_vs_csr(512, 128, pattern));
     }
 
-    let dense = Matrix::from_fn(512, 128, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+    let dense = Matrix::from_fn(512, 128, |r, c| {
+        (((r * 31 + c * 7) % 251) as i32 - 125) as i8
+    });
     let mask = prune_magnitude(&dense, NmPattern::one_of_four()).expect("non-empty");
     let masked = mask.apply(&dense).expect("fits");
     let csc = CscMatrix::compress(&masked, &mask).expect("fits");

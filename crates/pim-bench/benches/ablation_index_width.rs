@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
     ] {
         let rows = 128 * pattern.m();
         let dense = Matrix::from_fn(rows, 8, |r, c| {
-            if r % pattern.m() == c % pattern.m() { ((r % 63) as i8) - 31 } else { 0 }
+            if r % pattern.m() == c % pattern.m() {
+                ((r % 63) as i8) - 31
+            } else {
+                0
+            }
         });
         let csc = CscMatrix::compress_auto(&dense, pattern).expect("fits");
         let x: Vec<i8> = (0..rows).map(|i| (i % 120) as i8).collect();

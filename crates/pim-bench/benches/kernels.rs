@@ -14,7 +14,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     banner("Kernel micro-benchmarks");
-    let dense = Matrix::from_fn(512, 64, |r, c| (((r * 31 + c * 7) % 251) as i32 - 125) as i8);
+    let dense = Matrix::from_fn(512, 64, |r, c| {
+        (((r * 31 + c * 7) % 251) as i32 - 125) as i8
+    });
     let pattern = NmPattern::one_of_four();
     let mask = prune_magnitude(&dense, pattern).expect("non-empty");
     let masked = mask.apply(&dense).expect("fits");

@@ -65,7 +65,9 @@ impl fmt::Display for CscVsCsr {
 
 /// Quantifies the CSC-vs-CSR trade-off on a representative sparse matrix.
 pub fn csc_vs_csr(rows: usize, cols: usize, pattern: NmPattern) -> CscVsCsr {
-    let dense = Matrix::from_fn(rows, cols, |r, c| (((r * 37 + c * 11) % 251) as i32 - 125) as i8);
+    let dense = Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 37 + c * 11) % 251) as i32 - 125) as i8
+    });
     let mask = prune_magnitude(&dense, pattern).expect("non-empty");
     let masked = mask.apply(&dense).expect("shapes agree");
     let csc = CscMatrix::compress(&masked, &mask).expect("mask fits");

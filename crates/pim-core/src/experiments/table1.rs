@@ -290,8 +290,7 @@ pub fn run_table1(cfg: &Table1Config) -> Table1 {
     let datasets: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
 
     let mut rows = Vec::new();
-    let mut configs: Vec<(String, Option<NmPattern>)> =
-        vec![("Dense RepNet".to_owned(), None)];
+    let mut configs: Vec<(String, Option<NmPattern>)> = vec![("Dense RepNet".to_owned(), None)];
     configs.extend(
         cfg.patterns
             .iter()

@@ -21,26 +21,37 @@ use pim_nn::models::RepNet;
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
 use pim_nn::tensor::Tensor;
-use pim_pe::{PeError, SparsePe, SramSparsePe};
+use pim_pe::{PeError, PeStats, SparsePe, SramSparsePe};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
 use std::fmt;
 
 /// Aggregate execution statistics of one PE-executed forward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PeRunStats {
-    /// PE matvec operations issued.
-    pub matvecs: u64,
-    /// Total PE cycles across all tiles (tiles run in parallel on real
-    /// hardware; this is the summed work).
-    pub cycles: u64,
+///
+/// This is the full [`pim_pe::PeStats`] ledger — cycles, busy time,
+/// itemized energy, and MAC counts folded with
+/// [`PeStats::record_matvec`] exactly as the PEs themselves account it —
+/// so callers (the verifier, the serving runtime) no longer recompute
+/// cycle/energy totals ad hoc. Tiles run in parallel on real hardware;
+/// these are the summed per-tile figures.
+pub type PeRunStats = PeStats;
+
+/// One loaded PE column tile of a layer.
+#[derive(Debug, Clone)]
+struct PeTile {
+    pe: SramSparsePe,
+    /// Output-column range `[col_start, col_end)` this tile covers.
+    col_start: usize,
+    col_end: usize,
+    /// Occupied CSC slots — the MACs one matvec on this tile performs.
+    nnz: u64,
 }
 
 /// A conv or linear layer compiled into weight-stationary SRAM PE tiles.
+#[derive(Debug, Clone)]
 struct PeLayer {
     name: String,
-    /// One loaded PE per column tile, with its output-column range.
-    tiles: Vec<(SramSparsePe, usize, usize)>,
+    tiles: Vec<PeTile>,
     weight_scale: f32,
     bias: Vec<f32>,
     reduction: usize,
@@ -75,7 +86,12 @@ impl PeLayer {
             let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
             let mut pe = SramSparsePe::new();
             pe.load(&csc)?;
-            tiles.push((pe, c, end));
+            tiles.push(PeTile {
+                pe,
+                col_start: c,
+                col_end: end,
+                nnz: csc.nnz() as u64,
+            });
             c = end;
         }
         Ok(Self {
@@ -97,16 +113,21 @@ impl PeLayer {
         let x_q: Vec<i8> = x.iter().map(|&v| x_params.quantize_value(v)).collect();
         let out_scale = self.weight_scale * x_params.scale();
         let mut y = vec![0.0f32; self.outputs];
-        for (pe, c0, c1) in &mut self.tiles {
-            let report = pe.matvec(&x_q).expect("tile loaded at compile time");
-            stats.matvecs += 1;
-            stats.cycles += report.cycles;
+        for tile in &mut self.tiles {
+            let report = tile.pe.matvec(&x_q).expect("tile loaded at compile time");
+            stats.record_matvec(&report, tile.nnz);
             for (j, &acc) in report.outputs.iter().enumerate() {
-                y[*c0 + j] = acc as f32 * out_scale + self.bias[*c0 + j];
+                y[tile.col_start + j] = acc as f32 * out_scale + self.bias[tile.col_start + j];
             }
-            debug_assert_eq!(*c1 - *c0, report.outputs.len());
+            debug_assert_eq!(tile.col_end - tile.col_start, report.outputs.len());
         }
         y
+    }
+
+    /// Cumulative statistics of this layer's tiles, as the PEs account
+    /// them (includes the compile-time tile load).
+    fn cumulative_stats(&self) -> PeStats {
+        self.tiles.iter().map(|t| *t.pe.stats()).sum()
     }
 
     /// Convolution over an NCHW tensor by per-position im2col matvecs.
@@ -132,8 +153,7 @@ impl PeLayer {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix =
-                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -167,6 +187,7 @@ fn pattern_of_linear(fc: &SparseLinear) -> NmPattern {
 }
 
 /// One Rep-Net module compiled onto PEs.
+#[derive(Debug, Clone)]
 struct PeModule {
     pools_prev: bool,
     proj: PeLayer,
@@ -193,6 +214,11 @@ struct PeModule {
 /// assert!(stats.matvecs > 0);
 /// # Ok::<(), pim_pe::PeError>(())
 /// ```
+///
+/// Cloning a compiled branch duplicates every loaded tile, so replicas
+/// can serve concurrently (each owning its simulated PEs) without
+/// recompiling — this is what `pim-runtime` fans out across workers.
+#[derive(Debug, Clone)]
 pub struct PeRepNet {
     modules: Vec<PeModule>,
     classifier: PeLayer,
@@ -277,15 +303,19 @@ impl PeRepNet {
             let projected = module.proj.conv_forward(tap, &mut stats);
             // Mix with the (pooled) carried state; digital periphery.
             let mix = match (&rep, module.pools_prev) {
-                (Some(r), true) => projected
-                    .add(&avg_pool2(r))
-                    .expect("rep shapes align"),
+                (Some(r), true) => projected.add(&avg_pool2(r)).expect("rep shapes align"),
                 (Some(r), false) => projected.add(r).expect("rep shapes align"),
                 (None, _) => projected,
             };
             let a = mix.map(|v| v.max(0.0)); // global ReLU
-            let h = module.conv3.conv_forward(&a, &mut stats).map(|v| v.max(0.0));
-            let o = module.conv1.conv_forward(&h, &mut stats).map(|v| v.max(0.0));
+            let h = module
+                .conv3
+                .conv_forward(&a, &mut stats)
+                .map(|v| v.max(0.0));
+            let o = module
+                .conv1
+                .conv_forward(&h, &mut stats)
+                .map(|v| v.max(0.0));
             rep = Some(o);
         }
         let rep_state = rep.expect("at least one module");
@@ -295,8 +325,7 @@ impl PeRepNet {
         for b in 0..batch {
             let mut row = Vec::with_capacity(self.feature_width + rep_feat.shape()[1]);
             row.extend_from_slice(
-                &out.features.as_slice()
-                    [b * self.feature_width..(b + 1) * self.feature_width],
+                &out.features.as_slice()[b * self.feature_width..(b + 1) * self.feature_width],
             );
             let rc = rep_feat.shape()[1];
             row.extend_from_slice(&rep_feat.as_slice()[b * rc..(b + 1) * rc]);
@@ -319,6 +348,28 @@ impl PeRepNet {
             .map(|m| m.proj.tiles.len() + m.conv3.tiles.len() + m.conv1.tiles.len())
             .sum::<usize>()
             + self.classifier.tiles.len()
+    }
+
+    /// Per-layer cumulative statistics, straight from each tile's own
+    /// [`PeStats`] ledger (so cycle/energy counters are never recomputed
+    /// outside the PEs). Includes the compile-time tile loads.
+    pub fn layer_stats(&self) -> Vec<(String, PeStats)> {
+        let mut out = Vec::with_capacity(3 * self.modules.len() + 1);
+        for m in &self.modules {
+            for layer in [&m.proj, &m.conv3, &m.conv1] {
+                out.push((layer.name.clone(), layer.cumulative_stats()));
+            }
+        }
+        out.push((
+            self.classifier.name.clone(),
+            self.classifier.cumulative_stats(),
+        ));
+        out
+    }
+
+    /// Cumulative statistics over the whole branch (loads + matvecs).
+    pub fn cumulative_stats(&self) -> PeStats {
+        self.layer_stats().into_iter().map(|(_, s)| s).sum()
     }
 }
 
@@ -368,8 +419,7 @@ fn global_avg_pool(t: &Tensor) -> Tensor {
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
-            os[ni * c + ci] =
-                x[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
+            os[ni * c + ci] = x[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
         }
     }
     out
@@ -470,6 +520,36 @@ mod tests {
         let compiled = PeRepNet::compile(&mut model).expect("dense encoding fits");
         assert!(compiled.tile_count() > 0);
         assert!(compiled.to_string().contains("SRAM PE tiles"));
+    }
+
+    #[test]
+    fn run_stats_carry_energy_and_latency() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        let (x, _) = task.test.batch(&[0]);
+        let (_, stats) = compiled.predict(&mut model, &x);
+        assert!(stats.total_energy().as_pj() > 0.0);
+        assert!(stats.busy_time.as_ns() > 0.0);
+        assert!(stats.macs > 0);
+        assert_eq!(stats.loads, 0, "predict never reloads tiles");
+        // Per-layer ledgers cover compile-time loads plus this run.
+        let layers = compiled.layer_stats();
+        assert_eq!(layers.len(), 3 * 2 + 1);
+        let total = compiled.cumulative_stats();
+        assert!(total.loads as usize >= compiled.tile_count());
+        assert!(total.matvecs >= stats.matvecs);
+    }
+
+    #[test]
+    fn cloned_branch_replays_bit_exactly() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        let mut replica = compiled.clone();
+        let mut model2 = model.clone();
+        let (x, _) = task.test.batch(&[0, 1, 2]);
+        let (a, _) = compiled.predict(&mut model, &x);
+        let (b, _) = replica.predict(&mut model2, &x);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

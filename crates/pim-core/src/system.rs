@@ -15,8 +15,7 @@
 
 use crate::profile::{profile_backbone, profile_repnet};
 use crate::verify::{
-    verify_conv_on_mram, verify_error_propagation, verify_linear_on_sram, VerifyError,
-    VerifyReport,
+    verify_conv_on_mram, verify_error_propagation, verify_linear_on_sram, VerifyError, VerifyReport,
 };
 use pim_arch::mapper::{HybridDeployment, MapError, Mapper};
 use pim_data::Task;
@@ -282,8 +281,16 @@ impl HybridSystem {
         let mut reports = Vec::new();
         for (i, module) in self.model.modules().iter().enumerate() {
             let [conv3, conv1] = module.sparse_convs();
-            reports.push(verify_conv_on_mram(&format!("rep{i}.conv3"), conv3, 40 + i as u64)?);
-            reports.push(verify_conv_on_mram(&format!("rep{i}.conv1"), conv1, 80 + i as u64)?);
+            reports.push(verify_conv_on_mram(
+                &format!("rep{i}.conv3"),
+                conv3,
+                40 + i as u64,
+            )?);
+            reports.push(verify_conv_on_mram(
+                &format!("rep{i}.conv1"),
+                conv1,
+                80 + i as u64,
+            )?);
         }
         reports.push(verify_linear_on_sram(
             "classifier",
@@ -341,8 +348,11 @@ mod tests {
     #[test]
     fn end_to_end_learning_beats_chance() {
         let up = upstream();
-        let mut system =
-            HybridSystem::pretrain(tiny_config(Some(NmPattern::one_of_four())), &up, &tiny_fit());
+        let mut system = HybridSystem::pretrain(
+            tiny_config(Some(NmPattern::one_of_four())),
+            &up,
+            &tiny_fit(),
+        );
         let task = SyntheticSpec::cifar10_like()
             .with_geometry(8, 3)
             .with_samples(8, 4)
@@ -373,8 +383,11 @@ mod tests {
     #[test]
     fn sparse_system_prunes_learnable_path() {
         let up = upstream();
-        let mut system =
-            HybridSystem::pretrain(tiny_config(Some(NmPattern::one_of_eight())), &up, &tiny_fit());
+        let mut system = HybridSystem::pretrain(
+            tiny_config(Some(NmPattern::one_of_eight())),
+            &up,
+            &tiny_fit(),
+        );
         let task = SyntheticSpec::cifar10_like()
             .with_geometry(8, 3)
             .with_samples(4, 2)
@@ -387,9 +400,12 @@ mod tests {
                 let mask = conv.mask().expect("pattern applied");
                 let (rows, _) = mask.shape();
                 let pattern = mask.pattern();
-                let bound =
-                    pattern.groups_for(rows) as f64 * pattern.n() as f64 / rows as f64;
-                assert!(conv.density() <= bound + 1e-9, "{} > {bound}", conv.density());
+                let bound = pattern.groups_for(rows) as f64 * pattern.n() as f64 / rows as f64;
+                assert!(
+                    conv.density() <= bound + 1e-9,
+                    "{} > {bound}",
+                    conv.density()
+                );
             }
         }
     }
@@ -397,8 +413,11 @@ mod tests {
     #[test]
     fn deployment_report_is_consistent() {
         let up = upstream();
-        let system =
-            HybridSystem::pretrain(tiny_config(Some(NmPattern::one_of_four())), &up, &tiny_fit());
+        let system = HybridSystem::pretrain(
+            tiny_config(Some(NmPattern::one_of_four())),
+            &up,
+            &tiny_fit(),
+        );
         let dep = system.deployment().expect("mappable");
         assert!(dep.mram.pe_count > 0);
         assert!(dep.sram.pe_count > 0);
@@ -410,8 +429,11 @@ mod tests {
     #[test]
     fn trained_system_verifies_bit_exactly_on_pes() {
         let up = upstream();
-        let mut system =
-            HybridSystem::pretrain(tiny_config(Some(NmPattern::one_of_four())), &up, &tiny_fit());
+        let mut system = HybridSystem::pretrain(
+            tiny_config(Some(NmPattern::one_of_four())),
+            &up,
+            &tiny_fit(),
+        );
         let task = SyntheticSpec::cifar10_like()
             .with_geometry(8, 3)
             .with_samples(4, 2)

@@ -11,7 +11,7 @@
 
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
-use pim_pe::{MramSparsePe, PeError, SparsePe, SramSparsePe, TransposedSramPe};
+use pim_pe::{MramSparsePe, PeError, PeStats, SparsePe, SramSparsePe, TransposedSramPe};
 use pim_sparse::gemm::dense_matvec;
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
@@ -33,8 +33,12 @@ pub struct VerifyReport {
     /// Largest absolute difference between PE and reference outputs
     /// (must be 0).
     pub max_abs_error: i64,
-    /// Total PE cycles across tiles.
+    /// Total PE cycles across tiles (tile load + matvec).
     pub cycles: u64,
+    /// Full execution ledger straight from the PEs' own [`PeStats`]
+    /// accounting — cycles, busy time, itemized energy, and MACs are
+    /// never recomputed here.
+    pub stats: PeStats,
 }
 
 impl VerifyReport {
@@ -48,12 +52,13 @@ impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} on {}: {} cols in {} tiles, {} cycles, {}",
+            "{} on {}: {} cols in {} tiles, {} cycles, {} energy, {}",
             self.layer,
             self.fabric,
             self.columns,
             self.tiles,
             self.cycles,
+            self.stats.total_energy(),
             if self.is_exact() {
                 "bit-exact".to_owned()
             } else {
@@ -105,7 +110,9 @@ fn effective_pattern(mask_pattern: Option<NmPattern>) -> NmPattern {
 /// Deterministic INT8 test activations.
 fn test_activations(len: usize, seed: u64) -> Vec<i8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.random_range(-128i32..128) as i8).collect()
+    (0..len)
+        .map(|_| rng.random_range(-128i32..128) as i8)
+        .collect()
 }
 
 /// Splits the columns of a masked INT8 weight matrix into PE-sized tiles
@@ -116,10 +123,10 @@ fn run_tiled<P: SparsePe>(
     cols_per_tile: usize,
     x: &[i8],
     mut make_pe: impl FnMut() -> P,
-) -> Result<(Vec<i32>, usize, u64), VerifyError> {
+) -> Result<(Vec<i32>, usize, PeStats), VerifyError> {
     let mut outputs = Vec::with_capacity(masked.cols());
     let mut tiles = 0usize;
-    let mut cycles = 0u64;
+    let mut stats = PeStats::new();
     let mut c = 0;
     while c < masked.cols() {
         let end = (c + cols_per_tile).min(masked.cols());
@@ -129,12 +136,14 @@ fn run_tiled<P: SparsePe>(
         let mut pe = make_pe();
         pe.load(&csc)?;
         let report = pe.matvec(x)?;
-        cycles += report.cycles;
         outputs.extend(report.outputs);
+        // Each tile ran on a fresh PE, so its cumulative ledger *is* the
+        // per-tile contribution (load + matvec) — no ad hoc counting.
+        stats += *pe.stats();
         tiles += 1;
         c = end;
     }
-    Ok((outputs, tiles, cycles))
+    Ok((outputs, tiles, stats))
 }
 
 /// Generic layer verification over a reduction-first weight matrix.
@@ -160,7 +169,7 @@ fn verify_matrix(
     let reference = dense_matvec(&masked, &x_wide).expect("length matches");
 
     let slots_per_col = pattern.slots_for(w.rows());
-    let (outputs, tiles, cycles) = if on_sram {
+    let (outputs, tiles, stats) = if on_sram {
         let groups_per_col = slots_per_col.div_ceil(128).max(1);
         let cols_per_tile = (8 / groups_per_col).max(1);
         run_tiled(&masked, pattern, cols_per_tile, &x, SramSparsePe::new)?
@@ -182,7 +191,8 @@ fn verify_matrix(
         columns: w.cols(),
         tiles,
         max_abs_error,
-        cycles,
+        cycles: stats.cycles,
+        stats,
     })
 }
 
@@ -308,13 +318,15 @@ pub fn verify_error_propagation(
         .map(|(a, b)| (*a as i64 - *b as i64).abs())
         .max()
         .unwrap_or(0);
+    let stats = *buf.stats();
     Ok(VerifyReport {
         layer: name.to_owned(),
         fabric: "transposed-sram",
         columns: w.rows(),
         tiles: 1,
         max_abs_error,
-        cycles: report.cycles,
+        cycles: stats.cycles,
+        stats,
     })
 }
 
@@ -369,6 +381,22 @@ mod tests {
         fc.apply_pattern(NmPattern::one_of_eight());
         assert!(verify_linear_on_mram("fc", &fc, 22).unwrap().is_exact());
         assert!(verify_linear_on_sram("fc", &fc, 22).unwrap().is_exact());
+    }
+
+    #[test]
+    fn reports_carry_the_pe_ledger() {
+        let mut fc = SparseLinear::new(64, 24, 5);
+        fc.apply_pattern(NmPattern::one_of_four());
+        let report = verify_linear_on_sram("fc", &fc, 1).unwrap();
+        // The ledger comes straight from the PEs: one load + one matvec
+        // per tile, non-zero energy and busy time, and the headline cycle
+        // count is the ledger's.
+        assert_eq!(report.stats.loads as usize, report.tiles);
+        assert_eq!(report.stats.matvecs as usize, report.tiles);
+        assert_eq!(report.cycles, report.stats.cycles);
+        assert!(report.stats.total_energy().as_pj() > 0.0);
+        assert!(report.stats.busy_time.as_ns() > 0.0);
+        assert!(report.stats.macs > 0);
     }
 
     #[test]

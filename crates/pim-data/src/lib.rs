@@ -212,8 +212,8 @@ impl SyntheticSpec {
                 let _ = i;
             }
         }
-        let inputs = Tensor::from_vec(vec![total, c, s, s], data)
-            .expect("buffer sized from the same dims");
+        let inputs =
+            Tensor::from_vec(vec![total, c, s, s], data).expect("buffer sized from the same dims");
         Dataset::new(inputs, labels, self.classes)
     }
 }
@@ -375,8 +375,7 @@ mod tests {
             let task = spec.generate().unwrap();
             // Average within-class variance of raw pixels as a crude proxy.
             let t = task.train.inputs();
-            let noise_power: f32 =
-                t.as_slice().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
+            let noise_power: f32 = t.as_slice().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
             noise_power
         };
         assert!(sep(1.2) > sep(0.3));

@@ -104,12 +104,7 @@ impl EnduranceModel {
     }
 
     /// Wall-clock lifetime under a fixed training cadence.
-    pub fn lifetime(
-        &self,
-        writes_per_step: u64,
-        cells: u64,
-        step_period: Latency,
-    ) -> Latency {
+    pub fn lifetime(&self, writes_per_step: u64, cells: u64, step_period: Latency) -> Latency {
         let steps = self.steps_to_failure(writes_per_step, cells);
         Latency::from_ns(steps * step_period.as_ns())
     }

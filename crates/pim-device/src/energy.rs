@@ -10,7 +10,7 @@
 use crate::units::{Energy, Latency, Power};
 use std::fmt;
 use std::iter::Sum;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// Itemized energy record of some simulated activity.
 ///
@@ -119,6 +119,24 @@ impl Add for EnergyLedger {
 impl AddAssign for EnergyLedger {
     fn add_assign(&mut self, rhs: Self) {
         *self = *self + rhs;
+    }
+}
+
+impl Sub for EnergyLedger {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            leakage: self.leakage - rhs.leakage,
+            read: self.read - rhs.read,
+            write: self.write - rhs.write,
+            compute: self.compute - rhs.compute,
+        }
+    }
+}
+
+impl SubAssign for EnergyLedger {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
     }
 }
 

@@ -45,4 +45,4 @@ pub use endurance::EnduranceModel;
 pub use energy::EnergyLedger;
 pub use mtj::{Mtj, MtjState};
 pub use tech::TechnologyParams;
-pub use units::{Area, Energy, Latency, Power};
+pub use units::{edp, Area, Energy, Latency, Power};

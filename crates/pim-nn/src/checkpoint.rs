@@ -44,7 +44,10 @@ impl fmt::Display for CheckpointError {
             Self::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
             Self::BadMagic => write!(f, "not a pim checkpoint (bad magic)"),
             Self::ShapeMismatch { index, detail } => {
-                write!(f, "checkpoint entry {index} does not fit the model: {detail}")
+                write!(
+                    f,
+                    "checkpoint entry {index} does not fit the model: {detail}"
+                )
             }
         }
     }
@@ -134,10 +137,7 @@ pub fn save<W: Write>(model: &mut (impl Model + ?Sized), writer: W) -> io::Resul
 ///
 /// Returns [`CheckpointError`] on I/O failure, wrong magic, or any shape
 /// disagreement between the checkpoint and the receiving model.
-pub fn load<R: Read>(
-    model: &mut (impl Model + ?Sized),
-    reader: R,
-) -> Result<(), CheckpointError> {
+pub fn load<R: Read>(model: &mut (impl Model + ?Sized), reader: R) -> Result<(), CheckpointError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -223,10 +223,7 @@ pub fn load<R: Read>(
 /// # Errors
 ///
 /// Returns any I/O error from creating or writing the file.
-pub fn save_to_file(
-    model: &mut (impl Model + ?Sized),
-    path: impl AsRef<Path>,
-) -> io::Result<()> {
+pub fn save_to_file(model: &mut (impl Model + ?Sized), path: impl AsRef<Path>) -> io::Result<()> {
     save(model, File::create(path)?)
 }
 

@@ -103,12 +103,7 @@ mod tests {
     fn normal_matches_requested_std_roughly() {
         let w = normal(&[10_000], 0.5, 3);
         let mean = w.mean();
-        let var = w
-            .as_slice()
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f32>()
-            / w.len() as f32;
+        let var = w.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.len() as f32;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.03, "std {}", var.sqrt());
     }

@@ -175,16 +175,13 @@ impl Conv2d {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix =
-                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
                                 let col = (ci * k + ky) * k + kx;
-                                cols[row_base + col] = x[((ni * cin + ci) * h
-                                    + iy as usize)
-                                    * w
-                                    + ix as usize];
+                                cols[row_base + col] =
+                                    x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
                             }
                         }
                     }
@@ -265,8 +262,7 @@ impl Layer for Conv2d {
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let row = (ni * oh + oy) * ow + ox;
-                        go_rows[row * cout + co] =
-                            go[((ni * cout + co) * oh + oy) * ow + ox];
+                        go_rows[row * cout + co] = go[((ni * cout + co) * oh + oy) * ow + ox];
                     }
                 }
             }
@@ -303,8 +299,7 @@ impl Layer for Conv2d {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix =
-                                    (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -313,8 +308,7 @@ impl Layer for Conv2d {
                                 for (co, &g) in grow.iter().enumerate() {
                                     acc += g * weight[co * red + r];
                                 }
-                                gxs[((ni * cin + ci) * h + iy as usize) * w + ix as usize] +=
-                                    acc;
+                                gxs[((ni * cin + ci) * h + iy as usize) * w + ix as usize] += acc;
                             }
                         }
                     }

@@ -104,7 +104,10 @@ impl Linear {
             (self.in_features, self.out_features),
             "weight matrix shape mismatch"
         );
-        self.weight.value.as_mut_slice().copy_from_slice(w.as_slice());
+        self.weight
+            .value
+            .as_mut_slice()
+            .copy_from_slice(w.as_slice());
     }
 }
 
@@ -180,11 +183,7 @@ impl Layer for Linear {
             let gxrow = &mut gxs[n * fin..(n + 1) * fin];
             for (i, gxi) in gxrow.iter_mut().enumerate() {
                 let wrow = &w[i * fout..(i + 1) * fout];
-                *gxi = wrow
-                    .iter()
-                    .zip(gorow)
-                    .map(|(&wv, &g)| wv * g)
-                    .sum();
+                *gxi = wrow.iter().zip(gorow).map(|(&wv, &g)| wv * g).sum();
             }
         }
         gx
@@ -229,8 +228,18 @@ mod tests {
             xm.as_mut_slice()[idx] -= eps;
             let yp = fc.forward(&xp, false);
             let ym = fc.forward(&xm, false);
-            let lp: f32 = yp.as_slice().iter().zip(upstream.as_slice()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ym.as_slice().iter().zip(upstream.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = yp
+                .as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ym
+                .as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - gx.as_slice()[idx]).abs() < 1e-2,

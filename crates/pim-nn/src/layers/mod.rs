@@ -342,8 +342,7 @@ mod tests {
 
     #[test]
     fn predictions_take_argmax() {
-        let logits =
-            Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.5]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.5]).unwrap();
         assert_eq!(predictions(&logits), vec![1, 0]);
     }
 }

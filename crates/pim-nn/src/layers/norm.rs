@@ -229,8 +229,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -254,11 +254,7 @@ mod tests {
     #[test]
     fn maxpool_takes_window_maximum() {
         let mut pool = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, -3.0, 2.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, -3.0, 2.0]).unwrap();
         let y = pool.forward(&x, false);
         assert_eq!(y.as_slice(), &[5.0]);
     }

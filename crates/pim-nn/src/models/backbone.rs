@@ -238,10 +238,19 @@ impl Backbone {
         );
         let mut seed = config.seed;
         let mut next_seed = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed
         };
-        let stem = ConvBnRelu::new(config.in_channels, config.stage_widths[0], 3, 1, 1, next_seed());
+        let stem = ConvBnRelu::new(
+            config.in_channels,
+            config.stage_widths[0],
+            3,
+            1,
+            1,
+            next_seed(),
+        );
         let mut stages = Vec::new();
         for (i, &width) in config.stage_widths.iter().enumerate() {
             let transition = if i == 0 {

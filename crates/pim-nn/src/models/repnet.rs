@@ -288,11 +288,8 @@ impl RepNet {
     /// Resets the classifier for a new task with `num_classes` outputs
     /// (each continual-learning task trains a fresh classifier head).
     pub fn reset_classifier(&mut self, num_classes: usize, seed: u64) {
-        self.classifier = SparseLinear::new(
-            self.feature_width + self.rep_channels,
-            num_classes,
-            seed,
-        );
+        self.classifier =
+            SparseLinear::new(self.feature_width + self.rep_channels, num_classes, seed);
     }
 
     /// Installs an existing classifier head (e.g. a snapshot from an
@@ -336,12 +333,7 @@ impl RepNet {
     /// # Panics
     ///
     /// Panics if `taps.len()` differs from the module count.
-    pub fn predict_from_taps(
-        &mut self,
-        taps: &[Tensor],
-        features: &Tensor,
-        train: bool,
-    ) -> Tensor {
+    pub fn predict_from_taps(&mut self, taps: &[Tensor], features: &Tensor, train: bool) -> Tensor {
         assert_eq!(
             taps.len(),
             self.modules.len(),
@@ -427,8 +419,7 @@ fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(&[n, ca + cb]);
     let o = out.as_mut_slice();
     for i in 0..n {
-        o[i * (ca + cb)..i * (ca + cb) + ca]
-            .copy_from_slice(&a.as_slice()[i * ca..(i + 1) * ca]);
+        o[i * (ca + cb)..i * (ca + cb) + ca].copy_from_slice(&a.as_slice()[i * ca..(i + 1) * ca]);
         o[i * (ca + cb) + ca..(i + 1) * (ca + cb)]
             .copy_from_slice(&b.as_slice()[i * cb..(i + 1) * cb]);
     }
@@ -444,8 +435,7 @@ fn split_cols(t: &Tensor, ca: usize) -> (Tensor, Tensor) {
     let mut a = Tensor::zeros(&[n, ca]);
     let mut b = Tensor::zeros(&[n, cb]);
     for i in 0..n {
-        a.as_mut_slice()[i * ca..(i + 1) * ca]
-            .copy_from_slice(&t.as_slice()[i * c..i * c + ca]);
+        a.as_mut_slice()[i * ca..(i + 1) * ca].copy_from_slice(&t.as_slice()[i * c..i * c + ca]);
         b.as_mut_slice()[i * cb..(i + 1) * cb]
             .copy_from_slice(&t.as_slice()[i * c + ca..(i + 1) * c]);
     }

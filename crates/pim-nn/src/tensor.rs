@@ -318,7 +318,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::ShapeMismatch { expected, actual } => {
-                write!(f, "element count {actual} does not match shape ({expected})")
+                write!(
+                    f,
+                    "element count {actual} does not match shape ({expected})"
+                )
             }
             Self::IncompatibleShapes { left, right } => {
                 write!(f, "incompatible shapes {left:?} and {right:?}")
@@ -411,10 +414,7 @@ mod tests {
         let s = Tensor::stack_batch(&[a.clone(), b]).unwrap();
         assert_eq!(s.shape(), &[3, 2]);
         assert_eq!(s.as_slice(), &[1., 2., 3., 4., 5., 6.]);
-        assert_eq!(
-            Tensor::stack_batch(&[]).unwrap_err(),
-            TensorError::Empty
-        );
+        assert_eq!(Tensor::stack_batch(&[]).unwrap_err(), TensorError::Empty);
         let bad = Tensor::zeros(&[1, 3]);
         assert!(Tensor::stack_batch(&[a, bad]).is_err());
     }

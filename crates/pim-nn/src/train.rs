@@ -256,7 +256,10 @@ impl Dataset {
             });
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
-            return Err(DatasetError::LabelOutOfRange { label: bad, classes });
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                classes,
+            });
         }
         Ok(Self {
             inputs,
@@ -455,12 +458,7 @@ mod tests {
             inputs.extend_from_slice(&[a as f32 + jitter, b as f32 - jitter]);
             labels.push((a ^ b) as usize);
         }
-        Dataset::new(
-            Tensor::from_vec(vec![40, 2], inputs).unwrap(),
-            labels,
-            2,
-        )
-        .unwrap()
+        Dataset::new(Tensor::from_vec(vec![40, 2], inputs).unwrap(), labels, 2).unwrap()
     }
 
     #[test]

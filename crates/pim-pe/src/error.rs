@@ -49,7 +49,10 @@ impl fmt::Display for PeError {
             ),
             Self::NotLoaded => write!(f, "no weight tile loaded"),
             Self::InputLength { expected, actual } => {
-                write!(f, "input length {actual} does not match tile rows {expected}")
+                write!(
+                    f,
+                    "input length {actual} does not match tile rows {expected}"
+                )
             }
         }
     }

@@ -99,6 +99,10 @@ struct StoredRow {
 
 /// The MRAM sparse PE simulator. See the module-level documentation for
 /// the pipeline and energy models.
+///
+/// Cloning a loaded PE duplicates its tile program and statistics — the
+/// serving runtime uses this to replicate compiled tiles across workers.
+#[derive(Debug, Clone)]
 pub struct MramSparsePe {
     config: MramPeConfig,
     rows: Vec<StoredRow>,
@@ -315,9 +319,8 @@ impl SparsePe for MramSparsePe {
             .map(|r| r.pairs.len() as u64 * pair_bits)
             .sum();
         let bits_written = total_bits / 2;
-        let cycles =
-            rows_written * (self.config.mtj.write_latency.as_ns() / self.config.tech.cycle_ns())
-                .ceil() as u64;
+        let cycles = rows_written
+            * (self.config.mtj.write_latency.as_ns() / self.config.tech.cycle_ns()).ceil() as u64;
         let latency = Latency::from_ns(rows_written as f64 * self.config.mtj.write_latency.as_ns());
         let mut energy = self.peripheral_leakage(latency);
         energy.add_write(self.config.mtj.write_energy * bits_written as f64);
@@ -599,10 +602,7 @@ mod tests {
         let rb = b.load_with_faults(&csc, 99, 1).unwrap();
         assert_eq!(ra.corrupted_bits, rb.corrupted_bits);
         let x = vec![2i8; 256];
-        assert_eq!(
-            a.matvec(&x).unwrap().outputs,
-            b.matvec(&x).unwrap().outputs
-        );
+        assert_eq!(a.matvec(&x).unwrap().outputs, b.matvec(&x).unwrap().outputs);
     }
 
     #[test]

@@ -106,6 +106,10 @@ struct Segment {
 
 /// The SRAM sparse PE simulator. See the module-level documentation for the
 /// cycle and energy models.
+///
+/// Cloning a loaded PE duplicates its tile program and statistics — the
+/// serving runtime uses this to replicate compiled tiles across workers.
+#[derive(Debug, Clone)]
 pub struct SramSparsePe {
     config: SramPeConfig,
     segments: Vec<Segment>,
@@ -166,8 +170,14 @@ impl SramSparsePe {
             (self.config.rows * self.config.column_groups) as u64 * self.config.weight_bits as u64;
         let icells =
             (self.config.rows * self.config.column_groups) as u64 * self.config.index_bits as u64;
-        e.add_leakage(self.cell(SramCellKind::Compute8T).leakage_energy(wcells, elapsed));
-        e.add_leakage(self.cell(SramCellKind::Index6T).leakage_energy(icells, elapsed));
+        e.add_leakage(
+            self.cell(SramCellKind::Compute8T)
+                .leakage_energy(wcells, elapsed),
+        );
+        e.add_leakage(
+            self.cell(SramCellKind::Index6T)
+                .leakage_energy(icells, elapsed),
+        );
         e
     }
 }
@@ -236,8 +246,7 @@ impl SparsePe for SramSparsePe {
         let cycles = rows_touched.max(1);
         let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
         let total_slots: u64 = self.segments.iter().map(|s| s.slots.len() as u64).sum();
-        let bits_written =
-            total_slots * (self.config.weight_bits + self.config.index_bits) as u64;
+        let bits_written = total_slots * (self.config.weight_bits + self.config.index_bits) as u64;
         let mut energy = self.leakage_over(latency);
         let w_cell = self.cell(SramCellKind::Compute8T);
         let i_cell = self.cell(SramCellKind::Index6T);
@@ -303,8 +312,7 @@ impl SparsePe for SramSparsePe {
         // --- Energy model ----------------------------------------------
         let comp = &self.config.components;
         let mut energy = self.leakage_over(latency);
-        let read_power =
-            comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
+        let read_power = comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
         energy.add_read(read_power * latency);
         let compute_power = comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power();
         energy.add_compute(compute_power * latency);
@@ -361,7 +369,9 @@ mod tests {
             let csc = sparse_tile(64, 8, pattern, seed);
             let mut pe = SramSparsePe::new();
             pe.load(&csc).unwrap();
-            let x: Vec<i8> = (0..64).map(|i| ((i * 37 + seed) % 256) as u8 as i8).collect();
+            let x: Vec<i8> = (0..64)
+                .map(|i| ((i * 37 + seed) % 256) as u8 as i8)
+                .collect();
             let report = pe.matvec(&x).unwrap();
             let wide: Vec<i32> = x.iter().map(|&v| v as i32).collect();
             assert_eq!(report.outputs, csc.matvec(&wide).unwrap(), "{pattern}");
@@ -397,7 +407,11 @@ mod tests {
         // Same density, longer reduction: columns must span 2 groups.
         let wide = {
             let dense = Matrix::from_fn(1536, 2, |r, c| {
-                if r % 8 == (c + 1) % 8 { ((r % 63) as i8) - 31 } else { 0 }
+                if r % 8 == (c + 1) % 8 {
+                    ((r % 63) as i8) - 31
+                } else {
+                    0
+                }
             });
             CscMatrix::compress_auto(&dense, NmPattern::one_of_eight()).unwrap()
         };

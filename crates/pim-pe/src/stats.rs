@@ -1,7 +1,9 @@
 //! Per-operation reports and cumulative PE statistics.
 
-use pim_device::{Energy, EnergyLedger, Latency};
+use pim_device::{edp, Energy, EnergyLedger, Latency};
 use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 /// Result of loading a weight tile into a PE.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +86,62 @@ impl PeStats {
             self.macs as f64 / t
         }
     }
+
+    /// Energy-delay product (pJ·ns) of the recorded activity.
+    pub fn edp(&self) -> f64 {
+        edp(self.total_energy(), self.busy_time)
+    }
+
+    /// The counters accumulated since `baseline` was snapshotted — the
+    /// per-operation delta of a long-lived PE (`PeStats` is `Copy`, so a
+    /// baseline is just a saved value of [`SparsePe::stats`]).
+    ///
+    /// [`SparsePe::stats`]: crate::SparsePe::stats
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `baseline` is not an earlier snapshot of
+    /// this counter stream (counters would go backwards).
+    pub fn since(&self, baseline: &PeStats) -> PeStats {
+        debug_assert!(
+            self.cycles >= baseline.cycles && self.matvecs >= baseline.matvecs,
+            "baseline is not an earlier snapshot"
+        );
+        PeStats {
+            cycles: self.cycles - baseline.cycles,
+            busy_time: self.busy_time - baseline.busy_time,
+            energy: self.energy - baseline.energy,
+            loads: self.loads - baseline.loads,
+            matvecs: self.matvecs - baseline.matvecs,
+            macs: self.macs - baseline.macs,
+        }
+    }
+}
+
+impl Add for PeStats {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            cycles: self.cycles + rhs.cycles,
+            busy_time: self.busy_time + rhs.busy_time,
+            energy: self.energy + rhs.energy,
+            loads: self.loads + rhs.loads,
+            matvecs: self.matvecs + rhs.matvecs,
+            macs: self.macs + rhs.macs,
+        }
+    }
+}
+
+impl AddAssign for PeStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for PeStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::new(), Add::add)
+    }
 }
 
 impl fmt::Display for PeStats {
@@ -143,6 +201,28 @@ mod tests {
         assert_eq!(stats.macs_per_ns(), 0.0);
         stats.record_matvec(&matvec_report(), 80);
         assert!((stats.macs_per_ns() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_sum_over_pes_and_delta_since_baseline() {
+        let mut a = PeStats::new();
+        a.record_load(&load_report());
+        let mut b = PeStats::new();
+        b.record_matvec(&matvec_report(), 64);
+        let total: PeStats = [a, b].into_iter().sum();
+        assert_eq!(total.loads, 1);
+        assert_eq!(total.matvecs, 1);
+        assert_eq!(total.cycles, 18);
+
+        let baseline = total;
+        let mut after = total;
+        after.record_matvec(&matvec_report(), 32);
+        let delta = after.since(&baseline);
+        assert_eq!(delta.matvecs, 1);
+        assert_eq!(delta.macs, 32);
+        assert_eq!(delta.loads, 0);
+        assert!((delta.total_energy().as_pj() - 8.0).abs() < 1e-9);
+        assert!(delta.edp() > 0.0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ const WINDOW: usize = 16;
 /// assert_eq!(e_prev.outputs, vec![10, -2, 30, 0]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[derive(Debug, Clone)]
 pub struct TransposedSramPe {
     config: SramPeConfig,
     /// Per stored column (= original weight row): ascending
@@ -227,8 +228,9 @@ impl TransposedSramPe {
         energy.add_leakage(
             self.config.tech.sram_leakage_per_bit() * self.config.total_cells() as f64 * latency,
         );
-        energy
-            .add_read((comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power()) * latency);
+        energy.add_read(
+            (comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power()) * latency,
+        );
         energy.add_compute(
             (comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power()) * latency,
         );

@@ -1,0 +1,118 @@
+//! Compile-once model artifacts and their per-worker replicas.
+
+use crate::error::RuntimeError;
+use pim_core::pe_inference::PeRepNet;
+use pim_nn::models::RepNet;
+use pim_nn::tensor::Tensor;
+use pim_pe::PeStats;
+use std::fmt;
+
+/// A model lowered onto the PEs **once** — INT8 quantization, N:M CSC
+/// compression, and column tiling all happen at [`CompiledModel::compile`]
+/// time, and the loaded SRAM tile programs are cached inside. Serving a
+/// request replays the cached tiles; nothing is recompiled per request.
+///
+/// The artifact is the unit of registration with the runtime: each worker
+/// thread takes a [`replica`](CompiledModel::replica) (its own set of
+/// simulated PEs plus a frozen-backbone clone), so workers never contend
+/// on shared PE state.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    name: String,
+    /// Frozen backbone + reference branch; cloned per worker because the
+    /// forward pass needs `&mut` (activation workspaces).
+    model: RepNet,
+    /// The learnable branch as loaded PE tiles.
+    branch: PeRepNet,
+    /// Expected per-sample input shape `[C, H, W]`.
+    input_shape: Vec<usize>,
+    num_classes: usize,
+    /// PE ledger of the compile-time tile loads.
+    compile_stats: PeStats,
+}
+
+impl CompiledModel {
+    /// Lowers `model` through quantization, CSC compression, and tile
+    /// mapping, caching the loaded PE programs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Compile`] if a layer tile exceeds PE
+    /// capacity.
+    pub fn compile(name: impl Into<String>, model: &RepNet) -> Result<Self, RuntimeError> {
+        let mut model = model.clone();
+        let branch = PeRepNet::compile(&mut model)?;
+        let cfg = model.backbone().config().clone();
+        let num_classes = model.classifier().inner().weight_matrix().cols();
+        let compile_stats = branch.cumulative_stats();
+        Ok(Self {
+            name: name.into(),
+            model,
+            branch,
+            input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
+            num_classes,
+            compile_stats,
+        })
+    }
+
+    /// The registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected per-sample input shape `[C, H, W]`.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Number of classifier outputs.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Loaded PE tiles cached in the artifact.
+    pub fn tile_count(&self) -> usize {
+        self.branch.tile_count()
+    }
+
+    /// PE ledger of the one-time lowering (tile writes dominate).
+    pub fn compile_stats(&self) -> PeStats {
+        self.compile_stats
+    }
+
+    /// A worker-private copy: its own simulated PEs and backbone.
+    pub(crate) fn replica(&self) -> ModelReplica {
+        ModelReplica {
+            model: self.model.clone(),
+            branch: self.branch.clone(),
+        }
+    }
+}
+
+impl fmt::Display for CompiledModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: input {:?} -> {} classes, {} PE tiles cached",
+            self.name,
+            self.input_shape,
+            self.num_classes,
+            self.tile_count()
+        )
+    }
+}
+
+/// One worker's private copy of a compiled model.
+#[derive(Debug)]
+pub(crate) struct ModelReplica {
+    model: RepNet,
+    branch: PeRepNet,
+}
+
+impl ModelReplica {
+    /// Runs a `[N, C, H, W]` batch through the cached tiles, returning
+    /// logits and the per-run PE ledger.
+    pub fn infer_batch(&mut self, batch: &Tensor) -> (Tensor, PeStats) {
+        self.branch.predict(&mut self.model, batch)
+    }
+}

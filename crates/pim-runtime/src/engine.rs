@@ -1,0 +1,376 @@
+//! The serving engine: bounded queue, batcher, sharded worker pool.
+
+use crate::compiled::{CompiledModel, ModelReplica};
+use crate::error::RuntimeError;
+use crate::request::{InferResponse, ModelId, QueuedRequest, Ticket};
+use crate::stats::{RuntimeStats, StatsCollector};
+use pim_nn::layers::predictions;
+use pim_nn::tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// When a worker dispatches a batch instead of waiting for more riders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Hard cap on riders per PE batch.
+    pub max_batch: usize,
+    /// How long a worker holding a non-full batch waits for compatible
+    /// arrivals before dispatching.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Runtime sizing knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads, each owning replica PEs of every model.
+    pub workers: usize,
+    /// Bound of the shared request queue (backpressure past this).
+    pub queue_capacity: usize,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            batch: BatchPolicy::default(),
+        }
+    }
+}
+
+/// Staged configuration for a [`Runtime`].
+#[derive(Debug, Default)]
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+    models: Vec<CompiledModel>,
+}
+
+impl RuntimeBuilder {
+    /// Sets the worker-thread count (min 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n.max(1);
+        self
+    }
+
+    /// Sets the bounded queue capacity (min 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the per-batch rider cap (min 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.batch.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets how long workers hold a non-full batch open.
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.config.batch.max_wait = wait;
+        self
+    }
+
+    /// Registers a compiled model; requests name it by the returned id.
+    pub fn register(&mut self, model: CompiledModel) -> ModelId {
+        self.models.push(model);
+        ModelId(self.models.len() - 1)
+    }
+
+    /// Spawns the worker pool and opens the queue.
+    pub fn start(self) -> Runtime {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            config: self.config.clone(),
+            stats: StatsCollector::new(),
+        });
+        let models = Arc::new(self.models);
+        let workers = (0..self.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                // Each worker owns its set of simulated PEs: one replica
+                // of every registered model's cached tile programs.
+                let mut replicas: Vec<ModelReplica> = models.iter().map(|m| m.replica()).collect();
+                thread::Builder::new()
+                    .name(format!("pim-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &mut replicas))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            shared,
+            models,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<QueuedRequest>,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    config: RuntimeConfig,
+    stats: StatsCollector,
+}
+
+/// The concurrent batched serving engine.
+///
+/// Compile models once ([`CompiledModel::compile`]), register them, and
+/// submit single-sample requests from any number of threads; a sharded
+/// worker pool coalesces compatible requests into PE batches under the
+/// configured [`BatchPolicy`]. The queue is bounded: when full, `submit`
+/// fails fast with [`RuntimeError::QueueFull`] instead of blocking.
+///
+/// # Example
+///
+/// ```no_run
+/// use pim_runtime::{CompiledModel, Runtime};
+/// # use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
+/// # use pim_nn::tensor::Tensor;
+/// let model = RepNet::new(
+///     Backbone::new(BackboneConfig::tiny()),
+///     RepNetConfig { rep_channels: 4, num_classes: 5, seed: 2 },
+/// );
+/// let mut builder = Runtime::builder().workers(4);
+/// let id = builder.register(CompiledModel::compile("tiny", &model)?);
+/// let runtime = builder.start();
+/// let response = runtime.infer(id, &Tensor::ones(&[1, 8, 8]))?;
+/// assert!(response.prediction < 5);
+/// println!("{}", runtime.shutdown());
+/// # Ok::<(), pim_runtime::RuntimeError>(())
+/// ```
+pub struct Runtime {
+    shared: Arc<Shared>,
+    models: Arc<Vec<CompiledModel>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Runtime {
+    /// Starts configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// The registered models, in registration (id) order.
+    pub fn models(&self) -> &[CompiledModel] {
+        &self.models
+    }
+
+    /// Current queue depth (requests accepted but not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// Enqueues one single-sample request (`[C, H, W]` or `[1, C, H, W]`)
+    /// and returns a [`Ticket`] to wait on. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownModel`] — `model` was not registered.
+    /// * [`RuntimeError::BadInput`] — shape mismatch (batched inputs are
+    ///   rejected; batching is the runtime's job).
+    /// * [`RuntimeError::QueueFull`] — backpressure; retry later.
+    /// * [`RuntimeError::ShuttingDown`] — the runtime no longer accepts
+    ///   work.
+    pub fn submit(&self, model: ModelId, input: &Tensor) -> Result<Ticket, RuntimeError> {
+        let compiled = self
+            .models
+            .get(model.0)
+            .ok_or(RuntimeError::UnknownModel { id: model })?;
+        let expected = compiled.input_shape();
+        let shape = input.shape();
+        let normalized = if shape == expected {
+            let mut with_batch = vec![1];
+            with_batch.extend_from_slice(shape);
+            input
+                .reshaped(with_batch)
+                .expect("adding a unit batch axis preserves the element count")
+        } else if shape.len() == 4 && shape[0] == 1 && &shape[1..] == expected {
+            input.clone()
+        } else {
+            return Err(RuntimeError::BadInput {
+                expected: expected.to_vec(),
+                actual: shape.to_vec(),
+            });
+        };
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            if state.closed {
+                return Err(RuntimeError::ShuttingDown);
+            }
+            if state.queue.len() >= self.shared.config.queue_capacity {
+                drop(state);
+                self.shared.stats.record_rejection();
+                return Err(RuntimeError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            state.queue.push_back(QueuedRequest {
+                id,
+                model,
+                input: normalized,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.shared.available.notify_all();
+        Ok(Ticket { request_id: id, rx })
+    }
+
+    /// Convenience: submit and block for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Runtime::submit`] errors, plus
+    /// [`RuntimeError::Disconnected`] if the serving side hung up.
+    pub fn infer(&self, model: ModelId, input: &Tensor) -> Result<InferResponse, RuntimeError> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting work, lets workers drain every
+    /// in-flight request (all tickets get answers), joins the pool, and
+    /// returns the final statistics.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.close_and_join();
+        self.shared.stats.snapshot()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("queue lock");
+            state.closed = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Two requests may ride one PE batch: same model (shapes are validated
+/// per-model at submit, so same model implies same layer shapes).
+fn compatible(a: &QueuedRequest, b: &QueuedRequest) -> bool {
+    a.model == b.model && a.input.shape() == b.input.shape()
+}
+
+fn worker_loop(shared: &Shared, replicas: &mut [ModelReplica]) {
+    while let Some(batch) = collect_batch(shared) {
+        serve_batch(shared, replicas, batch);
+    }
+}
+
+/// Pops a seed request and coalesces compatible riders up to
+/// `max_batch` / `max_wait`. Returns `None` when the queue is closed and
+/// fully drained.
+fn collect_batch(shared: &Shared) -> Option<Vec<QueuedRequest>> {
+    let policy = shared.config.batch;
+    let mut state = shared.state.lock().expect("queue lock");
+    loop {
+        if let Some(first) = state.queue.pop_front() {
+            let mut batch = vec![first];
+            let deadline = Instant::now() + policy.max_wait;
+            loop {
+                // Pull every compatible request currently queued.
+                let mut i = 0;
+                while i < state.queue.len() && batch.len() < policy.max_batch {
+                    if compatible(&state.queue[i], &batch[0]) {
+                        let rider = state.queue.remove(i).expect("index in bounds");
+                        batch.push(rider);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if batch.len() >= policy.max_batch || state.closed {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, wait) = shared
+                    .available
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue lock");
+                state = guard;
+                if wait.timed_out() {
+                    // One final compatible-pull happens at loop top; the
+                    // deadline check then dispatches.
+                }
+            }
+            return Some(batch);
+        }
+        if state.closed {
+            return None;
+        }
+        state = shared.available.wait(state).expect("queue lock");
+    }
+}
+
+fn serve_batch(shared: &Shared, replicas: &mut [ModelReplica], batch: Vec<QueuedRequest>) {
+    let model = batch[0].model;
+    let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
+    let stacked = Tensor::stack_batch(&inputs).expect("riders share one shape");
+    let replica = &mut replicas[model.0];
+    let (logits, sim) = replica.infer_batch(&stacked);
+    let preds = predictions(&logits);
+
+    let size = batch.len();
+    let classes = logits.shape()[1];
+    let energy_share = sim.total_energy() / size as f64;
+    let waits: Vec<Duration> = batch.iter().map(|r| r.enqueued.elapsed()).collect();
+    // Count the batch before replying, so a client holding its response
+    // is guaranteed to find it in the stats snapshot.
+    shared
+        .stats
+        .record_batch(size, sim, waits.iter().sum::<Duration>());
+    for ((row, req), wait) in batch.into_iter().enumerate().zip(waits) {
+        let response = InferResponse {
+            request_id: req.id,
+            logits: logits.as_slice()[row * classes..(row + 1) * classes].to_vec(),
+            prediction: preds[row],
+            batch_size: size,
+            queue_wait: wait,
+            latency: sim.busy_time,
+            energy: energy_share,
+        };
+        // The client may have dropped its ticket; serving proceeds.
+        let _ = req.reply.send(response);
+    }
+}

@@ -1,0 +1,79 @@
+//! Typed failures of the serving runtime.
+
+use crate::request::ModelId;
+use pim_pe::PeError;
+use std::fmt;
+
+/// Why a runtime operation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The bounded request queue is at capacity — backpressure. The
+    /// caller should retry later or shed load; `submit` never blocks.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The runtime is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request named a model the runtime does not serve.
+    UnknownModel {
+        /// The offending handle.
+        id: ModelId,
+    },
+    /// The request input does not match the model's expected shape.
+    BadInput {
+        /// Shape the compiled model was lowered for (`[C, H, W]`).
+        expected: Vec<usize>,
+        /// Shape the request carried.
+        actual: Vec<usize>,
+    },
+    /// The serving side hung up before answering (a worker panicked).
+    Disconnected,
+    /// Lowering a model onto the PEs failed.
+    Compile(PeError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            Self::ShuttingDown => write!(f, "runtime is shutting down"),
+            Self::UnknownModel { id } => write!(f, "unknown model {id}"),
+            Self::BadInput { expected, actual } => write!(
+                f,
+                "input shape {actual:?} does not match model input {expected:?}"
+            ),
+            Self::Disconnected => write!(f, "worker disconnected before replying"),
+            Self::Compile(e) => write!(f, "model failed to compile onto PEs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<PeError> for RuntimeError {
+    fn from(e: PeError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = RuntimeError::QueueFull { capacity: 4 };
+        assert!(e.to_string().contains("capacity 4"));
+        assert!(RuntimeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+        let b = RuntimeError::BadInput {
+            expected: vec![3, 8, 8],
+            actual: vec![1, 8, 8],
+        };
+        assert!(b.to_string().contains("[3, 8, 8]"));
+    }
+}

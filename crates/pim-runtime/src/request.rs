@@ -1,0 +1,78 @@
+//! Requests, responses, and the ticket a client waits on.
+
+use crate::error::RuntimeError;
+use pim_device::{Energy, Latency};
+use pim_nn::tensor::Tensor;
+use std::fmt;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Handle to a model registered with the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
+/// One queued inference request (internal).
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    pub id: u64,
+    pub model: ModelId,
+    /// Normalized to `[1, C, H, W]`.
+    pub input: Tensor,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<InferResponse>,
+}
+
+/// The answer to one request, with its share of the batch's cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// The id `submit` returned for this request.
+    pub request_id: u64,
+    /// Raw classifier outputs for this sample.
+    pub logits: Vec<f32>,
+    /// Argmax class.
+    pub prediction: usize,
+    /// How many requests rode in the same PE batch.
+    pub batch_size: usize,
+    /// Wall-clock time the request sat in the queue plus compute.
+    pub queue_wait: Duration,
+    /// Simulated PE latency of the whole batch (every rider completes
+    /// when its batch completes).
+    pub latency: Latency,
+    /// This request's share (1/batch) of the batch's simulated energy.
+    pub energy: Energy,
+}
+
+/// A claim on a future [`InferResponse`].
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) request_id: u64,
+    pub(crate) rx: mpsc::Receiver<InferResponse>,
+}
+
+impl Ticket {
+    /// The id the response will carry.
+    pub fn id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Disconnected`] if the serving side hung up
+    /// (a worker panicked) before answering.
+    pub fn wait(self) -> Result<InferResponse, RuntimeError> {
+        self.rx.recv().map_err(|_| RuntimeError::Disconnected)
+    }
+
+    /// Returns the response if it is already available.
+    pub fn try_wait(&self) -> Option<InferResponse> {
+        self.rx.try_recv().ok()
+    }
+}

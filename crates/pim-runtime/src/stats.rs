@@ -1,0 +1,226 @@
+//! Runtime-wide accounting and the snapshot clients read.
+
+use pim_device::{edp, Energy, Latency};
+use pim_pe::PeStats;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread-safe accumulator the workers and `submit` write into.
+#[derive(Debug)]
+pub(crate) struct StatsCollector {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    completed: u64,
+    rejected: u64,
+    batches: u64,
+    batch_size_sum: u64,
+    max_batch_size: usize,
+    /// Aggregate simulated PE ledger across all batches.
+    sim: PeStats,
+    /// Per-request simulated latency samples (ns).
+    latencies_ns: Vec<f64>,
+    queue_wait_sum: Duration,
+    started: Instant,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                completed: 0,
+                rejected: 0,
+                batches: 0,
+                batch_size_sum: 0,
+                max_batch_size: 0,
+                sim: PeStats::new(),
+                latencies_ns: Vec::new(),
+                queue_wait_sum: Duration::ZERO,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Records one served batch: its size, PE ledger, and the wall-clock
+    /// queue waits of its riders.
+    pub fn record_batch(&self, size: usize, sim: PeStats, queue_waits: Duration) {
+        let mut g = self.inner.lock().expect("stats lock");
+        g.completed += size as u64;
+        g.batches += 1;
+        g.batch_size_sum += size as u64;
+        g.max_batch_size = g.max_batch_size.max(size);
+        g.sim += sim;
+        // Every rider experiences the whole batch's simulated latency.
+        let ns = sim.busy_time.as_ns();
+        g.latencies_ns.extend(std::iter::repeat_n(ns, size));
+        g.queue_wait_sum += queue_waits;
+    }
+
+    /// Records one backpressure rejection.
+    pub fn record_rejection(&self) {
+        self.inner.lock().expect("stats lock").rejected += 1;
+    }
+
+    /// A consistent point-in-time snapshot.
+    pub fn snapshot(&self) -> RuntimeStats {
+        let g = self.inner.lock().expect("stats lock");
+        let mut sorted = g.latencies_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let percentile = |p: f64| -> Latency {
+            if sorted.is_empty() {
+                return Latency::from_ns(0.0);
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            Latency::from_ns(sorted[idx])
+        };
+        let mean_ns = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        RuntimeStats {
+            requests_completed: g.completed,
+            requests_rejected: g.rejected,
+            batches: g.batches,
+            mean_batch_size: if g.batches == 0 {
+                0.0
+            } else {
+                g.batch_size_sum as f64 / g.batches as f64
+            },
+            max_batch_size: g.max_batch_size,
+            p50_latency: percentile(0.50),
+            p99_latency: percentile(0.99),
+            mean_latency: Latency::from_ns(mean_ns),
+            total_energy: g.sim.total_energy(),
+            simulated_busy: g.sim.busy_time,
+            edp: edp(g.sim.total_energy(), g.sim.busy_time),
+            macs: g.sim.macs,
+            pe_matvecs: g.sim.matvecs,
+            mean_queue_wait: if g.completed == 0 {
+                Duration::ZERO
+            } else {
+                g.queue_wait_sum / g.completed as u32
+            },
+            wall_elapsed: g.started.elapsed(),
+        }
+    }
+}
+
+/// Point-in-time view of everything the runtime has served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Requests answered.
+    pub requests_completed: u64,
+    /// Requests refused with [`QueueFull`](crate::RuntimeError::QueueFull).
+    pub requests_rejected: u64,
+    /// PE batches dispatched.
+    pub batches: u64,
+    /// Mean riders per batch.
+    pub mean_batch_size: f64,
+    /// Largest batch dispatched.
+    pub max_batch_size: usize,
+    /// Median per-request simulated latency.
+    pub p50_latency: Latency,
+    /// 99th-percentile per-request simulated latency.
+    pub p99_latency: Latency,
+    /// Mean per-request simulated latency.
+    pub mean_latency: Latency,
+    /// Total simulated energy across all batches.
+    pub total_energy: Energy,
+    /// Total simulated PE busy time (summed across workers).
+    pub simulated_busy: Latency,
+    /// Energy-delay product (pJ·ns) of the aggregate ledger.
+    pub edp: f64,
+    /// Total MACs executed on the PEs.
+    pub macs: u64,
+    /// Total PE matvec operations.
+    pub pe_matvecs: u64,
+    /// Mean wall-clock time from submit to response.
+    pub mean_queue_wait: Duration,
+    /// Wall-clock time since the runtime started.
+    pub wall_elapsed: Duration,
+}
+
+impl RuntimeStats {
+    /// Wall-clock requests per second since start.
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.wall_elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.requests_completed as f64 / s
+        }
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reqs in {} batches (mean {:.2}/batch, max {}), {} rejected; \
+             sim latency p50 {} p99 {}, energy {}, EDP {:.3e} pJ·ns, {:.0} req/s",
+            self.requests_completed,
+            self.batches,
+            self.mean_batch_size,
+            self.max_batch_size,
+            self.requests_rejected,
+            self.p50_latency,
+            self.p99_latency,
+            self.total_energy,
+            self.edp,
+            self.throughput_rps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_device::EnergyLedger;
+
+    fn batch_ledger(cycles: u64, ns: f64, pj: f64) -> PeStats {
+        let mut energy = EnergyLedger::new();
+        energy.add_compute(Energy::from_pj(pj));
+        PeStats {
+            cycles,
+            busy_time: Latency::from_ns(ns),
+            energy,
+            loads: 0,
+            matvecs: 1,
+            macs: 10,
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let c = StatsCollector::new();
+        c.record_batch(3, batch_ledger(10, 100.0, 5.0), Duration::from_micros(30));
+        c.record_batch(1, batch_ledger(10, 300.0, 2.0), Duration::from_micros(10));
+        c.record_rejection();
+        let s = c.snapshot();
+        assert_eq!(s.requests_completed, 4);
+        assert_eq!(s.requests_rejected, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.max_batch_size, 3);
+        assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
+        // Latency samples: [100, 100, 100, 300] ns.
+        assert_eq!(s.p50_latency, Latency::from_ns(100.0));
+        assert_eq!(s.p99_latency, Latency::from_ns(300.0));
+        assert_eq!(s.total_energy, Energy::from_pj(7.0));
+        assert_eq!(s.macs, 20);
+        assert!(s.edp > 0.0);
+        assert!(s.to_string().contains("4 reqs"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = StatsCollector::new().snapshot();
+        assert_eq!(s.requests_completed, 0);
+        assert_eq!(s.p99_latency, Latency::from_ns(0.0));
+        assert_eq!(s.mean_batch_size, 0.0);
+        assert_eq!(s.throughput_rps(), 0.0);
+    }
+}

@@ -176,8 +176,7 @@ impl CscMatrix {
     /// Total storage in bits: every physical slot pays
     /// `weight_bits + index_bits`, occupied or not (fixed geometry).
     pub fn storage_bits(&self, weight_bits: u32) -> u64 {
-        (self.cols * self.slots_per_col()) as u64
-            * (weight_bits + self.pattern.index_bits()) as u64
+        (self.cols * self.slots_per_col()) as u64 * (weight_bits + self.pattern.index_bits()) as u64
     }
 
     /// Reconstructs the dense matrix (pruned entries become zero).
@@ -202,12 +201,13 @@ impl CscMatrix {
         let m = self.pattern.m();
         let n = self.pattern.n();
         self.slots.iter().enumerate().flat_map(move |(c, col)| {
-            col.iter().enumerate().filter(|(_, s)| s.occupied).map(
-                move |(i, s)| {
+            col.iter()
+                .enumerate()
+                .filter(|(_, s)| s.occupied)
+                .map(move |(i, s)| {
                     let row = (i / n) * m + s.offset as usize;
                     (row, c, s.value)
-                },
-            )
+                })
         })
     }
 
@@ -360,13 +360,8 @@ mod tests {
 
     #[test]
     fn auto_compress_of_already_sparse_matrix_is_lossless() {
-        let dense = Matrix::from_rows(vec![
-            vec![0i8, 4],
-            vec![7, 0],
-            vec![0, 0],
-            vec![0, 0],
-        ])
-        .unwrap();
+        let dense =
+            Matrix::from_rows(vec![vec![0i8, 4], vec![7, 0], vec![0, 0], vec![0, 0]]).unwrap();
         let csc = CscMatrix::compress_auto(&dense, NmPattern::one_of_four()).unwrap();
         assert_eq!(csc.decompress(), dense);
         assert_eq!(csc.nnz(), 2);

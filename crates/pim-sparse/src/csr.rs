@@ -196,10 +196,7 @@ mod tests {
         let dense = sample();
         let csr = CsrMatrix::from_dense(&dense);
         let x = vec![1, -2, 3, 4];
-        assert_eq!(
-            csr.matvec(&x).unwrap(),
-            dense_matvec(&dense, &x).unwrap()
-        );
+        assert_eq!(csr.matvec(&x).unwrap(), dense_matvec(&dense, &x).unwrap());
     }
 
     #[test]
@@ -230,10 +227,7 @@ mod tests {
         let csr = CsrMatrix::from_dense(&dense);
         // 256 columns → 8 index bits per nnz vs CSC's short offsets.
         let bits = csr.storage_bits(8);
-        assert_eq!(
-            bits,
-            csr.nnz() as u64 * (8 + 8) + 32 * (16 + 1)
-        );
+        assert_eq!(bits, csr.nnz() as u64 * (8 + 8) + 32 * (16 + 1));
     }
 
     #[test]

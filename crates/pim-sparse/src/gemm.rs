@@ -73,10 +73,7 @@ pub fn dense_matmul(weights: &Matrix<i8>, x: &Matrix<i32>) -> Result<Matrix<i32>
 /// # Errors
 ///
 /// Returns [`MaskShapeError`] if the shapes differ.
-pub fn masked_dense(
-    weights: &Matrix<i8>,
-    mask: &NmMask,
-) -> Result<Matrix<i8>, MaskShapeError> {
+pub fn masked_dense(weights: &Matrix<i8>, mask: &NmMask) -> Result<Matrix<i8>, MaskShapeError> {
     mask.apply(weights)
 }
 
@@ -191,7 +188,11 @@ impl OpCounts {
 
 impl fmt::Display for OpCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} MACs, {} weight fetches", self.macs, self.weight_fetches)
+        write!(
+            f,
+            "{} MACs, {} weight fetches",
+            self.macs, self.weight_fetches
+        )
     }
 }
 
@@ -222,12 +223,7 @@ mod tests {
 
     #[test]
     fn bit_serial_equals_dense_on_extremes() {
-        let w = Matrix::from_rows(vec![
-            vec![i8::MIN, i8::MAX],
-            vec![-1, 1],
-            vec![0, -77],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(vec![vec![i8::MIN, i8::MAX], vec![-1, 1], vec![0, -77]]).unwrap();
         for x in [
             [i8::MIN, i8::MIN, i8::MIN],
             [i8::MAX, i8::MAX, i8::MAX],

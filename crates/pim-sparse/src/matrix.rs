@@ -146,7 +146,9 @@ impl<T: Copy> Matrix<T> {
     /// Panics if `col` is out of bounds.
     pub fn col(&self, col: usize) -> Vec<T> {
         assert!(col < self.cols, "col {col} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// Flat row-major view of the data.
@@ -314,7 +316,13 @@ mod tests {
     #[test]
     fn shape_error_displays() {
         let e = Matrix::<i8>::from_vec(2, 2, vec![0; 3]).unwrap_err();
-        assert_eq!(e, ShapeError { expected: 4, actual: 3 });
+        assert_eq!(
+            e,
+            ShapeError {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(e.to_string().contains("does not match"));
     }
 }

@@ -250,8 +250,7 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let w = clustered(40, 3);
-        let permuted =
-            prune_magnitude_permuted(&w, NmPattern::one_of_eight(), 500, 11).unwrap();
+        let permuted = prune_magnitude_permuted(&w, NmPattern::one_of_eight(), 500, 11).unwrap();
         let mut seen = [false; 40];
         for &i in permuted.permutation() {
             assert!(!seen[i], "duplicate index {i}");

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_geometry(8, 3)
         .generate()?;
 
-    for pattern in [None, Some(NmPattern::new(1, 4)?), Some(NmPattern::new(1, 8)?)] {
+    for pattern in [
+        None,
+        Some(NmPattern::new(1, 4)?),
+        Some(NmPattern::new(1, 8)?),
+    ] {
         let label = pattern.map_or("dense".to_owned(), |p| p.to_string());
         println!("== Rep-Net configuration: {label} ==");
         let mut system = HybridSystem::pretrain(

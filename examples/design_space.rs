@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     for dep in [&sram, &mram] {
         println!(
             "{:<16} {:>12.1} {:>14} {:>14} {:>11.3}x",
-            if dep.name.contains("SRAM") { "dense SRAM[29]" } else { "dense MRAM[30]" },
+            if dep.name.contains("SRAM") {
+                "dense SRAM[29]"
+            } else {
+                "dense MRAM[30]"
+            },
             dep.area.as_mm2(),
             dep.leakage_power().to_string(),
             dep.read_power().to_string(),

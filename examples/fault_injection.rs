@@ -20,9 +20,9 @@ use pim_core::experiments::ablation::write_fault_sweep;
 use pim_data::SyntheticSpec;
 use pim_device::endurance::EnduranceModel;
 use pim_device::units::Latency;
+use pim_nn::layers::Param;
 use pim_nn::models::{Backbone, BackboneConfig, PretrainNet};
 use pim_nn::quant::QuantParams;
-use pim_nn::layers::Param;
 use pim_nn::train::{evaluate, fit, FitConfig, Model};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -95,8 +95,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cells = weights * 8;
     let year = 3.156e16; // ns
     for (label, model, writes) in [
-        ("finetune-all on MRAM", EnduranceModel::stt_mram(), weights * 8 / 2),
-        ("finetune-all on RRAM", EnduranceModel::rram(), weights * 8 / 2),
+        (
+            "finetune-all on MRAM",
+            EnduranceModel::stt_mram(),
+            weights * 8 / 2,
+        ),
+        (
+            "finetune-all on RRAM",
+            EnduranceModel::rram(),
+            weights * 8 / 2,
+        ),
         (
             "hybrid: 5% Rep-Net at 1:8, in SRAM",
             EnduranceModel::sram(),

@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     quantized.quantize_weights_int8();
     quantized.set_int8_eval(true);
     let nn_preds = predictions(&quantized.predict(&x, false));
-    let agree = pe_preds.iter().zip(&nn_preds).filter(|(a, b)| a == b).count();
+    let agree = pe_preds
+        .iter()
+        .zip(&nn_preds)
+        .filter(|(a, b)| a == b)
+        .count();
     println!(
         "agreement with quantized NN reference: {:.1}%",
         100.0 * agree as f64 / labels.len() as f64

@@ -13,7 +13,9 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     // A 128×8 weight tile at 1:4 sparsity.
     let pattern = NmPattern::new(1, 4)?;
-    let dense = Matrix::from_fn(128, 8, |r, c| (((r * 37 + c * 13) % 251) as i32 - 125) as i8);
+    let dense = Matrix::from_fn(128, 8, |r, c| {
+        (((r * 37 + c * 13) % 251) as i32 - 125) as i8
+    });
     let mask = prune_magnitude(&dense, pattern)?;
     let csc = CscMatrix::compress(&dense, &mask)?;
     println!("tile: {csc}");
@@ -57,14 +59,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let e: Vec<i32> = (0..8).map(|i| i * 3 - 12).collect();
     let back = buf.matvec(&e)?;
     let expect = dense_matvec(&masked.transposed(), &e)?;
-    println!("e_prev : {} cycles, exact: {}", back.cycles, back.outputs == expect);
+    println!(
+        "e_prev : {} cycles, exact: {}",
+        back.cycles,
+        back.outputs == expect
+    );
 
     println!("\n== cumulative stats ==");
     println!("SRAM PE: {}", sram.stats());
     println!("MRAM PE: {}", mram.stats());
 
     println!("\n== executed multi-PE core (scheduler + shared bus) ==");
-    let layer = Matrix::from_fn(512, 64, |r, c| (((r * 13 + c * 29) % 251) as i32 - 125) as i8);
+    let layer = Matrix::from_fn(512, 64, |r, c| {
+        (((r * 13 + c * 29) % 251) as i32 - 125) as i8
+    });
     for max_pes in [1, 4, 16] {
         let mut core = CoreSim::load_layer(&layer, pattern, max_pes)?;
         let xs: Vec<i8> = (0..512).map(|i| (i % 180) as i8).collect();

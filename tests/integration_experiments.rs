@@ -51,7 +51,10 @@ fn quick_table1_produces_the_five_rows() {
     // Dense backbone should not be worse than heavily pruned backbone.
     let dense = table.row("Dense").expect("row").backbone_accuracy;
     let pruned = table.row("(1:8) FP32").expect("row").backbone_accuracy;
-    assert!(dense + 1e-9 >= pruned - 0.05, "dense {dense} pruned {pruned}");
+    assert!(
+        dense + 1e-9 >= pruned - 0.05,
+        "dense {dense} pruned {pruned}"
+    );
 }
 
 #[test]
@@ -70,8 +73,14 @@ fn ablation_csc_wins_storage_at_every_pattern() {
 #[test]
 fn ablation_index_sweep_shows_throughput_rising_with_sparsity() {
     let sweep = index_width_sweep();
-    let one_four = sweep.iter().find(|p| p.pattern.to_string() == "1:4").expect("1:4");
-    let one_sixteen = sweep.iter().find(|p| p.pattern.to_string() == "1:16").expect("1:16");
+    let one_four = sweep
+        .iter()
+        .find(|p| p.pattern.to_string() == "1:4")
+        .expect("1:4");
+    let one_sixteen = sweep
+        .iter()
+        .find(|p| p.pattern.to_string() == "1:16")
+        .expect("1:16");
     assert!(one_sixteen.effective_macs_per_cycle > one_four.effective_macs_per_cycle);
     assert!(one_sixteen.storage_ratio < one_four.storage_ratio);
 }
@@ -94,15 +103,24 @@ fn fig7_golden_values_are_stable() {
     assert!(close(fig.point("MRAM").unwrap().area_norm, 0.134), "{fig}");
     assert!(close(fig.point("1:4").unwrap().area_norm, 0.070), "{fig}");
     assert!(close(fig.point("1:8").unwrap().area_norm, 0.049), "{fig}");
-    assert!(close(fig.point("SRAM").unwrap().leakage_power_norm, 0.915), "{fig}");
+    assert!(
+        close(fig.point("SRAM").unwrap().leakage_power_norm, 0.915),
+        "{fig}"
+    );
 }
 
 #[test]
 fn fig8_golden_values_are_stable() {
     let fig = run_fig8().expect("profile maps");
     let close = |got: f64, expect: f64| (got / expect - 1.0).abs() < 0.10;
-    assert!(close(fig.bar("SRAM[29] finetune-all").unwrap(), 10.37), "{fig}");
-    assert!(close(fig.bar("MRAM[30] finetune-all").unwrap(), 96.84), "{fig}");
+    assert!(
+        close(fig.bar("SRAM[29] finetune-all").unwrap(), 10.37),
+        "{fig}"
+    );
+    assert!(
+        close(fig.bar("MRAM[30] finetune-all").unwrap(), 96.84),
+        "{fig}"
+    );
     assert!(close(fig.bar("SRAM[29] RepNet").unwrap(), 1.375), "{fig}");
     assert!(close(fig.bar("MRAM[30] RepNet").unwrap(), 12.83), "{fig}");
     assert!(close(fig.bar("1:4").unwrap(), 0.608), "{fig}");

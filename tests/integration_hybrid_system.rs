@@ -42,10 +42,14 @@ fn upstream() -> pim_data::Task {
 
 #[test]
 fn continual_sequence_keeps_backbone_frozen_and_learns_each_task() {
-    let mut system = HybridSystem::pretrain(config(Some(NmPattern::one_of_four())), &upstream(), &fit());
+    let mut system =
+        HybridSystem::pretrain(config(Some(NmPattern::one_of_four())), &upstream(), &fit());
     // Snapshot backbone weights.
     let mut before = Vec::new();
-    system.model().backbone().visit_conv_weights(|w| before.push(w));
+    system
+        .model()
+        .backbone()
+        .visit_conv_weights(|w| before.push(w));
 
     let mut accuracies = Vec::new();
     for spec in [
@@ -72,7 +76,10 @@ fn continual_sequence_keeps_backbone_frozen_and_learns_each_task() {
 
     // Backbone unchanged after three tasks.
     let mut after = Vec::new();
-    system.model().backbone().visit_conv_weights(|w| after.push(w));
+    system
+        .model()
+        .backbone()
+        .visit_conv_weights(|w| after.push(w));
     assert_eq!(before, after, "frozen backbone must not move");
 }
 
@@ -157,10 +164,7 @@ fn learnable_fraction_is_small_at_paper_scale_backbone() {
         .with_samples(2, 1)
         .generate()
         .expect("valid spec");
-    let quick_fit = FitConfig {
-        epochs: 1,
-        ..fit()
-    };
+    let quick_fit = FitConfig { epochs: 1, ..fit() };
     let mut system = HybridSystem::pretrain(
         SystemConfig {
             backbone: BackboneConfig::default(),
@@ -181,8 +185,7 @@ fn checkpoint_round_trips_a_trained_system() {
     use pim_nn::train::Model;
 
     let up = upstream();
-    let mut system =
-        HybridSystem::pretrain(config(Some(NmPattern::one_of_four())), &up, &fit());
+    let mut system = HybridSystem::pretrain(config(Some(NmPattern::one_of_four())), &up, &fit());
     let task = SyntheticSpec::cifar10_like()
         .with_geometry(8, 3)
         .with_samples(5, 4)
@@ -201,9 +204,7 @@ fn checkpoint_round_trips_a_trained_system() {
         config(Some(NmPattern::one_of_four())),
         pim_nn::models::Backbone::new(config(None).backbone),
     );
-    fresh
-        .model_mut()
-        .reset_classifier(task.train.classes(), 99);
+    fresh.model_mut().reset_classifier(task.train.classes(), 99);
     let (x, _) = task.test.batch(&[0, 1, 2, 3, 4]);
     let trained_logits = system.model_mut().predict(&x, false);
     assert_ne!(fresh.model_mut().predict(&x, false), trained_logits);
@@ -216,8 +217,7 @@ fn restored_system_still_verifies_bit_exactly_on_pes() {
     use pim_nn::checkpoint;
 
     let up = upstream();
-    let mut system =
-        HybridSystem::pretrain(config(Some(NmPattern::one_of_eight())), &up, &fit());
+    let mut system = HybridSystem::pretrain(config(Some(NmPattern::one_of_eight())), &up, &fit());
     let task = SyntheticSpec::pets_like()
         .with_geometry(8, 3)
         .with_samples(3, 2)

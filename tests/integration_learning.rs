@@ -81,7 +81,11 @@ fn accuracy_orders_with_sparsity_like_the_paper() {
 
 #[test]
 fn int8_is_close_to_fp32_in_every_configuration() {
-    for pattern in [None, Some(NmPattern::one_of_four()), Some(NmPattern::one_of_eight())] {
+    for pattern in [
+        None,
+        Some(NmPattern::one_of_four()),
+        Some(NmPattern::one_of_eight()),
+    ] {
         let (fp32, int8) = run(pattern, 0.5);
         assert!(
             int8 >= fp32 - 0.15,

@@ -27,12 +27,7 @@ fn arb_tile() -> impl Strategy<Value = (Matrix<i8>, Vec<i8>)> {
             proptest::collection::vec(any::<i8>(), rows * cols),
             proptest::collection::vec(any::<i8>(), rows),
         )
-            .prop_map(move |(w, x)| {
-                (
-                    Matrix::from_vec(rows, cols, w).expect("sized"),
-                    x,
-                )
-            })
+            .prop_map(move |(w, x)| (Matrix::from_vec(rows, cols, w).expect("sized"), x))
     })
 }
 

@@ -1,0 +1,123 @@
+//! Vendored std-only stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest the repo's property tests
+//! actually use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range / tuple / [`collection::vec`] /
+//! [`arbitrary::any`] / [`strategy::Just`] strategies with `prop_map` and
+//! `prop_flat_map`, [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream: generation is a deterministic per-test
+//! stream (seeded from the test's module path and name), there is no
+//! shrinking, and failures panic immediately with the assertion message.
+//! Regression files under `proptest-regressions/` are ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", left, right);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            panic!("prop_assert_ne failed: both sides are {:?}", left);
+        }
+    }};
+}
+
+/// Uniform choice between strategies of one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($strategy),+])
+    };
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($config:expr)) => {};
+    (@cfg($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { @cfg($config) $($rest)* }
+    };
+}
