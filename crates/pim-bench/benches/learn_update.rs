@@ -1,0 +1,90 @@
+//! Benchmarks of the incremental-update kernel behind continual learning:
+//! the differential SRAM PE rewrite against a full tile reload, and the
+//! end-to-end online step + write-back path of the learn engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_bench::banner;
+use pim_learn::{LearnEngine, OnlineLearnerConfig, WritePolicy};
+use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
+use pim_nn::tensor::Tensor;
+use pim_pe::{SparsePe, SramSparsePe};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    banner("Incremental-update kernels (continual learning)");
+
+    // Two weight versions sharing one sparsity mask, differing in a small
+    // fraction of values — the shape of an online SGD step's footprint.
+    let base = Matrix::from_fn(512, 8, |r, c| (((r * 17 + c * 3) % 251) as i32 - 125) as i8);
+    let mask = prune_magnitude(&base, NmPattern::one_of_four()).expect("non-empty");
+    let stepped = Matrix::from_fn(512, 8, |r, c| {
+        let v = *base.get(r, c).expect("in bounds");
+        if (r * 8 + c) % 53 == 0 {
+            v.wrapping_add(1)
+        } else {
+            v
+        }
+    });
+    let csc_a = CscMatrix::compress(&mask.apply(&base).expect("fits"), &mask).expect("fits");
+    let csc_b = CscMatrix::compress(&mask.apply(&stepped).expect("fits"), &mask).expect("fits");
+
+    let mut g = c.benchmark_group("learn_update");
+    g.bench_function("sram_pe_full_reload_512x8", |b| {
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc_a).expect("capacity");
+        b.iter(|| black_box(pe.load(&csc_a).expect("capacity")))
+    });
+    g.bench_function("sram_pe_differential_update_512x8", |b| {
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc_a).expect("capacity");
+        // One iteration = two differential rewrites (there and back), so
+        // every update call actually has changed bits to toggle.
+        b.iter(|| {
+            black_box(pe.update(&csc_b).expect("capacity"));
+            black_box(pe.update(&csc_a).expect("capacity"));
+        })
+    });
+
+    // End-to-end: one online SGD step plus the differential write-back of
+    // the updated adaptor into the resident SRAM tiles.
+    let model = RepNet::new(
+        Backbone::new(BackboneConfig::tiny()),
+        RepNetConfig {
+            rep_channels: 4,
+            num_classes: 5,
+            seed: 42,
+        },
+    );
+    let mut engine = LearnEngine::new(
+        "bench",
+        model,
+        OnlineLearnerConfig {
+            replay_capacity: 32,
+            batch_size: 4,
+            lr: 0.01,
+            seed: 7,
+            ..OnlineLearnerConfig::default()
+        },
+        WritePolicy::hybrid_dac24(1 << 22),
+    )
+    .expect("tiny model fits the PEs");
+    for i in 0..16 {
+        let x = Tensor::from_fn(&[1, 8, 8], |v| ((v + i) % 7) as f32 / 7.0);
+        engine.observe(&x, i % 5);
+    }
+    g.bench_function("learn_engine_online_step", |b| {
+        b.iter(|| black_box(engine.step().expect("online step")))
+    });
+    g.bench_function("learn_engine_step_and_write_back", |b| {
+        b.iter(|| {
+            engine.step().expect("online step");
+            black_box(engine.write_back().expect("within budget"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -69,9 +69,57 @@ pub fn run_fig8() -> Result<Fig8, MapError> {
     Ok(Fig8 { bars })
 }
 
+/// Builds a Figure-8-style comparison from **live measured** numbers: the
+/// EDP of a hybrid weight-update actually executed on the simulated SRAM
+/// PEs (as `pim-learn` measures it) against the modelled cost of the same
+/// update under a finetune-all deployment that rewrites every weight in
+/// NVM. Bars are normalized to the hybrid (1.0), matching the paper's
+/// presentation.
+///
+/// The experiment hook stays dependency-free: `pim-learn` sits above this
+/// crate, so it passes raw EDP numbers (pJ·ns) down rather than this crate
+/// pulling the learning engine in.
+///
+/// # Panics
+///
+/// Panics if an EDP is not positive and finite (a measured learning run
+/// always produces one).
+pub fn live_fig8(hybrid_label: &str, hybrid_edp: f64, finetune_all_edp: f64) -> Fig8 {
+    for (name, v) in [("hybrid", hybrid_edp), ("finetune-all", finetune_all_edp)] {
+        assert!(
+            v.is_finite() && v > 0.0,
+            "{name} EDP must be positive and finite, got {v}"
+        );
+    }
+    Fig8 {
+        bars: vec![
+            (
+                "MRAM finetune-all (model)".to_owned(),
+                finetune_all_edp / hybrid_edp,
+            ),
+            (format!("Ours {hybrid_label} (live)"), 1.0),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn live_fig8_normalizes_to_the_hybrid_bar() {
+        let fig = live_fig8("1:4", 2.0e6, 5.0e8);
+        assert_eq!(fig.bars.len(), 2);
+        assert!((fig.bar("Ours 1:4").unwrap() - 1.0).abs() < 1e-12);
+        assert!((fig.bar("finetune-all").unwrap() - 250.0).abs() < 1e-9);
+        assert!(fig.to_csv().contains("Ours 1:4 (live)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "EDP must be positive")]
+    fn live_fig8_rejects_zero_edp() {
+        let _ = live_fig8("1:8", 0.0, 1.0);
+    }
 
     #[test]
     fn fig8_reproduces_the_paper_shape() {

@@ -19,6 +19,6 @@ pub mod table1;
 pub mod table2;
 
 pub use fig7::{run_fig7, Fig7};
-pub use fig8::{run_fig8, Fig8};
+pub use fig8::{live_fig8, run_fig8, Fig8};
 pub use table1::{run_table1, Table1, Table1Config};
 pub use table2::{run_table2, Table2};

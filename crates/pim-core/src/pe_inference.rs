@@ -107,6 +107,39 @@ impl PeLayer {
         })
     }
 
+    /// Differentially re-targets the loaded tiles at new weights: each
+    /// tile re-quantizes its column block and rewrites only the changed
+    /// bit-cells via [`SramSparsePe::update`]. The tile geometry is fixed
+    /// at compile time (shapes and pattern don't change between updates),
+    /// so the resulting programs are identical to a cold
+    /// [`compile`](PeLayer::compile) of the same weights. Returns the PE
+    /// ledger delta of the rewrite (the online-learning write bill).
+    fn update(
+        &mut self,
+        w: &Matrix<f32>,
+        bias: &[f32],
+        pattern: NmPattern,
+    ) -> Result<PeStats, PeError> {
+        assert_eq!(w.rows(), self.reduction, "layer {}: reduction", self.name);
+        assert_eq!(w.cols(), self.outputs, "layer {}: outputs", self.name);
+        let params = QuantParams::calibrate(w.as_slice());
+        let quantized = w.map(|v| params.quantize_value(v));
+        let mut delta = PeStats::new();
+        for tile in &mut self.tiles {
+            let (c, end) = (tile.col_start, tile.col_end);
+            let block = Matrix::from_fn(w.rows(), end - c, |r, j| quantized[(r, c + j)]);
+            let mask = prune_magnitude(&block, pattern).expect("non-empty block");
+            let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
+            let before = *tile.pe.stats();
+            tile.pe.update(&csc)?;
+            delta += tile.pe.stats().since(&before);
+            tile.nnz = csc.nnz() as u64;
+        }
+        self.weight_scale = params.scale();
+        self.bias = bias.to_vec();
+        Ok(delta)
+    }
+
     /// One quantized matvec through the tiles: `y = deq(PE(x_q)) + bias`.
     fn matvec(&mut self, x: &[f32], stats: &mut PeRunStats) -> Vec<f32> {
         let x_params = QuantParams::calibrate(x);
@@ -283,6 +316,61 @@ impl PeRepNet {
             classifier,
             feature_width,
         })
+    }
+
+    /// Differentially rewrites the resident SRAM tiles with `model`'s
+    /// current learnable weights — the on-device learning write-back path:
+    /// only changed bit-cells toggle and pay write energy, while the tile
+    /// geometry (and the frozen backbone) stays put. Afterwards the branch
+    /// is indistinguishable from a cold [`compile`](PeRepNet::compile) of
+    /// the same model: predictions are bit-exact.
+    ///
+    /// Returns the PE ledger delta of the rewrite (loads, cycles, write
+    /// bits and energy), which `pim-learn` meters against the endurance
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] if a rewritten layer no longer fits its PEs
+    /// (cannot happen while shapes and patterns are unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is structurally different from the model this
+    /// branch was compiled from.
+    pub fn refresh(&mut self, model: &mut RepNet) -> Result<PeStats, PeError> {
+        assert_eq!(
+            self.modules.len(),
+            model.modules().len(),
+            "branch was compiled from a different model"
+        );
+        let mut delta = PeStats::new();
+        for (pm, module) in self.modules.iter_mut().zip(model.modules()) {
+            let proj_conv = module.connector();
+            let [conv3, conv1] = module.sparse_convs();
+            delta += pm.proj.update(
+                &proj_conv.weight_matrix(),
+                proj_conv.bias_values(),
+                NmPattern::new(4, 4).expect("dense encoding"),
+            )?;
+            delta += pm.conv3.update(
+                &conv3.inner().weight_matrix(),
+                conv3.inner().bias_values(),
+                pattern_of_conv(conv3),
+            )?;
+            delta += pm.conv1.update(
+                &conv1.inner().weight_matrix(),
+                conv1.inner().bias_values(),
+                pattern_of_conv(conv1),
+            )?;
+        }
+        let clf = model.classifier();
+        delta += self.classifier.update(
+            &clf.inner().weight_matrix(),
+            clf.inner().bias_values(),
+            pattern_of_linear(clf),
+        )?;
+        Ok(delta)
     }
 
     /// Runs the compiled branch: backbone taps from the (frozen) NN
@@ -538,6 +626,49 @@ mod tests {
         let total = compiled.cumulative_stats();
         assert!(total.loads as usize >= compiled.tile_count());
         assert!(total.matvecs >= stats.matvecs);
+    }
+
+    #[test]
+    fn refresh_matches_cold_recompile_bit_exactly() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        // Move the learnable weights, as online steps would.
+        fit(
+            &mut model,
+            &task.train,
+            &FitConfig {
+                epochs: 1,
+                batch_size: 16,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: 9,
+            },
+        );
+        let delta = compiled.refresh(&mut model).expect("geometry unchanged");
+        assert_eq!(delta.loads as usize, compiled.tile_count());
+        assert!(delta.write_bits > 0, "training must have moved some codes");
+
+        let mut cold_model = model.clone();
+        let mut cold = PeRepNet::compile(&mut cold_model).expect("fits PEs");
+        let (x, _) = task.test.batch(&[0, 1, 2, 3]);
+        let (a, _) = compiled.predict(&mut model, &x);
+        let (b, _) = cold.predict(&mut cold_model, &x);
+        assert_eq!(a.as_slice(), b.as_slice());
+
+        // Differential write bill is bounded by a full reprogram.
+        let cold_compile = cold.cumulative_stats();
+        assert!(delta.energy.write.as_pj() <= cold_compile.energy.write.as_pj() + 1e-9);
+        assert!(delta.write_bits <= cold_compile.write_bits);
+    }
+
+    #[test]
+    fn unchanged_refresh_writes_nothing() {
+        let (mut model, _) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        let delta = compiled.refresh(&mut model).expect("geometry unchanged");
+        assert_eq!(delta.write_bits, 0);
+        assert!(delta.energy.write.is_zero());
     }
 
     #[test]

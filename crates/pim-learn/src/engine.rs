@@ -1,0 +1,347 @@
+//! The continual-learning engine: train → differential write-back → hot
+//! swap into serving.
+
+use crate::error::LearnError;
+use crate::learner::{OnlineLearner, OnlineLearnerConfig};
+use crate::policy::{Region, WritePolicy};
+use crate::stats::{LearnReport, LearnStats};
+use pim_core::experiments::Fig8;
+use pim_core::pe_inference::PeRepNet;
+use pim_device::edp;
+use pim_device::mtj::MtjParams;
+use pim_nn::models::RepNet;
+use pim_nn::tensor::Tensor;
+use pim_nn::train::{Dataset, Model, StepStats};
+use pim_pe::PeStats;
+use pim_runtime::{CompiledModel, ModelId, Runtime};
+use std::fmt;
+
+/// Online continual learning with live publication into a serving
+/// [`Runtime`].
+///
+/// The engine owns three things and keeps them consistent:
+///
+/// 1. an [`OnlineLearner`] taking incremental SGD steps on the Rep-Net
+///    adaptor (backbone frozen),
+/// 2. a **resident** [`PeRepNet`] — the adaptor as loaded SRAM PE tiles,
+///    kept up to date by *differential* write-back: on
+///    [`write_back`](Self::write_back) every tile re-quantizes its weight
+///    block and toggles only the bit-cells that changed, charging real
+///    SRAM write energy from `pim-device` (never more than a full
+///    reload),
+/// 3. a [`WritePolicy`] guard — the MRAM backbone is write-protected and
+///    every adaptor write is pre-authorized against the endurance budget
+///    **before** any bit toggles, using the full-reload bit count as the
+///    worst-case bound (a differential update can only be cheaper).
+///
+/// [`publish`](Self::publish) then wraps the resident branch into a
+/// [`CompiledModel`] (no recompile — the tiles are cloned bit-for-bit)
+/// and hot-swaps it into the runtime, so serving output is bit-exact with
+/// a cold compile of the learner's current weights.
+#[derive(Debug)]
+pub struct LearnEngine {
+    name: String,
+    learner: OnlineLearner,
+    branch: PeRepNet,
+    policy: WritePolicy,
+    stats: LearnStats,
+    /// Bits a full (non-differential) reload of every resident tile
+    /// writes — the compile-time load bill, reused as the worst-case
+    /// bound a differential write-back is pre-authorized against.
+    full_load_bits: u64,
+    version: u64,
+}
+
+impl LearnEngine {
+    /// Compiles `model`'s learnable branch onto resident SRAM PE tiles
+    /// and wraps it for online learning under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::Pe`] if a layer tile exceeds PE capacity.
+    pub fn new(
+        name: impl Into<String>,
+        model: RepNet,
+        learner_config: OnlineLearnerConfig,
+        policy: WritePolicy,
+    ) -> Result<Self, LearnError> {
+        let mut learner = OnlineLearner::new(model, learner_config);
+        let branch = PeRepNet::compile(learner.model_mut())?;
+        let full_load_bits = branch.cumulative_stats().write_bits;
+        Ok(Self {
+            name: name.into(),
+            learner,
+            branch,
+            policy,
+            stats: LearnStats::new(policy.budget_bits()),
+            full_load_bits,
+            version: 0,
+        })
+    }
+
+    /// Admits one labelled sample into the learner's replay buffer.
+    pub fn observe(&mut self, input: &Tensor, label: usize) {
+        self.learner.observe(input, label);
+    }
+
+    /// Streams a whole dataset into the replay buffer.
+    pub fn observe_dataset(&mut self, data: &Dataset) {
+        self.learner.observe_dataset(data);
+    }
+
+    /// Takes one incremental training step (model weights move; the
+    /// resident tiles stay put until the next write-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::EmptyReplay`] before any sample arrived.
+    pub fn step(&mut self) -> Result<StepStats, LearnError> {
+        let stats = self.learner.step()?;
+        self.stats.record_step(&stats);
+        Ok(stats)
+    }
+
+    /// Differentially rewrites the resident SRAM tiles with the learner's
+    /// current weights, metering the write against the policy budget.
+    /// Returns the PE ledger delta (cycles, write bits, write energy) of
+    /// the rewrite.
+    ///
+    /// The policy check happens first, against the worst-case full-reload
+    /// bit count: a denial leaves the tiles untouched. The MRAM backbone
+    /// is never written on this path — the ledger's MRAM counter stays
+    /// zero by measurement.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::Policy`] — the adaptor budget cannot cover even
+    ///   the worst case of this write-back.
+    /// * [`LearnError::Pe`] — a rewritten layer no longer fits its PEs
+    ///   (cannot happen while shapes are unchanged).
+    pub fn write_back(&mut self) -> Result<PeStats, LearnError> {
+        self.policy.authorize(
+            Region::SramAdaptor,
+            self.stats.sram_write_bits(),
+            self.full_load_bits,
+        )?;
+        let delta = self.branch.refresh(self.learner.model_mut())?;
+        self.version += 1;
+        self.stats.record_publish(&delta);
+        Ok(delta)
+    }
+
+    /// [`write_back`](Self::write_back), then hot-swap the updated model
+    /// into serving slot `id` of `runtime`. Returns the slot's new
+    /// version. In-flight batches finish on the previous model; requests
+    /// batched after the swap are served by this one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`write_back`](Self::write_back) errors (nothing is
+    /// written or published), plus [`LearnError::Runtime`] if the swap is
+    /// rejected — the write-back has happened by then (the resident tiles
+    /// are updated), but serving keeps the old model.
+    pub fn publish(&mut self, runtime: &Runtime, id: ModelId) -> Result<u64, LearnError> {
+        self.write_back()?;
+        Ok(runtime.swap_model(id, self.compiled())?)
+    }
+
+    /// Snapshots the resident branch as a servable artifact (bit-for-bit
+    /// tile clones, no recompile), named `{name}@v{version}`. Use this to
+    /// register the engine's model with a runtime before the first
+    /// publish.
+    pub fn compiled(&self) -> CompiledModel {
+        CompiledModel::from_branch(
+            format!("{}@v{}", self.name, self.version),
+            self.learner.model(),
+            &self.branch,
+        )
+    }
+
+    /// Models the EDP a **finetune-all** deployment would pay for the
+    /// same number of publishes: every weight of the whole network (frozen
+    /// backbone included) rewritten through MTJ write pulses, 512 bits per
+    /// row pulse — the paper's Figure-8 worst bar, scaled to this run.
+    /// Computed for one publish when none happened yet.
+    pub fn finetune_all_edp(&mut self) -> f64 {
+        let mut weights = 0usize;
+        self.learner
+            .model_mut()
+            .params(&mut |p| weights += p.value.len());
+        let bits = weights as u64 * 8;
+        let publishes = self.stats.report().publishes.max(1);
+        let mtj = MtjParams::dac24();
+        let energy = mtj.write_energy * (bits * publishes) as f64;
+        let pulses = (bits as f64 / 512.0).ceil() * publishes as f64;
+        edp(energy, mtj.write_latency * pulses)
+    }
+
+    /// A live Figure-8-style EDP comparison — this run's measured hybrid
+    /// write-back cost against the modelled finetune-all deployment.
+    /// `None` before the first write-back (nothing measured yet).
+    pub fn fig8(&mut self, label: &str) -> Option<Fig8> {
+        let finetune_all = self.finetune_all_edp();
+        self.stats.report().live_fig8(label, finetune_all)
+    }
+
+    /// Point-in-time learning report.
+    pub fn report(&self) -> LearnReport {
+        self.stats.report()
+    }
+
+    /// The write-authorization policy in force.
+    pub fn policy(&self) -> &WritePolicy {
+        &self.policy
+    }
+
+    /// The online learner (replay buffer, optimizer, model).
+    pub fn learner(&self) -> &OnlineLearner {
+        &self.learner
+    }
+
+    /// Mutable learner access (e.g. checkpointing).
+    pub fn learner_mut(&mut self) -> &mut OnlineLearner {
+        &mut self.learner
+    }
+
+    /// Resident SRAM PE tiles backing the published model.
+    pub fn tile_count(&self) -> usize {
+        self.branch.tile_count()
+    }
+
+    /// Model versions produced (write-backs performed).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Bits a full reload of the resident tiles writes (the worst-case
+    /// bound each write-back is authorized against).
+    pub fn full_load_bits(&self) -> u64 {
+        self.full_load_bits
+    }
+}
+
+impl fmt::Display for LearnEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@v{}: {} resident tiles, {}",
+            self.name,
+            self.version,
+            self.tile_count(),
+            self.stats.report()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::models::{Backbone, BackboneConfig, RepNetConfig};
+
+    fn tiny_engine(policy: WritePolicy) -> LearnEngine {
+        let model = RepNet::new(
+            Backbone::new(BackboneConfig::tiny()),
+            RepNetConfig {
+                rep_channels: 4,
+                num_classes: 3,
+                seed: 5,
+            },
+        );
+        LearnEngine::new(
+            "tiny",
+            model,
+            OnlineLearnerConfig {
+                replay_capacity: 16,
+                batch_size: 4,
+                seed: 21,
+                ..OnlineLearnerConfig::default()
+            },
+            policy,
+        )
+        .expect("compile")
+    }
+
+    fn feed(engine: &mut LearnEngine, samples: usize) {
+        for i in 0..samples {
+            let x = Tensor::from_vec(
+                vec![1, 8, 8],
+                (0..64).map(|v| ((v * 3 + i) % 11) as f32 / 11.0).collect(),
+            )
+            .expect("sample shape");
+            engine.observe(&x, i % 3);
+        }
+    }
+
+    #[test]
+    fn write_back_is_differential_and_metered() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        feed(&mut engine, 12);
+        for _ in 0..4 {
+            engine.step().expect("step");
+        }
+        let delta = engine.write_back().expect("write back");
+        assert!(delta.write_bits > 0, "training changed resident weights");
+        assert!(
+            delta.write_bits < engine.full_load_bits(),
+            "differential rewrite beats a full reload ({} vs {})",
+            delta.write_bits,
+            engine.full_load_bits()
+        );
+        assert!(delta.energy.write.as_pj() > 0.0);
+        assert_eq!(engine.version(), 1);
+        let report = engine.report();
+        assert_eq!(report.publishes, 1);
+        assert_eq!(report.sram_write_bits, delta.write_bits);
+        assert_eq!(report.mram_write_bits, 0, "backbone untouched");
+        assert!(report.within_budget());
+    }
+
+    #[test]
+    fn unchanged_write_back_toggles_nothing() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        let delta = engine.write_back().expect("write back");
+        assert_eq!(delta.write_bits, 0);
+        assert_eq!(delta.energy.write.as_pj(), 0.0);
+    }
+
+    #[test]
+    fn exhausted_budget_blocks_the_write_before_it_happens() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20).with_bit_budget(1.0));
+        feed(&mut engine, 8);
+        engine.step().expect("step");
+        let err = engine.write_back().expect_err("policy must refuse");
+        assert!(matches!(err, LearnError::Policy(_)));
+        assert_eq!(engine.version(), 0, "denied write-back changed nothing");
+        assert_eq!(engine.report().publishes, 0);
+    }
+
+    #[test]
+    fn fig8_shows_the_hybrid_winning_after_a_publish() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        assert!(engine.fig8("1:4").is_none(), "nothing measured yet");
+        feed(&mut engine, 12);
+        for _ in 0..3 {
+            engine.step().expect("step");
+        }
+        engine.write_back().expect("write back");
+        let fig = engine.fig8("1:4").expect("measured");
+        let ours = fig.bar("Ours 1:4").expect("hybrid bar");
+        let finetune = fig.bar("finetune-all").expect("baseline bar");
+        assert!((ours - 1.0).abs() < 1e-12);
+        assert!(
+            finetune > 1.0,
+            "rewriting every weight in NVM must cost more (got {finetune})"
+        );
+    }
+
+    #[test]
+    fn compiled_snapshot_is_versioned() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        assert_eq!(engine.compiled().name(), "tiny@v0");
+        feed(&mut engine, 8);
+        engine.step().expect("step");
+        engine.write_back().expect("write back");
+        assert_eq!(engine.compiled().name(), "tiny@v1");
+        assert_eq!(engine.compiled().tile_count(), engine.tile_count());
+    }
+}

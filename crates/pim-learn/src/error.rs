@@ -1,0 +1,63 @@
+//! Typed failures of the continual-learning engine.
+
+use crate::policy::PolicyViolation;
+use pim_pe::PeError;
+use pim_runtime::RuntimeError;
+use std::fmt;
+
+/// Why a learning-engine operation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// The [`WritePolicy`](crate::WritePolicy) refused the write — the
+    /// hybrid contract was about to be broken. Nothing was written.
+    Policy(PolicyViolation),
+    /// The PE simulator rejected a tile program.
+    Pe(PeError),
+    /// Publishing into the serving runtime failed.
+    Runtime(RuntimeError),
+    /// A training step was requested before any sample was observed.
+    EmptyReplay,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Policy(v) => write!(f, "write policy violation: {v}"),
+            Self::Pe(e) => write!(f, "PE error during write-back: {e}"),
+            Self::Runtime(e) => write!(f, "publish failed: {e}"),
+            Self::EmptyReplay => write!(f, "cannot train: the replay buffer is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+impl From<PolicyViolation> for LearnError {
+    fn from(v: PolicyViolation) -> Self {
+        Self::Policy(v)
+    }
+}
+
+impl From<PeError> for LearnError {
+    fn from(e: PeError) -> Self {
+        Self::Pe(e)
+    }
+}
+
+impl From<RuntimeError> for LearnError {
+    fn from(e: RuntimeError) -> Self {
+        Self::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(LearnError::EmptyReplay.to_string().contains("replay"));
+        let e = LearnError::from(RuntimeError::ShuttingDown);
+        assert!(e.to_string().contains("publish failed"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The incremental trainer: replay buffer + online SGD steps.
+//!
+//! Continual learning on-device is a stream, not a dataset: labelled
+//! samples trickle in, and each arrival may trigger a small number of
+//! optimization steps over a bounded **replay buffer** (the streaming
+//! stand-in for an epoch). Each step is exactly one
+//! [`pim_nn::train::train_step`] — the same unit of work the offline
+//! `fit` loop uses — so online and offline training stay numerically
+//! identical given the same batches.
+
+use crate::error::LearnError;
+use pim_nn::checkpoint::{self, CheckpointError};
+use pim_nn::models::RepNet;
+use pim_nn::tensor::Tensor;
+use pim_nn::train::{train_step, Dataset, Sgd, StepStats};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+
+/// Hyperparameters of the online trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineLearnerConfig {
+    /// Bounded replay capacity; the oldest sample is evicted when full.
+    pub replay_capacity: usize,
+    /// Samples drawn (with replacement) per training step.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Replay-sampling seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for OnlineLearnerConfig {
+    fn default() -> Self {
+        Self {
+            replay_capacity: 256,
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+/// Incremental Rep-Net trainer over a labelled sample stream.
+///
+/// Only the adaptor path and classifier learn — the backbone parameters
+/// are frozen inside the [`RepNet`], matching the hybrid deployment where
+/// backbone weights sit in write-protected MRAM.
+pub struct OnlineLearner {
+    model: RepNet,
+    sgd: Sgd,
+    rng: StdRng,
+    /// `([1, C, H, W] sample, label)` pairs, oldest first.
+    replay: VecDeque<(Tensor, usize)>,
+    config: OnlineLearnerConfig,
+    steps: u64,
+    samples_observed: u64,
+}
+
+impl std::fmt::Debug for OnlineLearner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Sgd keeps opaque velocity state; summarize instead of deriving.
+        f.debug_struct("OnlineLearner")
+            .field("config", &self.config)
+            .field("replay_len", &self.replay.len())
+            .field("steps", &self.steps)
+            .field("samples_observed", &self.samples_observed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlineLearner {
+    /// Wraps `model` for online training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's capacity or batch size is zero.
+    pub fn new(model: RepNet, config: OnlineLearnerConfig) -> Self {
+        assert!(
+            config.replay_capacity > 0,
+            "replay capacity must be nonzero"
+        );
+        assert!(config.batch_size > 0, "batch size must be nonzero");
+        Self {
+            model,
+            sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),
+            rng: StdRng::seed_from_u64(config.seed),
+            replay: VecDeque::with_capacity(config.replay_capacity),
+            config,
+            steps: 0,
+            samples_observed: 0,
+        }
+    }
+
+    /// Admits one labelled sample (`[C, H, W]` or `[1, C, H, W]`) into
+    /// the replay buffer, evicting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not a single sample.
+    pub fn observe(&mut self, input: &Tensor, label: usize) {
+        let shape = input.shape();
+        let sample = if shape.len() == 4 && shape[0] == 1 {
+            input.clone()
+        } else {
+            assert_eq!(shape.len(), 3, "expected a [C, H, W] sample, got {shape:?}");
+            let mut with_batch = vec![1];
+            with_batch.extend_from_slice(shape);
+            input
+                .reshaped(with_batch)
+                .expect("adding a unit batch axis preserves the element count")
+        };
+        if self.replay.len() == self.config.replay_capacity {
+            self.replay.pop_front();
+        }
+        self.replay.push_back((sample, label));
+        self.samples_observed += 1;
+    }
+
+    /// Streams every sample of `data` through [`observe`](Self::observe)
+    /// in index order.
+    pub fn observe_dataset(&mut self, data: &Dataset) {
+        for i in 0..data.len() {
+            let (x, labels) = data.batch(&[i]);
+            self.observe(&x, labels[0]);
+        }
+    }
+
+    /// Performs one incremental training step on a batch drawn (with
+    /// replacement) from the replay buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::EmptyReplay`] before any sample arrived.
+    pub fn step(&mut self) -> Result<StepStats, LearnError> {
+        if self.replay.is_empty() {
+            return Err(LearnError::EmptyReplay);
+        }
+        let n = self.config.batch_size.min(self.replay.len());
+        let mut inputs = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = self.rng.random_range(0..self.replay.len());
+            let (x, y) = &self.replay[idx];
+            inputs.push(x.clone());
+            labels.push(*y);
+        }
+        let batch = Tensor::stack_batch(&inputs).expect("replay samples share one shape");
+        let stats = train_step(&mut self.model, &mut self.sgd, &batch, &labels);
+        self.steps += 1;
+        Ok(stats)
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &RepNet {
+        &self.model
+    }
+
+    /// Mutable model access (the engine's compile/refresh path needs it).
+    pub fn model_mut(&mut self) -> &mut RepNet {
+        &mut self.model
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Samples observed so far (admitted to replay, including evicted).
+    pub fn samples_observed(&self) -> u64 {
+        self.samples_observed
+    }
+
+    /// Samples currently held in the replay buffer.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Serializes the model parameters and BatchNorm state through
+    /// [`pim_nn::checkpoint`]. Optimizer momentum and the replay buffer
+    /// are transient and restart cold after a restore.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn save_checkpoint<W: Write>(&mut self, writer: W) -> std::io::Result<()> {
+        checkpoint::save(&mut self.model, writer)
+    }
+
+    /// Restores model parameters and BatchNorm state saved by
+    /// [`save_checkpoint`](Self::save_checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CheckpointError`] on format or shape mismatch.
+    pub fn load_checkpoint<R: Read>(&mut self, reader: R) -> Result<(), CheckpointError> {
+        checkpoint::load(&mut self.model, reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_nn::models::{Backbone, BackboneConfig, RepNetConfig};
+    use pim_nn::train::Model;
+
+    fn tiny_learner(seed: u64) -> OnlineLearner {
+        let model = RepNet::new(
+            Backbone::new(BackboneConfig::tiny()),
+            RepNetConfig {
+                rep_channels: 4,
+                num_classes: 3,
+                seed: 5,
+            },
+        );
+        OnlineLearner::new(
+            model,
+            OnlineLearnerConfig {
+                replay_capacity: 8,
+                batch_size: 4,
+                seed,
+                ..OnlineLearnerConfig::default()
+            },
+        )
+    }
+
+    fn feed(learner: &mut OnlineLearner, samples: usize) {
+        for i in 0..samples {
+            let x = Tensor::from_vec(
+                vec![1, 8, 8],
+                (0..64).map(|v| ((v + i) % 7) as f32 / 7.0).collect(),
+            )
+            .expect("sample shape");
+            learner.observe(&x, i % 3);
+        }
+    }
+
+    #[test]
+    fn step_before_any_sample_is_an_error() {
+        let mut learner = tiny_learner(0);
+        assert_eq!(learner.step(), Err(LearnError::EmptyReplay));
+    }
+
+    #[test]
+    fn replay_is_bounded_and_steps_count() {
+        let mut learner = tiny_learner(1);
+        feed(&mut learner, 20);
+        assert_eq!(learner.replay_len(), 8);
+        assert_eq!(learner.samples_observed(), 20);
+        let stats = learner.step().expect("step");
+        assert_eq!(stats.batch, 4);
+        assert!(stats.loss.is_finite());
+        assert_eq!(learner.steps(), 1);
+    }
+
+    #[test]
+    fn same_seed_and_stream_is_deterministic() {
+        let (mut a, mut b) = (tiny_learner(9), tiny_learner(9));
+        feed(&mut a, 10);
+        feed(&mut b, 10);
+        for _ in 0..3 {
+            let (sa, sb) = (a.step().unwrap(), b.step().unwrap());
+            assert_eq!(sa, sb);
+        }
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        assert_eq!(
+            a.model_mut().predict(&x, false).as_slice(),
+            b.model_mut().predict(&x, false).as_slice()
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_the_model() {
+        let mut learner = tiny_learner(3);
+        feed(&mut learner, 10);
+        for _ in 0..3 {
+            learner.step().expect("step");
+        }
+        let mut saved = Vec::new();
+        learner.save_checkpoint(&mut saved).expect("save");
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let reference = learner.model_mut().predict(&x, false);
+
+        // Diverge, then restore.
+        for _ in 0..3 {
+            learner.step().expect("step");
+        }
+        assert_ne!(
+            learner.model_mut().predict(&x, false).as_slice(),
+            reference.as_slice(),
+            "training moved the weights"
+        );
+        learner.load_checkpoint(saved.as_slice()).expect("load");
+        assert_eq!(
+            learner.model_mut().predict(&x, false).as_slice(),
+            reference.as_slice(),
+            "restore is bit-exact"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The write guard enforcing the paper's hybrid memory contract.
+//!
+//! The whole point of the MRAM–SRAM split is *where writes are allowed to
+//! land*: the frozen backbone lives in MRAM and is never rewritten during
+//! deployment (endurance and 10 ns write pulses make it the wrong place
+//! for gradients), while the Rep-Net adaptor lives in SRAM whose writes
+//! are cheap and effectively unlimited — but still metered, so a
+//! deployment on a different adaptor fabric (e.g. RRAM) inherits a real
+//! budget. [`WritePolicy`] is that contract as code: every write-back the
+//! learning engine performs must be authorized first.
+
+use pim_device::EnduranceModel;
+use std::fmt;
+
+/// Which physical fabric a write targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The frozen backbone array (MRAM). Write-protected by default.
+    MramBackbone,
+    /// The learnable adaptor array (SRAM in the paper's design).
+    SramAdaptor,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MramBackbone => write!(f, "MRAM backbone"),
+            Self::SramAdaptor => write!(f, "SRAM adaptor"),
+        }
+    }
+}
+
+/// A write the policy refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyViolation {
+    /// Something tried to rewrite the frozen backbone.
+    BackboneWriteDenied {
+        /// Bits the denied write would have toggled.
+        bits: u64,
+    },
+    /// The adaptor write budget cannot cover the request.
+    EnduranceExhausted {
+        /// Cell-writes already spent.
+        used_bits: u64,
+        /// Cell-writes the request would add (worst case).
+        requested_bits: u64,
+        /// Lifetime budget in cell-writes.
+        budget_bits: f64,
+    },
+}
+
+impl fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BackboneWriteDenied { bits } => {
+                write!(f, "backbone is write-protected (denied {bits} bit writes)")
+            }
+            Self::EnduranceExhausted {
+                used_bits,
+                requested_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "adaptor endurance budget exhausted: {used_bits} bits spent + \
+                 {requested_bits} requested > budget {budget_bits:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyViolation {}
+
+/// Write-authorization policy of the hybrid deployment.
+///
+/// Construct with [`hybrid_dac24`](Self::hybrid_dac24) for the paper's
+/// contract (backbone frozen, SRAM adaptor with effectively infinite
+/// endurance), then tighten with the builder methods to model other
+/// fabrics or stress-test the guard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WritePolicy {
+    backbone_writable: bool,
+    adaptor_endurance: EnduranceModel,
+    adaptor_cells: u64,
+    bit_budget: Option<f64>,
+}
+
+impl WritePolicy {
+    /// The paper's deployment: backbone write-protected, adaptor in SRAM
+    /// (`adaptor_cells` bit-cells) with SRAM endurance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adaptor_cells` is zero.
+    pub fn hybrid_dac24(adaptor_cells: u64) -> Self {
+        assert!(adaptor_cells > 0, "adaptor array must have cells");
+        Self {
+            backbone_writable: false,
+            adaptor_endurance: EnduranceModel::sram(),
+            adaptor_cells,
+            bit_budget: None,
+        }
+    }
+
+    /// Swaps the adaptor fabric's endurance model (e.g.
+    /// [`EnduranceModel::rram`] to study a resistive adaptor).
+    pub fn with_adaptor_endurance(mut self, endurance: EnduranceModel) -> Self {
+        self.adaptor_endurance = endurance;
+        self
+    }
+
+    /// Overrides the lifetime adaptor write budget with an explicit
+    /// cell-write count (tighter deployments, guard tests).
+    pub fn with_bit_budget(mut self, bits: f64) -> Self {
+        self.bit_budget = Some(bits);
+        self
+    }
+
+    /// Lifts backbone write protection (not the paper's deployment; used
+    /// to model finetune-all baselines).
+    pub fn allow_backbone_writes(mut self) -> Self {
+        self.backbone_writable = true;
+        self
+    }
+
+    /// The adaptor fabric's endurance model.
+    pub fn adaptor_endurance(&self) -> EnduranceModel {
+        self.adaptor_endurance
+    }
+
+    /// Lifetime adaptor write budget in cell-writes: the explicit
+    /// override if set, otherwise derived from the endurance model — the
+    /// per-cell effective budget under the online-learning write pattern
+    /// (hottest cell toggles every publish) times the array size.
+    /// Infinite for SRAM.
+    pub fn budget_bits(&self) -> f64 {
+        if let Some(b) = self.bit_budget {
+            return b;
+        }
+        self.adaptor_endurance
+            .steps_to_failure(1, self.adaptor_cells)
+            * self.adaptor_cells as f64
+    }
+
+    /// Authorizes a write of `requested_bits` cell-writes into `region`,
+    /// given `used_bits` already spent from the budget. Called by the
+    /// engine *before* any bit toggles (with its worst-case bound), so a
+    /// denial leaves the arrays untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`PolicyViolation::BackboneWriteDenied`] — MRAM target while the
+    ///   backbone is write-protected.
+    /// * [`PolicyViolation::EnduranceExhausted`] — the adaptor budget
+    ///   cannot cover `used_bits + requested_bits`.
+    pub fn authorize(
+        &self,
+        region: Region,
+        used_bits: u64,
+        requested_bits: u64,
+    ) -> Result<(), PolicyViolation> {
+        match region {
+            Region::MramBackbone => {
+                if self.backbone_writable {
+                    Ok(())
+                } else {
+                    Err(PolicyViolation::BackboneWriteDenied {
+                        bits: requested_bits,
+                    })
+                }
+            }
+            Region::SramAdaptor => {
+                let budget = self.budget_bits();
+                if (used_bits + requested_bits) as f64 > budget {
+                    Err(PolicyViolation::EnduranceExhausted {
+                        used_bits,
+                        requested_bits,
+                        budget_bits: budget,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backbone {}, adaptor {} cells @ {} (budget {:.3e} bit-writes)",
+            if self.backbone_writable {
+                "writable"
+            } else {
+                "write-protected"
+            },
+            self.adaptor_cells,
+            self.adaptor_endurance,
+            self.budget_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_writes_are_denied_by_default() {
+        let p = WritePolicy::hybrid_dac24(1024);
+        assert_eq!(
+            p.authorize(Region::MramBackbone, 0, 8),
+            Err(PolicyViolation::BackboneWriteDenied { bits: 8 })
+        );
+        assert!(p
+            .allow_backbone_writes()
+            .authorize(Region::MramBackbone, 0, 8)
+            .is_ok());
+    }
+
+    #[test]
+    fn sram_adaptor_budget_is_effectively_infinite() {
+        let p = WritePolicy::hybrid_dac24(1024);
+        assert!(p.budget_bits().is_infinite());
+        assert!(p
+            .authorize(Region::SramAdaptor, u64::MAX / 2, u64::MAX / 2)
+            .is_ok());
+    }
+
+    #[test]
+    fn rram_adaptor_budget_is_finite_and_enforced() {
+        let p = WritePolicy::hybrid_dac24(1024).with_adaptor_endurance(EnduranceModel::rram());
+        let budget = p.budget_bits();
+        assert!(budget.is_finite() && budget > 0.0);
+        assert!(p.authorize(Region::SramAdaptor, 0, 1).is_ok());
+        let over = budget as u64 + 1;
+        assert!(matches!(
+            p.authorize(Region::SramAdaptor, 0, over),
+            Err(PolicyViolation::EnduranceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_bit_budget_overrides_endurance() {
+        let p = WritePolicy::hybrid_dac24(1024).with_bit_budget(100.0);
+        assert!(p.authorize(Region::SramAdaptor, 60, 40).is_ok());
+        assert!(matches!(
+            p.authorize(Region::SramAdaptor, 60, 41),
+            Err(PolicyViolation::EnduranceExhausted {
+                used_bits: 60,
+                requested_bits: 41,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn display_summarizes_the_contract() {
+        let s = WritePolicy::hybrid_dac24(4096).to_string();
+        assert!(s.contains("write-protected"));
+        assert!(s.contains("4096 cells"));
+        assert!(PolicyViolation::BackboneWriteDenied { bits: 3 }
+            .to_string()
+            .contains("write-protected"));
+    }
+}

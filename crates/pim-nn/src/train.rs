@@ -381,6 +381,68 @@ pub struct EpochStats {
     pub accuracy: f64,
 }
 
+/// Per-batch record returned by [`train_step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Mean softmax cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Correctly classified examples in the batch.
+    pub correct: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl StepStats {
+    /// Fraction of the batch classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.batch == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.batch as f64
+        }
+    }
+}
+
+/// Performs one incremental optimization step on a single labelled batch:
+/// forward, softmax cross-entropy, backprop, SGD update.
+///
+/// This is the unit of work of both the offline [`fit`] loop and online
+/// continual learning (`pim-learn`), where batches arrive from a stream
+/// instead of a fixed dataset and the optimizer lives across calls.
+///
+/// # Panics
+///
+/// Panics if `labels` is empty or its length differs from the batch
+/// dimension of `x`.
+pub fn train_step(
+    model: &mut (impl Model + ?Sized),
+    sgd: &mut Sgd,
+    x: &Tensor,
+    labels: &[usize],
+) -> StepStats {
+    assert!(!labels.is_empty(), "cannot step on an empty batch");
+    assert_eq!(
+        x.shape().first().copied().unwrap_or(0),
+        labels.len(),
+        "batch dimension must match label count"
+    );
+    model.clear_grads();
+    let logits = model.predict(x, true);
+    let (loss, grad) = softmax_cross_entropy(&logits, labels);
+    let correct = predictions(&logits)
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    model.backprop(&grad);
+    sgd.step(model);
+    StepStats {
+        loss,
+        correct,
+        batch: labels.len(),
+    }
+}
+
 /// Trains `model` on `data` with softmax cross-entropy, returning per-epoch
 /// statistics.
 ///
@@ -401,17 +463,9 @@ pub fn fit(model: &mut (impl Model + ?Sized), data: &Dataset, cfg: &FitConfig) -
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             let (x, labels) = data.batch(chunk);
-            model.clear_grads();
-            let logits = model.predict(&x, true);
-            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-            correct += predictions(&logits)
-                .iter()
-                .zip(&labels)
-                .filter(|(p, l)| p == l)
-                .count();
-            model.backprop(&grad);
-            sgd.step(model);
-            total_loss += loss as f64;
+            let step = train_step(model, &mut sgd, &x, &labels);
+            correct += step.correct;
+            total_loss += step.loss as f64;
             batches += 1;
         }
         history.push(EpochStats {
@@ -510,6 +564,47 @@ mod tests {
         assert!(history.last().unwrap().accuracy > 0.95);
         assert!(history.last().unwrap().loss < history.first().unwrap().loss);
         assert!(evaluate(&mut net, &data, 16) > 0.95);
+    }
+
+    #[test]
+    fn train_step_matches_manual_loop() {
+        // One train_step must be exactly one clear/forward/backward/step.
+        let data = xor_dataset();
+        let build = || {
+            let mut net = Sequential::new();
+            net.push(Linear::new(2, 8, 20));
+            net.push(Relu::new());
+            net.push(Linear::new(8, 2, 21));
+            net
+        };
+        let (x, labels) = data.batch(&[0, 1, 2, 3]);
+
+        let mut a = build();
+        let mut sgd_a = Sgd::new(0.1, 0.9, 1e-4);
+        let step = train_step(&mut a, &mut sgd_a, &x, &labels);
+        assert!(step.loss.is_finite());
+        assert_eq!(step.batch, 4);
+        assert!(step.accuracy() <= 1.0);
+
+        let mut b = build();
+        let mut sgd_b = Sgd::new(0.1, 0.9, 1e-4);
+        b.clear_grads();
+        let logits = b.predict(&x, true);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        b.backprop(&grad);
+        sgd_b.step(&mut b);
+
+        let after_a = a.predict(&x, false);
+        let after_b = b.predict(&x, false);
+        assert_eq!(after_a.as_slice(), after_b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot step on an empty batch")]
+    fn train_step_rejects_empty_batch() {
+        let mut net = Linear::new(2, 2, 0);
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        let _ = train_step(&mut net, &mut sgd, &Tensor::zeros(&[0, 2]), &[]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod stats;
 mod transpose;
 
 pub use error::PeError;
-pub use mram::{FaultReport, MramPeConfig, MramSparsePe};
+pub use mram::{FaultReport, MramPeConfig, MramSparsePe, StochasticWrites};
 pub use sram::{SramPeConfig, SramSparsePe};
 pub use stats::{LoadReport, MatvecReport, PeStats};
 pub use transpose::TransposedSramPe;

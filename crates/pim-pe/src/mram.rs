@@ -29,7 +29,7 @@ use crate::error::PeError;
 use crate::stats::{LoadReport, MatvecReport, PeStats};
 use crate::SparsePe;
 use pim_device::components::MramPeComponents;
-use pim_device::mtj::MtjParams;
+use pim_device::mtj::{Mtj, MtjParams, MtjState};
 use pim_device::units::Latency;
 use pim_device::{EnergyLedger, TechnologyParams};
 use pim_sparse::csc::CscSlot;
@@ -54,6 +54,20 @@ pub struct MramPeConfig {
     pub components: MramPeComponents,
     /// MTJ device corner.
     pub mtj: MtjParams,
+    /// When set, every weight bit of a [`SparsePe::load`] is driven through
+    /// the stochastic [`Mtj::write_stochastic`] channel with write-verify
+    /// retries; when `None` (the default) writes are ideal.
+    pub stochastic: Option<StochasticWrites>,
+}
+
+/// Configuration of the stochastic write channel (see
+/// [`MramPeConfig::stochastic`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StochasticWrites {
+    /// Seed of the deterministic per-load noise stream.
+    pub seed: u64,
+    /// Write-verify retry budget per bit (0 = single pulse, no verify).
+    pub max_retries: u32,
 }
 
 impl MramPeConfig {
@@ -69,6 +83,7 @@ impl MramPeConfig {
             tech: TechnologyParams::tsmc28(),
             components: MramPeComponents::dac24(),
             mtj: MtjParams::dac24(),
+            stochastic: None,
         }
     }
 
@@ -154,15 +169,19 @@ impl MramSparsePe {
         self.rows.len()
     }
 
-    /// Loads a tile through a **stochastic write channel**: every weight
-    /// bit is written with the device's per-pulse failure probability
+    /// Loads a tile through the **stochastic write channel**: a one-shot
+    /// convenience wrapper that sets [`MramPeConfig::stochastic`] for the
+    /// duration of one [`SparsePe::load`]. Every set weight bit switches a
+    /// real [`Mtj`] with the device's per-pulse failure probability
     /// ([`MtjParams::write_error_rate`]), re-pulsed under write-verify up
-    /// to `max_retries` times, and left flipped if all pulses fail. The
-    /// retry pulses cost extra write energy; residual flips corrupt the
+    /// to `max_retries` times, and left erased if all pulses fail. The
+    /// retry pulses cost extra write energy; residual faults corrupt the
     /// stored weights, which subsequent [`SparsePe::matvec`] calls then
     /// faithfully compute with — letting the higher layers measure the
     /// accuracy impact of MRAM write instability (a failure mode the
-    /// paper's introduction calls out for NVM training).
+    /// paper's introduction calls out for NVM training). Retry and fault
+    /// counts also land in [`PeStats::write_retries`] /
+    /// [`PeStats::write_faults`].
     ///
     /// Deterministic for a given `seed`.
     ///
@@ -175,40 +194,62 @@ impl MramSparsePe {
         seed: u64,
         max_retries: u32,
     ) -> Result<FaultReport, PeError> {
-        let mut load = self.load(weights)?;
-        let p_fail = self.config.mtj.write_error_rate;
-        let mut rng = SplitMix64::new(seed);
+        let saved = self.config.stochastic;
+        self.config.stochastic = Some(StochasticWrites { seed, max_retries });
+        let result = self.load(weights);
+        self.config.stochastic = saved;
+        let load = result?;
+        Ok(FaultReport {
+            retried_bits: load.retried_bits,
+            corrupted_bits: load.faulted_bits,
+            load,
+        })
+    }
+
+    /// Drives every stored weight bit through an [`Mtj`] device's
+    /// stochastic write channel with write-verify: a set bit that fails to
+    /// switch within the retry budget is left in the erased (parallel, `0`)
+    /// state, corrupting the stored weight. Returns
+    /// `(retry_pulses, residual_faults)`.
+    ///
+    /// Writing a `0` into a freshly-erased cell hits the read-before-write
+    /// gate and is a guaranteed no-op, so only set bits face the channel —
+    /// matching the device model rather than a symmetric bit-flip channel.
+    fn apply_stochastic_writes(&mut self, channel: StochasticWrites) -> (u64, u64) {
+        if self.config.mtj.write_error_rate <= 0.0 {
+            return (0, 0);
+        }
+        let proto = Mtj::with_params(self.config.mtj.clone()).expect("invalid MTJ parameters");
+        let mut rng = SplitMix64::new(channel.seed);
         let mut retried_bits = 0u64;
-        let mut corrupted_bits = 0u64;
-        if p_fail > 0.0 {
-            for row in &mut self.rows {
-                for (_, slot) in row.pairs.iter_mut().filter(|(_, s)| s.occupied) {
-                    let mut value = slot.value as u8;
-                    for bit in 0..8u8 {
-                        let mut ok = rng.next_f64() >= p_fail;
-                        let mut pulses = 0u32;
-                        while !ok && pulses < max_retries {
-                            pulses += 1;
-                            retried_bits += 1;
-                            ok = rng.next_f64() >= p_fail;
-                        }
-                        if !ok {
-                            value ^= 1 << bit;
-                            corrupted_bits += 1;
-                        }
+        let mut faulted_bits = 0u64;
+        for row in &mut self.rows {
+            for (_, slot) in row.pairs.iter_mut().filter(|(_, s)| s.occupied) {
+                let mut value = slot.value as u8;
+                for bit in 0..8u8 {
+                    if (value >> bit) & 1 == 0 {
+                        continue;
                     }
-                    slot.value = value as i8;
+                    let mut cell = proto.clone();
+                    let (mut ok, _) = cell.write_stochastic(MtjState::AntiParallel, rng.next_f64());
+                    let mut pulses = 0u32;
+                    while !ok && pulses < channel.max_retries {
+                        pulses += 1;
+                        retried_bits += 1;
+                        let (again, _) =
+                            cell.write_stochastic(MtjState::AntiParallel, rng.next_f64());
+                        ok = again;
+                    }
+                    if !ok {
+                        debug_assert_eq!(cell.state(), MtjState::Parallel);
+                        value &= !(1 << bit);
+                        faulted_bits += 1;
+                    }
                 }
+                slot.value = value as i8;
             }
         }
-        // Retry pulses pay full set/reset energy each.
-        load.energy
-            .add_write(self.config.mtj.write_energy * retried_bits as f64);
-        Ok(FaultReport {
-            load,
-            retried_bits,
-            corrupted_bits,
-        })
+        (retried_bits, faulted_bits)
     }
 
     /// Peripheral-logic leakage over `elapsed` (the MTJ array itself is
@@ -310,6 +351,13 @@ impl SparsePe for MramSparsePe {
             occupied_slots: occupied,
         });
 
+        // Optional stochastic write channel: per-bit MTJ switching with
+        // write-verify retries (see [`MramPeConfig::stochastic`]).
+        let (retried_bits, faulted_bits) = match self.config.stochastic {
+            Some(channel) => self.apply_stochastic_writes(channel),
+            None => (0, 0),
+        };
+
         // Write cost: one row per write pulse; on average half of the MTJs
         // toggle under the differential (read-before-write) driver.
         let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
@@ -324,6 +372,8 @@ impl SparsePe for MramSparsePe {
         let latency = Latency::from_ns(rows_written as f64 * self.config.mtj.write_latency.as_ns());
         let mut energy = self.peripheral_leakage(latency);
         energy.add_write(self.config.mtj.write_energy * bits_written as f64);
+        // Retry pulses pay full set/reset energy each.
+        energy.add_write(self.config.mtj.write_energy * retried_bits as f64);
         // Row/col decoders and drivers are active for the whole write.
         energy.add_write(
             (self.config.components.row_decoder_driver.power()
@@ -336,6 +386,8 @@ impl SparsePe for MramSparsePe {
             latency,
             energy,
             bits_written,
+            retried_bits,
+            faulted_bits,
         };
         self.stats.record_load(&report);
         Ok(report)
@@ -603,6 +655,35 @@ mod tests {
         assert_eq!(ra.corrupted_bits, rb.corrupted_bits);
         let x = vec![2i8; 256];
         assert_eq!(a.matvec(&x).unwrap().outputs, b.matvec(&x).unwrap().outputs);
+    }
+
+    #[test]
+    fn stochastic_config_flag_surfaces_counters_in_stats() {
+        let mut cfg = MramPeConfig::dac24();
+        cfg.mtj.write_error_rate = 0.1;
+        cfg.stochastic = Some(StochasticWrites {
+            seed: 5,
+            max_retries: 2,
+        });
+        let csc = sparse_tile(256, 8, NmPattern::one_of_four(), 6);
+        let mut pe = MramSparsePe::with_config(cfg);
+        let report = pe.load(&csc).unwrap();
+        assert!(report.retried_bits > 0);
+        assert_eq!(pe.stats().write_retries, report.retried_bits);
+        assert_eq!(pe.stats().write_faults, report.faulted_bits);
+        assert_eq!(pe.stats().write_bits, report.bits_written);
+
+        // The same load through the wrapper is identical.
+        let mut cfg2 = MramPeConfig::dac24();
+        cfg2.mtj.write_error_rate = 0.1;
+        let mut other = MramSparsePe::with_config(cfg2);
+        let wrapped = other.load_with_faults(&csc, 5, 2).unwrap();
+        assert_eq!(wrapped.load, report);
+        let x = vec![2i8; 256];
+        assert_eq!(
+            pe.matvec(&x).unwrap().outputs,
+            other.matvec(&x).unwrap().outputs
+        );
     }
 
     #[test]

@@ -163,33 +163,9 @@ impl SramSparsePe {
         SramCell::new(kind, &self.config.tech)
     }
 
-    fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
-        let mut e = EnergyLedger::new();
-        // Weight cells (8T) and index cells (6T) leak at different rates.
-        let wcells =
-            (self.config.rows * self.config.column_groups) as u64 * self.config.weight_bits as u64;
-        let icells =
-            (self.config.rows * self.config.column_groups) as u64 * self.config.index_bits as u64;
-        e.add_leakage(
-            self.cell(SramCellKind::Compute8T)
-                .leakage_energy(wcells, elapsed),
-        );
-        e.add_leakage(
-            self.cell(SramCellKind::Index6T)
-                .leakage_energy(icells, elapsed),
-        );
-        e
-    }
-}
-
-impl Default for SramSparsePe {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SparsePe for SramSparsePe {
-    fn load(&mut self, weights: &CscMatrix) -> Result<LoadReport, PeError> {
+    /// Validates `weights` against the geometry and packs it into
+    /// column-group segments without touching the resident program.
+    fn pack_segments(&self, weights: &CscMatrix) -> Result<(Vec<Segment>, TileInfo), PeError> {
         let pattern = weights.pattern();
         if pattern.index_bits() > self.config.index_bits {
             return Err(PeError::PatternUnsupported {
@@ -227,13 +203,125 @@ impl SparsePe for SramSparsePe {
                 });
             }
         }
-        self.segments = segments;
-        self.tile = Some(TileInfo {
+        let tile = TileInfo {
             rows: weights.rows(),
             cols: weights.cols(),
             m: pattern.m(),
             occupied_slots: occupied,
-        });
+        };
+        Ok((segments, tile))
+    }
+
+    /// Differentially rewrites the resident tile with `weights`, toggling
+    /// only the bit-cells whose stored value changes.
+    ///
+    /// This is the on-device learning write path: successive Rep-Net
+    /// updates move few INT8 codes, so only the dirty physical rows are
+    /// re-driven (one cycle each) and only the flipped weight/index bits
+    /// pay SRAM cell write energy. The resulting program is identical to a
+    /// fresh [`load`](SparsePe::load) of the same matrix — bit-exact
+    /// matvecs — but the write energy is bounded above by the full load's.
+    ///
+    /// Falls back to a full [`load`](SparsePe::load) when no tile is
+    /// resident or when `weights` has a different segment layout (shape or
+    /// pattern change).
+    pub fn update(&mut self, weights: &CscMatrix) -> Result<LoadReport, PeError> {
+        let (segments, tile) = self.pack_segments(weights)?;
+        let layout_matches = self.tile.is_some()
+            && self.segments.len() == segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(&segments)
+                .all(|(a, b)| a.logical_col == b.logical_col && a.slots.len() == b.slots.len());
+        if !layout_matches {
+            return self.load(weights);
+        }
+
+        // Stored image of a slot: 8-bit weight in the compute cells, 4-bit
+        // CSC offset in the index cells; empty slots are zero-filled.
+        let stored = |&(_, s): &(usize, CscSlot)| -> (u8, u8) {
+            if s.occupied {
+                (s.value as u8, s.offset & 0x0F)
+            } else {
+                (0, 0)
+            }
+        };
+        let mut weight_bits_changed = 0u64;
+        let mut index_bits_changed = 0u64;
+        let mut dirty_rows = vec![false; self.config.rows];
+        for (old_seg, new_seg) in self.segments.iter().zip(&segments) {
+            for (row, (old, new)) in old_seg.slots.iter().zip(&new_seg.slots).enumerate() {
+                let (ow, oi) = stored(old);
+                let (nw, ni) = stored(new);
+                let dw = (ow ^ nw).count_ones() as u64;
+                let di = (oi ^ ni).count_ones() as u64;
+                if dw + di > 0 {
+                    dirty_rows[row] = true;
+                }
+                weight_bits_changed += dw;
+                index_bits_changed += di;
+            }
+        }
+
+        // Only dirty physical rows are re-driven, one per cycle; an
+        // unchanged tile is free.
+        let cycles = dirty_rows.iter().filter(|&&d| d).count() as u64;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let bits_written = weight_bits_changed + index_bits_changed;
+        let mut energy = self.leakage_over(latency);
+        let w_cell = self.cell(SramCellKind::Compute8T);
+        let i_cell = self.cell(SramCellKind::Index6T);
+        energy.add_write(
+            w_cell.write_energy() * weight_bits_changed as f64
+                + i_cell.write_energy() * index_bits_changed as f64,
+        );
+        energy.add_read(self.config.components.decoder.power() * latency);
+
+        self.segments = segments;
+        self.tile = Some(tile);
+        let report = LoadReport {
+            cycles,
+            latency,
+            energy,
+            bits_written,
+            retried_bits: 0,
+            faulted_bits: 0,
+        };
+        self.stats.record_load(&report);
+        Ok(report)
+    }
+
+    fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
+        let mut e = EnergyLedger::new();
+        // Weight cells (8T) and index cells (6T) leak at different rates.
+        let wcells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.weight_bits as u64;
+        let icells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.index_bits as u64;
+        e.add_leakage(
+            self.cell(SramCellKind::Compute8T)
+                .leakage_energy(wcells, elapsed),
+        );
+        e.add_leakage(
+            self.cell(SramCellKind::Index6T)
+                .leakage_energy(icells, elapsed),
+        );
+        e
+    }
+}
+
+impl Default for SramSparsePe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparsePe for SramSparsePe {
+    fn load(&mut self, weights: &CscMatrix) -> Result<LoadReport, PeError> {
+        let (segments, tile) = self.pack_segments(weights)?;
+        self.segments = segments;
+        self.tile = Some(tile);
 
         // Write cost: every stored slot writes weight + index cells; the
         // array is written one physical row (across all groups) per cycle.
@@ -262,6 +350,8 @@ impl SparsePe for SramSparsePe {
             latency,
             energy,
             bits_written,
+            retried_bits: 0,
+            faulted_bits: 0,
         };
         self.stats.record_load(&report);
         Ok(report)
@@ -349,6 +439,7 @@ mod tests {
     use pim_sparse::gemm::{dense_matvec, masked_dense};
     use pim_sparse::prune::prune_magnitude;
     use pim_sparse::{Matrix, NmPattern};
+    use proptest::prelude::*;
 
     fn sparse_tile(rows: usize, cols: usize, pattern: NmPattern, seed: usize) -> CscMatrix {
         let dense = Matrix::from_fn(rows, cols, |r, c| {
@@ -522,6 +613,102 @@ mod tests {
                 hardware_bits: 2
             })
         );
+    }
+
+    #[test]
+    fn update_without_resident_tile_is_a_full_load() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 1);
+        let mut updated = SramSparsePe::new();
+        let up = updated.update(&csc).unwrap();
+        let mut loaded = SramSparsePe::new();
+        let full = loaded.load(&csc).unwrap();
+        assert_eq!(up, full);
+    }
+
+    #[test]
+    fn update_matches_cold_load_bit_exactly() {
+        let a = sparse_tile(64, 4, NmPattern::one_of_four(), 1);
+        let b = sparse_tile(64, 4, NmPattern::one_of_four(), 2);
+        let mut pe = SramSparsePe::new();
+        pe.load(&a).unwrap();
+        pe.update(&b).unwrap();
+        let mut fresh = SramSparsePe::new();
+        fresh.load(&b).unwrap();
+        let x: Vec<i8> = (0..64).map(|i| ((i * 29) % 251) as u8 as i8).collect();
+        assert_eq!(
+            pe.matvec(&x).unwrap().outputs,
+            fresh.matvec(&x).unwrap().outputs
+        );
+    }
+
+    #[test]
+    fn unchanged_update_is_free() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 3);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        let up = pe.update(&csc).unwrap();
+        assert_eq!(up.bits_written, 0);
+        assert_eq!(up.cycles, 0);
+        assert!(up.energy.write.is_zero());
+    }
+
+    #[test]
+    fn update_with_new_shape_falls_back_to_full_load() {
+        let a = sparse_tile(64, 4, NmPattern::one_of_four(), 4);
+        let b = sparse_tile(32, 4, NmPattern::one_of_four(), 4);
+        let mut pe = SramSparsePe::new();
+        pe.load(&a).unwrap();
+        let up = pe.update(&b).unwrap();
+        let mut fresh = SramSparsePe::new();
+        let full = fresh.load(&b).unwrap();
+        assert_eq!(up.bits_written, full.bits_written);
+        let x: Vec<i8> = (0..32).map(|i| i as i8).collect();
+        assert_eq!(
+            pe.matvec(&x).unwrap().outputs,
+            fresh.matvec(&x).unwrap().outputs
+        );
+    }
+
+    proptest! {
+        // The endurance argument for the hybrid design rests on this bound:
+        // rewriting a resident tile differentially can never cost more
+        // write energy (or toggle more bits) than reprogramming from
+        // scratch, because the changed bits are a subset of all stored bits.
+        #[test]
+        fn differential_update_never_exceeds_full_rewrite(
+            (rows, pattern, seed_a, seed_b) in (
+                prop_oneof![Just(32usize), Just(64usize), Just(128usize)],
+                prop_oneof![
+                    Just(NmPattern::one_of_four()),
+                    Just(NmPattern::one_of_eight()),
+                    Just(NmPattern::two_of_four()),
+                ],
+                0usize..64,
+                0usize..64,
+            ),
+        ) {
+            let a = sparse_tile(rows, 4, pattern, seed_a);
+            let b = sparse_tile(rows, 4, pattern, seed_b);
+            let mut pe = SramSparsePe::new();
+            pe.load(&a).unwrap();
+            let up = pe.update(&b).unwrap();
+            let mut fresh = SramSparsePe::new();
+            let full = fresh.load(&b).unwrap();
+            prop_assert!(
+                up.energy.write.as_pj() <= full.energy.write.as_pj() + 1e-12,
+                "differential write {} pJ > full write {} pJ",
+                up.energy.write.as_pj(),
+                full.energy.write.as_pj()
+            );
+            prop_assert!(up.bits_written <= full.bits_written);
+            prop_assert!(up.cycles <= full.cycles);
+            // And the rewritten program is indistinguishable from a cold load.
+            let x: Vec<i8> = (0..rows).map(|i| ((i * 37 + 5) % 256) as u8 as i8).collect();
+            prop_assert_eq!(
+                pe.matvec(&x).unwrap().outputs,
+                fresh.matvec(&x).unwrap().outputs
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub struct LoadReport {
     pub energy: EnergyLedger,
     /// Device bits actually toggled (differential write).
     pub bits_written: u64,
+    /// Write-verify retry pulses issued (stochastic MRAM writes only;
+    /// always 0 for deterministic loads).
+    pub retried_bits: u64,
+    /// Bits still wrong after the retry budget was exhausted.
+    pub faulted_bits: u64,
 }
 
 /// Result of one matvec on a PE.
@@ -47,6 +52,12 @@ pub struct PeStats {
     pub matvecs: u64,
     /// Total MAC operations performed (occupied slots × matvecs).
     pub macs: u64,
+    /// Device bits toggled by weight writes across all loads.
+    pub write_bits: u64,
+    /// Write-verify retry pulses across all loads (stochastic MRAM writes).
+    pub write_retries: u64,
+    /// Bits left corrupted after write-verify gave up.
+    pub write_faults: u64,
 }
 
 impl PeStats {
@@ -61,6 +72,9 @@ impl PeStats {
         self.busy_time += report.latency;
         self.energy += report.energy;
         self.loads += 1;
+        self.write_bits += report.bits_written;
+        self.write_retries += report.retried_bits;
+        self.write_faults += report.faulted_bits;
     }
 
     /// Folds a matvec report into the counters.
@@ -114,6 +128,9 @@ impl PeStats {
             loads: self.loads - baseline.loads,
             matvecs: self.matvecs - baseline.matvecs,
             macs: self.macs - baseline.macs,
+            write_bits: self.write_bits - baseline.write_bits,
+            write_retries: self.write_retries - baseline.write_retries,
+            write_faults: self.write_faults - baseline.write_faults,
         }
     }
 }
@@ -128,6 +145,9 @@ impl Add for PeStats {
             loads: self.loads + rhs.loads,
             matvecs: self.matvecs + rhs.matvecs,
             macs: self.macs + rhs.macs,
+            write_bits: self.write_bits + rhs.write_bits,
+            write_retries: self.write_retries + rhs.write_retries,
+            write_faults: self.write_faults + rhs.write_faults,
         }
     }
 }
@@ -148,9 +168,23 @@ impl fmt::Display for PeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cycles, {} busy, {} loads, {} matvecs, {} MACs, energy {}",
-            self.cycles, self.busy_time, self.loads, self.matvecs, self.macs, self.energy
-        )
+            "{} cycles, {} busy, {} loads ({} bits written), {} matvecs, {} MACs, energy {}",
+            self.cycles,
+            self.busy_time,
+            self.loads,
+            self.write_bits,
+            self.matvecs,
+            self.macs,
+            self.energy
+        )?;
+        if self.write_retries > 0 || self.write_faults > 0 {
+            write!(
+                f,
+                ", {} write retries, {} residual faults",
+                self.write_retries, self.write_faults
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +201,8 @@ mod tests {
             latency: Latency::from_ns(10.0),
             energy,
             bits_written: 512,
+            retried_bits: 2,
+            faulted_bits: 1,
         }
     }
 
@@ -192,6 +228,9 @@ mod tests {
         assert_eq!(stats.matvecs, 2);
         assert_eq!(stats.cycles, 10 + 16);
         assert_eq!(stats.macs, 128);
+        assert_eq!(stats.write_bits, 512);
+        assert_eq!(stats.write_retries, 2);
+        assert_eq!(stats.write_faults, 1);
         assert!((stats.total_energy().as_pj() - 116.0).abs() < 1e-9);
     }
 

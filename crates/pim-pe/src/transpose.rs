@@ -160,6 +160,8 @@ impl TransposedSramPe {
             latency,
             energy,
             bits_written,
+            retried_bits: 0,
+            faulted_bits: 0,
         };
         self.stats.record_load(&report);
         Ok(report)

@@ -55,6 +55,36 @@ impl CompiledModel {
         })
     }
 
+    /// Wraps an **already-lowered** branch into a servable artifact
+    /// without recompiling: the caller hands over a model and the PE tile
+    /// programs it maintains itself (e.g. `pim-learn` keeps a resident
+    /// branch up to date with cheap differential SRAM writes and publishes
+    /// it here for a hot swap).
+    ///
+    /// The tiles are cloned as-is — bit patterns, quantization scales,
+    /// and cumulative PE ledgers included — so serving from this artifact
+    /// is bit-exact with serving from the caller's branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch holds no tiles (an empty branch cannot serve).
+    pub fn from_branch(name: impl Into<String>, model: &RepNet, branch: &PeRepNet) -> Self {
+        assert!(
+            branch.tile_count() > 0,
+            "cannot build a servable artifact from an empty branch"
+        );
+        let cfg = model.backbone().config().clone();
+        let num_classes = model.classifier().inner().weight_matrix().cols();
+        Self {
+            name: name.into(),
+            model: model.clone(),
+            branch: branch.clone(),
+            input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
+            num_classes,
+            compile_stats: branch.cumulative_stats(),
+        }
+    }
+
     /// The registration name.
     pub fn name(&self) -> &str {
         &self.name

@@ -92,6 +92,14 @@ impl RuntimeBuilder {
 
     /// Spawns the worker pool and opens the queue.
     pub fn start(self) -> Runtime {
+        let slots: Vec<ModelSlot> = self
+            .models
+            .into_iter()
+            .map(|m| ModelSlot {
+                version: 0,
+                model: Arc::new(m),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -100,23 +108,33 @@ impl RuntimeBuilder {
             available: Condvar::new(),
             config: self.config.clone(),
             stats: StatsCollector::new(),
+            models: Mutex::new(slots),
+            swap_epoch: AtomicU64::new(0),
         });
-        let models = Arc::new(self.models);
         let workers = (0..self.config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                // Each worker owns its set of simulated PEs: one replica
-                // of every registered model's cached tile programs.
-                let mut replicas: Vec<ModelReplica> = models.iter().map(|m| m.replica()).collect();
                 thread::Builder::new()
                     .name(format!("pim-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &mut replicas))
+                    .spawn(move || {
+                        // Each worker owns its set of simulated PEs: one
+                        // replica of every registered model's cached tile
+                        // programs, tagged with the slot version it was
+                        // cloned from so hot swaps can refresh it lazily.
+                        let mut replicas: Vec<(u64, ModelReplica)> = {
+                            let slots = shared.models.lock().expect("model table lock");
+                            slots
+                                .iter()
+                                .map(|s| (s.version, s.model.replica()))
+                                .collect()
+                        };
+                        worker_loop(&shared, &mut replicas);
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
         Runtime {
             shared,
-            models,
             workers,
             next_id: AtomicU64::new(0),
         }
@@ -128,11 +146,28 @@ struct QueueState {
     closed: bool,
 }
 
+/// One registered serving slot. The [`ModelId`] handed to clients indexes
+/// this table; hot swaps replace `model` in place and bump `version`, so
+/// the id stays valid across publishes.
+struct ModelSlot {
+    /// Bumped on every swap; workers compare it against the version their
+    /// private replica was cloned from.
+    version: u64,
+    model: Arc<CompiledModel>,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     available: Condvar,
     config: RuntimeConfig,
     stats: StatsCollector,
+    /// The serving model table (RCU write side). Locked briefly by
+    /// `submit` (shape check), `swap_model` (publish), and workers
+    /// re-cloning a swapped replica — never across an inference.
+    models: Mutex<Vec<ModelSlot>>,
+    /// Bumped after any slot changes; workers poll this cheap atomic once
+    /// per batch and only touch the model table when it moved.
+    swap_epoch: AtomicU64,
 }
 
 /// The concurrent batched serving engine.
@@ -163,7 +198,6 @@ struct Shared {
 /// ```
 pub struct Runtime {
     shared: Arc<Shared>,
-    models: Arc<Vec<CompiledModel>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
 }
@@ -174,9 +208,68 @@ impl Runtime {
         RuntimeBuilder::default()
     }
 
-    /// The registered models, in registration (id) order.
-    pub fn models(&self) -> &[CompiledModel] {
-        &self.models
+    /// A snapshot of the models currently being served, in registration
+    /// (id) order. Each entry is the artifact a request submitted *now*
+    /// would run against; a concurrent [`swap_model`](Self::swap_model)
+    /// may replace a slot after the snapshot is taken.
+    pub fn models(&self) -> Vec<Arc<CompiledModel>> {
+        self.shared
+            .models
+            .lock()
+            .expect("model table lock")
+            .iter()
+            .map(|s| Arc::clone(&s.model))
+            .collect()
+    }
+
+    /// Atomically publishes `replacement` into the serving slot `model`
+    /// (RCU-style hot swap): requests already batched keep executing on
+    /// the replica cloned from the old artifact, and every batch collected
+    /// after the swap is served from the new one — workers re-clone their
+    /// private PEs lazily, at the next batch boundary, so the swap never
+    /// blocks on in-flight inference. Returns the slot's new version
+    /// number (starts at 0 when registered, +1 per swap).
+    ///
+    /// The replacement must keep the slot's client-visible interface:
+    /// same input shape and class count. This is what lets `pim-learn`
+    /// retrain and republish a model while clients keep using the same
+    /// [`ModelId`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownModel`] — `model` was never registered.
+    /// * [`RuntimeError::IncompatibleSwap`] — the replacement's input
+    ///   shape or class count differs from the slot's.
+    pub fn swap_model(
+        &self,
+        model: ModelId,
+        replacement: CompiledModel,
+    ) -> Result<u64, RuntimeError> {
+        let version = {
+            let mut slots = self.shared.models.lock().expect("model table lock");
+            let slot = slots
+                .get_mut(model.0)
+                .ok_or(RuntimeError::UnknownModel { id: model })?;
+            if slot.model.input_shape() != replacement.input_shape()
+                || slot.model.num_classes() != replacement.num_classes()
+            {
+                return Err(RuntimeError::IncompatibleSwap {
+                    expected_input: slot.model.input_shape().to_vec(),
+                    actual_input: replacement.input_shape().to_vec(),
+                    expected_classes: slot.model.num_classes(),
+                    actual_classes: replacement.num_classes(),
+                });
+            }
+            slot.version += 1;
+            slot.model = Arc::new(replacement);
+            slot.version
+        };
+        // Publish after the slot is consistent; SeqCst pairs with the
+        // worker-side load so a worker seeing the new epoch also sees the
+        // new slot contents under the mutex.
+        self.shared.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        self.shared.stats.record_swap();
+        Ok(version)
     }
 
     /// Current queue depth (requests accepted but not yet dispatched).
@@ -196,11 +289,14 @@ impl Runtime {
     /// * [`RuntimeError::ShuttingDown`] — the runtime no longer accepts
     ///   work.
     pub fn submit(&self, model: ModelId, input: &Tensor) -> Result<Ticket, RuntimeError> {
-        let compiled = self
-            .models
-            .get(model.0)
-            .ok_or(RuntimeError::UnknownModel { id: model })?;
-        let expected = compiled.input_shape();
+        let expected = {
+            let slots = self.shared.models.lock().expect("model table lock");
+            let slot = slots
+                .get(model.0)
+                .ok_or(RuntimeError::UnknownModel { id: model })?;
+            slot.model.input_shape().to_vec()
+        };
+        let expected = expected.as_slice();
         let shape = input.shape();
         let normalized = if shape == expected {
             let mut with_batch = vec![1];
@@ -290,10 +386,33 @@ fn compatible(a: &QueuedRequest, b: &QueuedRequest) -> bool {
     a.model == b.model && a.input.shape() == b.input.shape()
 }
 
-fn worker_loop(shared: &Shared, replicas: &mut [ModelReplica]) {
+fn worker_loop(shared: &Shared, replicas: &mut [(u64, ModelReplica)]) {
+    // Replicas were cloned before the first epoch read could race a swap,
+    // so start from 0 and let the version check sort out staleness.
+    let mut seen_epoch = 0;
     while let Some(batch) = collect_batch(shared) {
+        refresh_replicas(shared, replicas, &mut seen_epoch);
         serve_batch(shared, replicas, batch);
     }
+}
+
+/// The RCU read-side grace period: at each batch boundary the worker
+/// checks the swap epoch and, only if it moved, re-clones the replicas
+/// whose slot version changed. Between boundaries a worker's replicas are
+/// immutable-by-others, so a batch that started on the old model finishes
+/// on it untouched.
+fn refresh_replicas(shared: &Shared, replicas: &mut [(u64, ModelReplica)], seen_epoch: &mut u64) {
+    let epoch = shared.swap_epoch.load(Ordering::SeqCst);
+    if epoch == *seen_epoch {
+        return;
+    }
+    let slots = shared.models.lock().expect("model table lock");
+    for (slot, entry) in slots.iter().zip(replicas.iter_mut()) {
+        if entry.0 != slot.version {
+            *entry = (slot.version, slot.model.replica());
+        }
+    }
+    *seen_epoch = epoch;
 }
 
 /// Pops a seed request and coalesces compatible riders up to
@@ -343,11 +462,11 @@ fn collect_batch(shared: &Shared) -> Option<Vec<QueuedRequest>> {
     }
 }
 
-fn serve_batch(shared: &Shared, replicas: &mut [ModelReplica], batch: Vec<QueuedRequest>) {
+fn serve_batch(shared: &Shared, replicas: &mut [(u64, ModelReplica)], batch: Vec<QueuedRequest>) {
     let model = batch[0].model;
     let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
     let stacked = Tensor::stack_batch(&inputs).expect("riders share one shape");
-    let replica = &mut replicas[model.0];
+    let replica = &mut replicas[model.0].1;
     let (logits, sim) = replica.infer_batch(&stacked);
     let preds = predictions(&logits);
 

@@ -27,6 +27,20 @@ pub enum RuntimeError {
         /// Shape the request carried.
         actual: Vec<usize>,
     },
+    /// A hot swap offered a replacement model whose interface does not
+    /// match the slot it targets. Clients keep their [`ModelId`] across
+    /// swaps, so the replacement must accept the same inputs and emit the
+    /// same number of classes.
+    IncompatibleSwap {
+        /// Input shape the serving slot was registered with (`[C, H, W]`).
+        expected_input: Vec<usize>,
+        /// Input shape the replacement expects.
+        actual_input: Vec<usize>,
+        /// Classifier outputs the serving slot was registered with.
+        expected_classes: usize,
+        /// Classifier outputs of the replacement.
+        actual_classes: usize,
+    },
     /// The serving side hung up before answering (a worker panicked).
     Disconnected,
     /// Lowering a model onto the PEs failed.
@@ -44,6 +58,16 @@ impl fmt::Display for RuntimeError {
             Self::BadInput { expected, actual } => write!(
                 f,
                 "input shape {actual:?} does not match model input {expected:?}"
+            ),
+            Self::IncompatibleSwap {
+                expected_input,
+                actual_input,
+                expected_classes,
+                actual_classes,
+            } => write!(
+                f,
+                "swap rejected: slot serves input {expected_input:?} -> {expected_classes} \
+                 classes but replacement is {actual_input:?} -> {actual_classes}"
             ),
             Self::Disconnected => write!(f, "worker disconnected before replying"),
             Self::Compile(e) => write!(f, "model failed to compile onto PEs: {e}"),
@@ -75,5 +99,13 @@ mod tests {
             actual: vec![1, 8, 8],
         };
         assert!(b.to_string().contains("[3, 8, 8]"));
+        let s = RuntimeError::IncompatibleSwap {
+            expected_input: vec![3, 8, 8],
+            actual_input: vec![3, 8, 8],
+            expected_classes: 10,
+            actual_classes: 7,
+        };
+        assert!(s.to_string().contains("swap rejected"));
+        assert!(s.to_string().contains("-> 7"));
     }
 }

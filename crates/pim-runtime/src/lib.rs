@@ -19,6 +19,12 @@
 //!   bit-exact with sequential execution: the backbone runs in eval mode
 //!   (BatchNorm running stats) and the PE path is per-sample
 //!   independent.
+//! * **Hot model swap** — [`Runtime::swap_model`] atomically publishes a
+//!   replacement artifact into a serving slot (RCU-style): batches
+//!   already collected finish on the old model, later batches see the
+//!   new one, and clients keep their [`ModelId`] across the swap. This
+//!   is the seam `pim-learn` uses to push continually-trained weights
+//!   into live serving.
 //! * **Backpressure & graceful shutdown** — a full queue makes
 //!   [`Runtime::submit`] return [`RuntimeError::QueueFull`] immediately
 //!   (it never blocks); [`Runtime::shutdown`] stops intake, drains every
@@ -32,12 +38,14 @@
 mod compiled;
 mod engine;
 mod error;
+pub mod metrics;
 mod request;
 mod stats;
 
 pub use compiled::CompiledModel;
 pub use engine::{BatchPolicy, Runtime, RuntimeBuilder, RuntimeConfig};
 pub use error::RuntimeError;
+pub use metrics::LatencySummary;
 pub use request::{InferResponse, ModelId, Ticket};
 pub use stats::RuntimeStats;
 
@@ -49,12 +57,16 @@ mod tests {
     use std::time::Duration;
 
     fn tiny_model() -> RepNet {
+        tiny_model_seeded(11)
+    }
+
+    fn tiny_model_seeded(seed: u64) -> RepNet {
         RepNet::new(
             Backbone::new(BackboneConfig::tiny()),
             RepNetConfig {
                 rep_channels: 4,
                 num_classes: 5,
-                seed: 11,
+                seed,
             },
         )
     }
@@ -101,6 +113,69 @@ mod tests {
         let mut batched = vec![1];
         batched.extend_from_slice(&shape);
         assert!(runtime.submit(id, &Tensor::ones(&batched)).is_ok());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_serves_the_replacement_bit_exactly() {
+        let compiled_a = CompiledModel::compile("v0", &tiny_model()).expect("compile a");
+        let model_b = tiny_model_seeded(77);
+        let compiled_b = CompiledModel::compile("v1", &model_b).expect("compile b");
+
+        let mut builder = Runtime::builder().workers(1).max_wait(Duration::ZERO);
+        let id = builder.register(compiled_a);
+        let runtime = builder.start();
+        let input = Tensor::ones(runtime.models()[0].input_shape());
+        let before = runtime.infer(id, &input).expect("infer before swap");
+
+        let version = runtime.swap_model(id, compiled_b.clone()).expect("swap");
+        assert_eq!(version, 1);
+        assert_eq!(runtime.models()[0].name(), "v1");
+
+        let after = runtime.infer(id, &input).expect("infer after swap");
+        assert_ne!(before.logits, after.logits, "replacement has new weights");
+
+        // The served logits must be bit-exact with a cold replica of the
+        // swapped-in artifact.
+        let mut batched_shape = vec![1];
+        batched_shape.extend_from_slice(input.shape());
+        let batched = input.reshaped(batched_shape).expect("unit batch axis");
+        let (reference, _) = compiled_b.replica().infer_batch(&batched);
+        assert_eq!(after.logits, reference.as_slice().to_vec());
+
+        let stats = runtime.shutdown();
+        assert_eq!(stats.model_swaps, 1);
+        assert_eq!(stats.requests_completed, 2);
+    }
+
+    #[test]
+    fn swap_rejects_incompatible_and_unknown_models() {
+        let mut builder = Runtime::builder().workers(1);
+        let id = builder.register(CompiledModel::compile("tiny", &tiny_model()).expect("compile"));
+        let runtime = builder.start();
+
+        let wrong_classes = RepNet::new(
+            Backbone::new(BackboneConfig::tiny()),
+            RepNetConfig {
+                rep_channels: 4,
+                num_classes: 7,
+                seed: 3,
+            },
+        );
+        let wrong = CompiledModel::compile("wrong", &wrong_classes).expect("compile");
+        assert!(matches!(
+            runtime.swap_model(id, wrong.clone()),
+            Err(RuntimeError::IncompatibleSwap {
+                expected_classes: 5,
+                actual_classes: 7,
+                ..
+            })
+        ));
+        assert!(matches!(
+            runtime.swap_model(ModelId(9), wrong),
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        assert_eq!(runtime.stats().model_swaps, 0);
         runtime.shutdown();
     }
 

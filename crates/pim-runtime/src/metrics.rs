@@ -1,0 +1,100 @@
+//! Shared latency-distribution summaries.
+//!
+//! Both the serving ledger ([`RuntimeStats`](crate::RuntimeStats)) and the
+//! continual-learning ledger (`pim-learn`'s `LearnStats`) report the same
+//! three-number view of a sample distribution — p50 / p99 / mean — so the
+//! summarization lives here once instead of being re-derived per crate.
+
+use pim_device::Latency;
+use std::fmt;
+
+/// p50 / p99 / mean of a set of simulated-latency samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// How many samples went into the summary.
+    pub samples: u64,
+    /// Median sample.
+    pub p50: Latency,
+    /// 99th-percentile sample (nearest-rank).
+    pub p99: Latency,
+    /// Arithmetic mean.
+    pub mean: Latency,
+}
+
+impl LatencySummary {
+    /// The all-zero summary of an empty distribution.
+    pub fn empty() -> Self {
+        Self {
+            samples: 0,
+            p50: Latency::from_ns(0.0),
+            p99: Latency::from_ns(0.0),
+            mean: Latency::from_ns(0.0),
+        }
+    }
+
+    /// Summarizes raw nanosecond samples (any order; non-finite values are
+    /// not expected and panic during sorting).
+    pub fn from_ns(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            samples: sorted.len() as u64,
+            p50: Latency::from_ns(percentile_sorted(&sorted, 0.50)),
+            p99: Latency::from_ns(percentile_sorted(&sorted, 0.99)),
+            mean: Latency::from_ns(mean),
+        }
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p50 {} p99 {} mean {}", self.p50, self.p99, self.mean)
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample set; `p` in `[0, 1]`.
+/// Returns 0 for an empty set.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencySummary::from_ns(&[]);
+        assert_eq!(s, LatencySummary::empty());
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean, Latency::from_ns(0.0));
+    }
+
+    #[test]
+    fn summary_matches_hand_computed_percentiles() {
+        // Unsorted on purpose.
+        let s = LatencySummary::from_ns(&[300.0, 100.0, 100.0, 100.0]);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.p50, Latency::from_ns(100.0));
+        assert_eq!(s.p99, Latency::from_ns(300.0));
+        assert_eq!(s.mean, Latency::from_ns(150.0));
+        assert!(s.to_string().contains("p50"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Runtime-wide accounting and the snapshot clients read.
 
+use crate::metrics::LatencySummary;
 use pim_device::{edp, Energy, Latency};
 use pim_pe::PeStats;
 use std::fmt;
@@ -19,6 +20,7 @@ struct Inner {
     batches: u64,
     batch_size_sum: u64,
     max_batch_size: usize,
+    model_swaps: u64,
     /// Aggregate simulated PE ledger across all batches.
     sim: PeStats,
     /// Per-request simulated latency samples (ns).
@@ -36,6 +38,7 @@ impl StatsCollector {
                 batches: 0,
                 batch_size_sum: 0,
                 max_batch_size: 0,
+                model_swaps: 0,
                 sim: PeStats::new(),
                 latencies_ns: Vec::new(),
                 queue_wait_sum: Duration::ZERO,
@@ -64,36 +67,29 @@ impl StatsCollector {
         self.inner.lock().expect("stats lock").rejected += 1;
     }
 
+    /// Records one hot model swap.
+    pub fn record_swap(&self) {
+        self.inner.lock().expect("stats lock").model_swaps += 1;
+    }
+
     /// A consistent point-in-time snapshot.
     pub fn snapshot(&self) -> RuntimeStats {
         let g = self.inner.lock().expect("stats lock");
-        let mut sorted = g.latencies_ns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let percentile = |p: f64| -> Latency {
-            if sorted.is_empty() {
-                return Latency::from_ns(0.0);
-            }
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            Latency::from_ns(sorted[idx])
-        };
-        let mean_ns = if sorted.is_empty() {
-            0.0
-        } else {
-            sorted.iter().sum::<f64>() / sorted.len() as f64
-        };
+        let latency = LatencySummary::from_ns(&g.latencies_ns);
         RuntimeStats {
             requests_completed: g.completed,
             requests_rejected: g.rejected,
             batches: g.batches,
+            model_swaps: g.model_swaps,
             mean_batch_size: if g.batches == 0 {
                 0.0
             } else {
                 g.batch_size_sum as f64 / g.batches as f64
             },
             max_batch_size: g.max_batch_size,
-            p50_latency: percentile(0.50),
-            p99_latency: percentile(0.99),
-            mean_latency: Latency::from_ns(mean_ns),
+            p50_latency: latency.p50,
+            p99_latency: latency.p99,
+            mean_latency: latency.mean,
             total_energy: g.sim.total_energy(),
             simulated_busy: g.sim.busy_time,
             edp: edp(g.sim.total_energy(), g.sim.busy_time),
@@ -118,6 +114,8 @@ pub struct RuntimeStats {
     pub requests_rejected: u64,
     /// PE batches dispatched.
     pub batches: u64,
+    /// Hot model swaps published into the serving path.
+    pub model_swaps: u64,
     /// Mean riders per batch.
     pub mean_batch_size: f64,
     /// Largest batch dispatched.
@@ -191,6 +189,9 @@ mod tests {
             loads: 0,
             matvecs: 1,
             macs: 10,
+            write_bits: 0,
+            write_retries: 0,
+            write_faults: 0,
         }
     }
 
@@ -200,10 +201,12 @@ mod tests {
         c.record_batch(3, batch_ledger(10, 100.0, 5.0), Duration::from_micros(30));
         c.record_batch(1, batch_ledger(10, 300.0, 2.0), Duration::from_micros(10));
         c.record_rejection();
+        c.record_swap();
         let s = c.snapshot();
         assert_eq!(s.requests_completed, 4);
         assert_eq!(s.requests_rejected, 1);
         assert_eq!(s.batches, 2);
+        assert_eq!(s.model_swaps, 1);
         assert_eq!(s.max_batch_size, 3);
         assert!((s.mean_batch_size - 2.0).abs() < 1e-12);
         // Latency samples: [100, 100, 100, 300] ns.
