@@ -1,16 +1,22 @@
 //! Micro-benchmarks of the computational kernels underlying everything:
-//! reference GEMMs, CSC compression, PE cycle simulation, and the NN
-//! layers' forward/backward.
+//! reference GEMMs, CSC compression, PE cycle simulation (flat compiled
+//! kernels, single and batched), the NN layers' forward/backward, and an
+//! end-to-end `PeRepNet::predict`. Also emits `BENCH_kernels.json`, the
+//! machine-readable baseline tracking the compiled-kernel speedups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pim_bench::banner;
+use pim_bench::{banner, measure_ns, write_bench_json, BenchRecord};
+use pim_core::pe_inference::PeRepNet;
+use pim_data::SyntheticSpec;
 use pim_nn::layers::{Conv2d, Layer};
+use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
 use pim_nn::tensor::Tensor;
 use pim_pe::{MramSparsePe, SparsePe, SramSparsePe};
 use pim_sparse::gemm::{bit_serial_matvec, dense_matvec};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
 use std::hint::black_box;
+use std::path::Path;
 
 fn bench(c: &mut Criterion) {
     banner("Kernel micro-benchmarks");
@@ -41,23 +47,57 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(prune_magnitude(&dense, pattern).expect("non-empty")))
     });
 
-    // Cycle-level PEs on a PE-sized tile.
+    // Cycle-level PEs on a PE-sized tile: the flat compiled kernel vs the
+    // bit-serial reference walk over the SAME masked matrix, then single
+    // vs batched execution of the compiled kernel.
     let tile_dense = Matrix::from_fn(512, 8, |r, c| (((r * 17 + c * 3) % 251) as i32 - 125) as i8);
-    let tile = CscMatrix::compress(
-        &tile_dense,
-        &prune_magnitude(&tile_dense, pattern).expect("non-empty"),
-    )
-    .expect("fits");
+    let tile_mask = prune_magnitude(&tile_dense, pattern).expect("non-empty");
+    let tile_masked = tile_mask.apply(&tile_dense).expect("fits");
+    let tile = CscMatrix::compress(&tile_masked, &tile_mask).expect("fits");
     let tx: Vec<i8> = (0..512).map(|i| (i % 100) as i8).collect();
+    let batch = 8usize;
+    let txs: Vec<i8> = (0..batch)
+        .flat_map(|b| tx.iter().map(move |&v| v.wrapping_add(b as i8)))
+        .collect();
+    g.bench_function("bit_serial_matvec_tile_512x8", |b| {
+        b.iter(|| black_box(bit_serial_matvec(&tile_masked, &tx).expect("len")))
+    });
     g.bench_function("sram_pe_matvec_tile", |b| {
         let mut pe = SramSparsePe::new();
         pe.load(&tile).expect("capacity");
         b.iter(|| black_box(pe.matvec(&tx).expect("loaded").outputs))
     });
+    g.bench_function("sram_pe_matvec_into_tile", |b| {
+        let mut pe = SramSparsePe::new();
+        pe.load(&tile).expect("capacity");
+        let mut y = vec![0i32; 8];
+        b.iter(|| {
+            pe.matvec_into(&tx, &mut y).expect("loaded");
+            black_box(y[0])
+        })
+    });
+    g.bench_function("sram_pe_matvec_batch8_tile", |b| {
+        let mut pe = SramSparsePe::new();
+        pe.load(&tile).expect("capacity");
+        let mut y = vec![0i32; batch * 8];
+        b.iter(|| {
+            pe.matvec_batch(&txs, batch, &mut y).expect("loaded");
+            black_box(y[0])
+        })
+    });
     g.bench_function("mram_pe_matvec_tile", |b| {
         let mut pe = MramSparsePe::new();
         pe.load(&tile).expect("capacity");
         b.iter(|| black_box(pe.matvec(&tx).expect("loaded").outputs))
+    });
+    g.bench_function("mram_pe_matvec_batch8_tile", |b| {
+        let mut pe = MramSparsePe::new();
+        pe.load(&tile).expect("capacity");
+        let mut y = vec![0i32; batch * 8];
+        b.iter(|| {
+            pe.matvec_batch(&txs, batch, &mut y).expect("loaded");
+            black_box(y[0])
+        })
     });
 
     // NN substrate: conv forward + backward.
@@ -74,7 +114,100 @@ fn bench(c: &mut Criterion) {
             black_box(conv.backward(&upstream))
         })
     });
+
+    // End-to-end: a compiled Rep-Net classifying a batch of 8 images —
+    // frozen f32 backbone plus the batched PE branch (rep layer +
+    // classifier on the cycle-level simulators).
+    let backbone_cfg = BackboneConfig {
+        in_channels: 3,
+        image_size: 8,
+        stage_widths: vec![8, 16],
+        blocks_per_stage: 1,
+        seed: 1,
+    };
+    let task = SyntheticSpec::cifar10_like()
+        .with_geometry(8, 3)
+        .with_samples(32, 8)
+        .with_difficulty(0.4)
+        .generate()
+        .expect("valid spec");
+    let mut model = RepNet::new(
+        Backbone::new(backbone_cfg),
+        RepNetConfig {
+            rep_channels: 4,
+            num_classes: 10,
+            seed: 3,
+        },
+    );
+    model.apply_pattern(NmPattern::one_of_four());
+    let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+    let indices: Vec<usize> = (0..8).collect();
+    let (images, _) = task.test.batch(&indices);
+    g.bench_function("pe_repnet_predict_batch8", |b| {
+        b.iter(|| black_box(compiled.predict(&mut model, &images).0))
+    });
     g.finish();
+
+    // Machine-readable baseline for the perf trajectory. Re-measures the
+    // headline kernels with a plain mean (the vendored criterion exposes
+    // no timings) and derives the speedup ratios the compiled-kernel
+    // design is accountable for.
+    let mut flat_pe = SramSparsePe::new();
+    flat_pe.load(&tile).expect("capacity");
+    let mut y1 = vec![0i32; 8];
+    let mut yb = vec![0i32; batch * 8];
+    let bit_serial_ns = measure_ns(200, || bit_serial_matvec(&tile_masked, &tx).expect("len"));
+    let flat_single_ns = measure_ns(2000, || {
+        flat_pe.matvec_into(&tx, &mut y1).expect("loaded");
+        y1[0]
+    });
+    let flat_batch_ns = measure_ns(500, || {
+        flat_pe.matvec_batch(&txs, batch, &mut yb).expect("loaded");
+        yb[0]
+    });
+    let mut mram_pe = MramSparsePe::new();
+    mram_pe.load(&tile).expect("capacity");
+    let mram_batch_ns = measure_ns(500, || {
+        mram_pe.matvec_batch(&txs, batch, &mut yb).expect("loaded");
+        yb[0]
+    });
+    let predict_ns = measure_ns(30, || compiled.predict(&mut model, &images).0);
+    let records = [
+        BenchRecord {
+            name: "bit_serial_matvec_tile_512x8",
+            ns_per_iter: bit_serial_ns,
+        },
+        BenchRecord {
+            name: "sram_pe_matvec_into_tile",
+            ns_per_iter: flat_single_ns,
+        },
+        BenchRecord {
+            name: "sram_pe_matvec_batch8_tile",
+            ns_per_iter: flat_batch_ns,
+        },
+        BenchRecord {
+            name: "mram_pe_matvec_batch8_tile",
+            ns_per_iter: mram_batch_ns,
+        },
+        BenchRecord {
+            name: "pe_repnet_predict_batch8",
+            ns_per_iter: predict_ns,
+        },
+    ];
+    let derived = [
+        // Compiled flat kernel vs the bit-serial reference walk of the
+        // same masked tile — the per-matvec speedup of the decoupling.
+        ("flat_vs_bit_serial_speedup", bit_serial_ns / flat_single_ns),
+        (
+            "batch8_vs_single_speedup_sram",
+            flat_single_ns / (flat_batch_ns / batch as f64),
+        ),
+        ("pe_repnet_predict_batch8_ms", predict_ns / 1e6),
+    ];
+    // Benches run with CWD at the crate; anchor the artifact at the
+    // workspace root next to EXPERIMENTS.md.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    write_bench_json(&out, "kernels", &records, &derived).expect("writable workspace root");
 }
 
 criterion_group!(benches, bench);

@@ -7,10 +7,108 @@
 //! series to compare against the publication, and `EXPERIMENTS.md` records
 //! the paper-vs-measured comparison.
 
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
 /// Prints a banner separating the regenerated artifact from Criterion's
 /// measurement output.
 pub fn banner(title: &str) {
     println!("\n================================================================");
     println!("{title}");
     println!("================================================================");
+}
+
+/// One measured kernel in the JSON baseline emitted by `benches/kernels.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Kernel identifier (plain `[a-z0-9_]` — written unescaped).
+    pub name: &'static str,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Times `f` over `iters` iterations (after one warmup call) and returns
+/// the mean nanoseconds per iteration.
+pub fn measure_ns<O>(iters: u32, mut f: impl FnMut() -> O) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Renders bench records plus derived ratios as a JSON document.
+///
+/// Hand-rolled: the workspace vendors no serde, and every key written here
+/// is a plain identifier that needs no escaping.
+pub fn render_bench_json(bench: &str, records: &[BenchRecord], derived: &[(&str, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"{bench}\",");
+    s.push_str("  \"entries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}",
+            r.name, r.ns_per_iter
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        let _ = writeln!(s, "    \"{k}\": {v:.3}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Writes [`render_bench_json`] output to `path` and reports where.
+pub fn write_bench_json(
+    path: &Path,
+    bench: &str,
+    records: &[BenchRecord],
+    derived: &[(&str, f64)],
+) -> std::io::Result<()> {
+    std::fs::write(path, render_bench_json(bench, records, derived))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_ns_counts_only_timed_iterations() {
+        let mut calls = 0u32;
+        let ns = measure_ns(5, || calls += 1);
+        assert_eq!(calls, 6); // warmup + 5 timed
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn render_bench_json_is_well_formed() {
+        let records = [
+            BenchRecord {
+                name: "a_kernel",
+                ns_per_iter: 123.456,
+            },
+            BenchRecord {
+                name: "b_kernel",
+                ns_per_iter: 7.0,
+            },
+        ];
+        let json = render_bench_json("kernels", &records, &[("speedup", 17.25)]);
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("{\"name\": \"a_kernel\", \"ns_per_iter\": 123.5},"));
+        assert!(json.contains("{\"name\": \"b_kernel\", \"ns_per_iter\": 7.0}\n"));
+        assert!(json.contains("\"speedup\": 17.250"));
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
 }

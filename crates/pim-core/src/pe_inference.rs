@@ -21,7 +21,7 @@ use pim_nn::models::RepNet;
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
 use pim_nn::tensor::Tensor;
-use pim_pe::{PeError, PeStats, SparsePe, SramSparsePe};
+use pim_pe::{MatvecCost, PeError, PeStats, SparsePe, SramSparsePe};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
 use std::fmt;
@@ -47,6 +47,28 @@ struct PeTile {
     nnz: u64,
 }
 
+/// Reusable per-layer working buffers — quantized inputs, PE
+/// accumulators, im2col patches, staged conv outputs, and the per-tile
+/// cost replay list. Buffers grow to the layer's steady-state sizes on
+/// first use and are reused thereafter, so the per-position / per-matvec
+/// hot loop performs no heap allocation after warmup.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// `batch × reduction` quantized activations.
+    x_q: Vec<i8>,
+    /// Per-input dequantization scale (`weight_scale × activation_scale`).
+    scales: Vec<f32>,
+    /// `batch × tile_cols` raw PE accumulators of the current tile.
+    acc: Vec<i32>,
+    /// `positions × reduction` im2col patch matrix of the current image.
+    patches: Vec<f32>,
+    /// `positions × outputs` staged conv outputs before the NCHW scatter.
+    staged: Vec<f32>,
+    /// Per-tile `(cost, nnz)` of the last batched call, replayed into the
+    /// run ledger in the sequential (input-major, tile-minor) order.
+    costs: Vec<(MatvecCost, u64)>,
+}
+
 /// A conv or linear layer compiled into weight-stationary SRAM PE tiles.
 #[derive(Debug, Clone)]
 struct PeLayer {
@@ -59,6 +81,7 @@ struct PeLayer {
     kernel: usize,
     stride: usize,
     padding: usize,
+    scratch: Scratch,
 }
 
 impl PeLayer {
@@ -104,6 +127,7 @@ impl PeLayer {
             kernel,
             stride,
             padding,
+            scratch: Scratch::default(),
         })
     }
 
@@ -140,21 +164,58 @@ impl PeLayer {
         Ok(delta)
     }
 
-    /// One quantized matvec through the tiles: `y = deq(PE(x_q)) + bias`.
-    fn matvec(&mut self, x: &[f32], stats: &mut PeRunStats) -> Vec<f32> {
-        let x_params = QuantParams::calibrate(x);
-        let x_q: Vec<i8> = x.iter().map(|&v| x_params.quantize_value(v)).collect();
-        let out_scale = self.weight_scale * x_params.scale();
-        let mut y = vec![0.0f32; self.outputs];
-        for tile in &mut self.tiles {
-            let report = tile.pe.matvec(&x_q).expect("tile loaded at compile time");
-            stats.record_matvec(&report, tile.nnz);
-            for (j, &acc) in report.outputs.iter().enumerate() {
-                y[tile.col_start + j] = acc as f32 * out_scale + self.bias[tile.col_start + j];
-            }
-            debug_assert_eq!(tile.col_end - tile.col_start, report.outputs.len());
+    /// Batched quantized matvecs through the tiles:
+    /// `out[b] = deq(PE(q(xs[b]))) + bias` for each of the `batch`
+    /// row-major input rows, activations quantized **per input** exactly
+    /// as sequential execution does. Each tile is swept once per input via
+    /// [`SparsePe::matvec_batch`] (the flat weight arrays stay
+    /// cache-resident across the batch) and `batch × tiles` matvecs are
+    /// folded into `stats` in the sequential (input, tile) order, so both
+    /// outputs and the f64 run ledger are bit-identical to one-at-a-time
+    /// calls. Zero heap allocation after the layer scratch has warmed up.
+    fn forward_batch(&mut self, xs: &[f32], batch: usize, out: &mut [f32], stats: &mut PeRunStats) {
+        debug_assert_eq!(xs.len(), batch * self.reduction);
+        debug_assert_eq!(out.len(), batch * self.outputs);
+        self.scratch.x_q.resize(batch * self.reduction, 0);
+        self.scratch.scales.resize(batch, 0.0);
+        for b in 0..batch {
+            let row = &xs[b * self.reduction..(b + 1) * self.reduction];
+            let x_params = QuantParams::calibrate(row);
+            self.scratch.scales[b] = self.weight_scale * x_params.scale();
+            x_params.quantize_into(
+                row,
+                &mut self.scratch.x_q[b * self.reduction..(b + 1) * self.reduction],
+            );
         }
-        y
+        self.scratch.costs.clear();
+        for tile in &mut self.tiles {
+            let tc = tile.col_end - tile.col_start;
+            self.scratch.acc.resize(batch * tc, 0);
+            let cost = tile
+                .pe
+                .matvec_batch(&self.scratch.x_q, batch, &mut self.scratch.acc)
+                .expect("tile loaded at compile time");
+            self.scratch.costs.push((cost, tile.nnz));
+            for b in 0..batch {
+                let scale = self.scratch.scales[b];
+                let dst = &mut out[b * self.outputs..][tile.col_start..tile.col_end];
+                for ((d, &acc), &bias) in dst
+                    .iter_mut()
+                    .zip(&self.scratch.acc[b * tc..(b + 1) * tc])
+                    .zip(&self.bias[tile.col_start..tile.col_end])
+                {
+                    *d = acc as f32 * scale + bias;
+                }
+            }
+        }
+        // Replay the accounting input-major, tile-minor — the order the
+        // sequential path folded it — so the f64 run ledger matches
+        // bit-for-bit (a tile's per-matvec cost is input-independent).
+        for _ in 0..batch {
+            for &(cost, nnz) in &self.scratch.costs {
+                stats.record_matvec_cost(&cost, nnz);
+            }
+        }
     }
 
     /// Cumulative statistics of this layer's tiles, as the PEs account
@@ -163,7 +224,10 @@ impl PeLayer {
         self.tiles.iter().map(|t| *t.pe.stats()).sum()
     }
 
-    /// Convolution over an NCHW tensor by per-position im2col matvecs.
+    /// Convolution over an NCHW tensor: per image, the whole `oh×ow`
+    /// im2col patch matrix is gathered once into the layer scratch and
+    /// every position runs as one batched PE call per tile, instead of one
+    /// allocating matvec per position.
     fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats) -> Tensor {
         let s = input.shape();
         let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
@@ -171,14 +235,21 @@ impl PeLayer {
         assert_eq!(cin * k * k, self.reduction, "layer {}: geometry", self.name);
         let oh = (h + 2 * self.padding - k) / self.stride + 1;
         let ow = (w + 2 * self.padding - k) / self.stride + 1;
+        let positions = oh * ow;
         let x = input.as_slice();
         let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
         let os = out.as_mut_slice();
-        let mut patch = vec![0.0f32; self.reduction];
+        // Detach the image-level buffers so `forward_batch` can re-borrow
+        // the layer; they return to the scratch after the loop.
+        let mut patches = std::mem::take(&mut self.scratch.patches);
+        let mut staged = std::mem::take(&mut self.scratch.staged);
+        patches.resize(positions * self.reduction, 0.0);
+        staged.resize(positions * self.outputs, 0.0);
         for ni in 0..n {
+            patches.iter_mut().for_each(|v| *v = 0.0);
             for oy in 0..oh {
                 for ox in 0..ow {
-                    patch.iter_mut().for_each(|v| *v = 0.0);
+                    let patch = &mut patches[(oy * ow + ox) * self.reduction..][..self.reduction];
                     for ci in 0..cin {
                         for ky in 0..k {
                             let iy = (oy * self.stride + ky) as isize - self.padding as isize;
@@ -195,13 +266,21 @@ impl PeLayer {
                             }
                         }
                     }
-                    let y = self.matvec(&patch, stats);
-                    for (co, &v) in y.iter().enumerate() {
-                        os[((ni * self.outputs + co) * oh + oy) * ow + ox] = v;
-                    }
+                }
+            }
+            self.forward_batch(&patches, positions, &mut staged, stats);
+            // Scatter the position-major staged rows into the NCHW output.
+            for p in 0..positions {
+                for (co, &v) in staged[p * self.outputs..(p + 1) * self.outputs]
+                    .iter()
+                    .enumerate()
+                {
+                    os[(ni * self.outputs + co) * positions + p] = v;
                 }
             }
         }
+        self.scratch.patches = patches;
+        self.scratch.staged = staged;
         out
     }
 }
@@ -395,31 +474,34 @@ impl PeRepNet {
                 (Some(r), false) => projected.add(r).expect("rep shapes align"),
                 (None, _) => projected,
             };
-            let a = mix.map(|v| v.max(0.0)); // global ReLU
-            let h = module
-                .conv3
-                .conv_forward(&a, &mut stats)
-                .map(|v| v.max(0.0));
-            let o = module
-                .conv1
-                .conv_forward(&h, &mut stats)
-                .map(|v| v.max(0.0));
+            let mut a = mix;
+            relu_in_place(&mut a); // global ReLU, no fresh tensor
+            let mut h = module.conv3.conv_forward(&a, &mut stats);
+            relu_in_place(&mut h);
+            let mut o = module.conv1.conv_forward(&h, &mut stats);
+            relu_in_place(&mut o);
             rep = Some(o);
         }
         let rep_state = rep.expect("at least one module");
         let rep_feat = global_avg_pool(&rep_state);
-        // Classifier on PE, one matvec per batch row.
-        let mut logits = Tensor::zeros(&[batch, self.classifier.outputs]);
+        // Classifier on PE: stage the feature rows in the classifier's
+        // scratch and run the whole batch as one batched call per tile.
+        let rc = rep_feat.shape()[1];
+        let width = self.classifier.reduction;
+        debug_assert_eq!(self.feature_width + rc, width);
+        let mut rows = std::mem::take(&mut self.classifier.scratch.patches);
+        rows.resize(batch * width, 0.0);
         for b in 0..batch {
-            let mut row = Vec::with_capacity(self.feature_width + rep_feat.shape()[1]);
-            row.extend_from_slice(
+            let dst = &mut rows[b * width..(b + 1) * width];
+            dst[..self.feature_width].copy_from_slice(
                 &out.features.as_slice()[b * self.feature_width..(b + 1) * self.feature_width],
             );
-            let rc = rep_feat.shape()[1];
-            row.extend_from_slice(&rep_feat.as_slice()[b * rc..(b + 1) * rc]);
-            let y = self.classifier.matvec(&row, &mut stats);
-            logits.as_mut_slice()[b * y.len()..(b + 1) * y.len()].copy_from_slice(&y);
+            dst[self.feature_width..].copy_from_slice(&rep_feat.as_slice()[b * rc..(b + 1) * rc]);
         }
+        let mut logits = Tensor::zeros(&[batch, self.classifier.outputs]);
+        self.classifier
+            .forward_batch(&rows, batch, logits.as_mut_slice(), &mut stats);
+        self.classifier.scratch.patches = rows;
         (logits, stats)
     }
 
@@ -469,6 +551,13 @@ impl fmt::Display for PeRepNet {
             self.modules.len(),
             self.tile_count()
         )
+    }
+}
+
+/// In-place ReLU (digital periphery — the PE's global ReLU unit).
+fn relu_in_place(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = v.max(0.0);
     }
 }
 

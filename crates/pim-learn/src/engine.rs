@@ -129,6 +129,16 @@ impl LearnEngine {
         Ok(delta)
     }
 
+    /// Classifies `input` on the **resident** PE tiles — the same tiles
+    /// write-backs rewrite in place (each rewrite recompiles the tile's
+    /// flat execution kernel into its existing arrays, so steady-state
+    /// refreshes never touch the allocator). Useful for spot-checking the
+    /// resident branch between publishes without building a serving
+    /// artifact.
+    pub fn predict(&mut self, input: &Tensor) -> (Tensor, pim_core::pe_inference::PeRunStats) {
+        self.branch.predict(self.learner.model_mut(), input)
+    }
+
     /// [`write_back`](Self::write_back), then hot-swap the updated model
     /// into serving slot `id` of `runtime`. Returns the slot's new
     /// version. In-flight batches finish on the previous model; requests
@@ -294,6 +304,33 @@ mod tests {
         assert_eq!(report.sram_write_bits, delta.write_bits);
         assert_eq!(report.mram_write_bits, 0, "backbone untouched");
         assert!(report.within_budget());
+    }
+
+    #[test]
+    fn repeated_write_backs_keep_resident_kernels_bit_exact() {
+        // Every write-back recompiles the tiles' flat execution kernels
+        // in place; after each one the resident branch must classify
+        // exactly like a cold recompile of the learner's current weights.
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        feed(&mut engine, 12);
+        let x = Tensor::from_vec(
+            vec![2, 1, 8, 8],
+            (0..128).map(|v| ((v * 7) % 13) as f32 / 13.0).collect(),
+        )
+        .expect("batch shape");
+        for round in 0..3 {
+            engine.step().expect("step");
+            engine.write_back().expect("write back");
+            let (resident, _) = engine.predict(&x);
+            let mut model = engine.learner().model().clone();
+            let mut cold = PeRepNet::compile(&mut model).expect("fits PEs");
+            let (reference, _) = cold.predict(&mut model, &x);
+            assert_eq!(
+                resident.as_slice(),
+                reference.as_slice(),
+                "round {round}: resident kernels drifted from a cold compile"
+            );
+        }
     }
 
     #[test]

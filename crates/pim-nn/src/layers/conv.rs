@@ -203,16 +203,42 @@ impl Layer for Conv2d {
         let b = self.bias.value.as_slice();
         let rows = n * oh * ow;
         // out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co]
+        //
+        // Four output channels run as four independent accumulator chains
+        // so the CPU can overlap them; each chain still sums its channel
+        // in the exact original order, so results are f32-bit-identical
+        // to the one-channel-at-a-time loop.
         let mut flat = vec![0.0f32; rows * cout];
         for row in 0..rows {
             let crow = &cols[row * red..(row + 1) * red];
-            for co in 0..cout {
+            let orow = &mut flat[row * cout..(row + 1) * cout];
+            let mut co = 0;
+            while co + 4 <= cout {
+                let w0 = &w[co * red..(co + 1) * red];
+                let w1 = &w[(co + 1) * red..(co + 2) * red];
+                let w2 = &w[(co + 2) * red..(co + 3) * red];
+                let w3 = &w[(co + 3) * red..(co + 4) * red];
+                let (mut a0, mut a1, mut a2, mut a3) = (b[co], b[co + 1], b[co + 2], b[co + 3]);
+                for (r, &cv) in crow.iter().enumerate() {
+                    a0 += cv * w0[r];
+                    a1 += cv * w1[r];
+                    a2 += cv * w2[r];
+                    a3 += cv * w3[r];
+                }
+                orow[co] = a0;
+                orow[co + 1] = a1;
+                orow[co + 2] = a2;
+                orow[co + 3] = a3;
+                co += 4;
+            }
+            while co < cout {
                 let wrow = &w[co * red..(co + 1) * red];
                 let mut acc = b[co];
                 for (a, bb) in crow.iter().zip(wrow) {
                     acc += a * bb;
                 }
-                flat[row * cout + co] = acc;
+                orow[co] = acc;
+                co += 1;
             }
         }
         // Reorder [n, oh, ow, cout] → NCHW.

@@ -58,9 +58,34 @@ impl QuantParams {
     }
 
     /// Quantizes one value.
+    ///
+    /// Implemented as `trunc(t + copysign(0.5, t))` rather than
+    /// `t.round()`: round-half-away-from-zero by truncation. The two are
+    /// bit-identical here — for `|t| < 2^23` the `+0.5` is exact in f32 so
+    /// truncation reproduces `round` on the nose, and beyond that both
+    /// saturate to ±127 through the clamp — but the truncating form
+    /// avoids the scalar `roundf` libm call, letting the compiler
+    /// vectorize [`quantize_into`](Self::quantize_into) loops.
     #[inline]
     pub fn quantize_value(&self, v: f32) -> i8 {
-        (v / self.scale).round().clamp(-127.0, 127.0) as i8
+        let t = v / self.scale;
+        let r = t + f32::copysign(0.5, t);
+        (r as i32).clamp(-127, 127) as i8
+    }
+
+    /// Quantizes a slice into a caller-provided buffer — the zero-alloc
+    /// hot-path form of [`quantize`]. Element-for-element identical to
+    /// [`quantize_value`](Self::quantize_value) (division, rounding, and
+    /// clamping are elementwise, so batching cannot change any result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths differ.
+    pub fn quantize_into(&self, values: &[f32], out: &mut [i8]) {
+        assert_eq!(values.len(), out.len(), "quantize buffer length mismatch");
+        for (d, &v) in out.iter_mut().zip(values) {
+            *d = self.quantize_value(v);
+        }
     }
 
     /// Dequantizes one code.
@@ -230,6 +255,56 @@ mod tests {
         assert_eq!(p.quantize_value(-100.0), -127);
     }
 
+    /// Reference semantics `quantize_value` must reproduce bit-for-bit:
+    /// divide, round half away from zero, clamp to the symmetric i8 range.
+    pub(crate) fn reference_quantize(v: f32, scale: f32) -> i8 {
+        (v / scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    #[test]
+    fn quantize_matches_round_based_reference_on_boundaries() {
+        // Half-integer boundaries, clamp edges, and magnitudes past 2^23
+        // where the +0.5 trick goes inexact but the clamp saturates.
+        let scales = [1.0f32, 0.5, 0.037, 127.0 / 3.3, 1e-4, 1e6];
+        let mut probes: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            126.5,
+            -126.5,
+            127.49,
+            -127.49,
+            127.5,
+            -127.5,
+            1e3,
+            -1e3,
+            8_388_607.5,
+            8_388_608.0,
+            1e30,
+            -1e30,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+        ];
+        for k in 0..1000 {
+            let v = (k as f32 - 500.0) * 0.2537;
+            probes.push(v);
+            probes.push(v + 0.5);
+        }
+        for &s in &scales {
+            let p = QuantParams::with_scale(s);
+            for &v in &probes {
+                assert_eq!(
+                    p.quantize_value(v),
+                    reference_quantize(v, s),
+                    "v {v} scale {s}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn round_trip_error_is_bounded_by_half_scale() {
         let values: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
@@ -325,10 +400,24 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    use super::tests::reference_quantize;
     use super::*;
     use proptest::prelude::*;
 
     proptest! {
+        #[test]
+        fn quantize_matches_round_based_reference(
+            values in proptest::collection::vec(-1e9f32..1e9, 1..64),
+            scale in 1e-6f32..1e4,
+        ) {
+            let p = QuantParams::with_scale(scale);
+            for &v in &values {
+                prop_assert_eq!(p.quantize_value(v),
+                                reference_quantize(v, scale),
+                                "v {} scale {}", v, scale);
+            }
+        }
+
         #[test]
         fn quantization_error_is_bounded_by_half_scale(
             values in proptest::collection::vec(-1000.0f32..1000.0, 1..256),

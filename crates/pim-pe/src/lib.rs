@@ -39,6 +39,7 @@
 //! ```
 
 mod error;
+mod kernel;
 mod mram;
 mod sram;
 mod stats;
@@ -47,7 +48,7 @@ mod transpose;
 pub use error::PeError;
 pub use mram::{FaultReport, MramPeConfig, MramSparsePe, StochasticWrites};
 pub use sram::{SramPeConfig, SramSparsePe};
-pub use stats::{LoadReport, MatvecReport, PeStats};
+pub use stats::{LoadReport, MatvecCost, MatvecReport, PeStats};
 pub use transpose::TransposedSramPe;
 
 use pim_sparse::CscMatrix;
@@ -73,6 +74,75 @@ pub trait SparsePe {
     /// Returns [`PeError::NotLoaded`] if no tile is loaded, or
     /// [`PeError::InputLength`] on an operand length mismatch.
     fn matvec(&mut self, x: &[i8]) -> Result<MatvecReport, PeError>;
+
+    /// Zero-alloc matvec: writes the outputs into caller-owned `y` (one
+    /// `i32` per logical column) and returns the analytic per-matvec
+    /// [`MatvecCost`]. Outputs, statistics, and the returned cost are
+    /// bit-identical to [`matvec`](Self::matvec) on the same operand.
+    ///
+    /// The default implementation delegates to `matvec` (allocating); the
+    /// concrete PEs override it with their compiled flat kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`matvec`](Self::matvec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the loaded tile's column count.
+    fn matvec_into(&mut self, x: &[i8], y: &mut [i32]) -> Result<MatvecCost, PeError> {
+        let report = self.matvec(x)?;
+        assert_eq!(
+            y.len(),
+            report.outputs.len(),
+            "output buffer does not match the tile's column count"
+        );
+        y.copy_from_slice(&report.outputs);
+        Ok(report.cost())
+    }
+
+    /// Batched matvec over `batch` row-major input vectors: input `b` is
+    /// `xs[b·rows..(b+1)·rows]`, its outputs land in
+    /// `y[b·cols..(b+1)·cols]`. Functionally and statistically identical
+    /// to `batch` sequential [`matvec_into`](Self::matvec_into) calls —
+    /// `batch` matvecs land in [`stats`](Self::stats) — but the tile is
+    /// swept once per input with the flat weight arrays staying
+    /// cache-resident, which is where the batching speedup comes from.
+    ///
+    /// Returns the **per-matvec** cost (every matvec on a loaded tile
+    /// costs the same; the batch's total is `batch ×` the returned cost).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`matvec`](Self::matvec); operand lengths are
+    /// validated against `batch × rows` / `batch × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `y.len() != batch × cols`.
+    fn matvec_batch(
+        &mut self,
+        xs: &[i8],
+        batch: usize,
+        y: &mut [i32],
+    ) -> Result<MatvecCost, PeError> {
+        assert!(batch > 0, "batch must be non-empty");
+        assert_eq!(y.len() % batch, 0, "output buffer must split evenly");
+        let rows = xs.len() / batch;
+        let cols = y.len() / batch;
+        let mut cost = MatvecCost::default();
+        for b in 0..batch {
+            cost = self.matvec_into(
+                xs.get(b * rows..(b + 1) * rows)
+                    .ok_or(PeError::InputLength {
+                        expected: batch * rows,
+                        actual: xs.len(),
+                    })?,
+                &mut y[b * cols..(b + 1) * cols],
+            )?;
+        }
+        Ok(cost)
+    }
 
     /// Cumulative statistics since construction or the last reset.
     fn stats(&self) -> &PeStats;

@@ -26,7 +26,8 @@
 //! learnable weights do not.
 
 use crate::error::PeError;
-use crate::stats::{LoadReport, MatvecReport, PeStats};
+use crate::kernel::FlatKernel;
+use crate::stats::{LoadReport, MatvecCost, MatvecReport, PeStats};
 use crate::SparsePe;
 use pim_device::components::MramPeComponents;
 use pim_device::mtj::{Mtj, MtjParams, MtjState};
@@ -122,6 +123,13 @@ pub struct MramSparsePe {
     config: MramPeConfig,
     rows: Vec<StoredRow>,
     tile: Option<TileInfo>,
+    /// Flat occupied-only execution kernel, compiled at load time from the
+    /// packed rows — *after* any stochastic write faults land, so corrupted
+    /// weights flow into the compiled program exactly as stored.
+    kernel: FlatKernel,
+    /// Analytic per-matvec cost of the resident tile, precomputed at load
+    /// time (the cycle/energy model is data-independent).
+    cost: MatvecCost,
     stats: PeStats,
 }
 
@@ -155,6 +163,8 @@ impl MramSparsePe {
             config,
             rows: Vec::new(),
             tile: None,
+            kernel: FlatKernel::default(),
+            cost: MatvecCost::default(),
             stats: PeStats::new(),
         }
     }
@@ -250,6 +260,59 @@ impl MramSparsePe {
             }
         }
         (retried_bits, faulted_bits)
+    }
+
+    /// Recompiles the flat execution kernel and the analytic per-matvec
+    /// cost from the freshly-stored rows — called at the end of every
+    /// load, after any stochastic write faults have landed, so `matvec` is
+    /// a branch-free single-pass gather over what the array really holds.
+    fn recompile(&mut self) {
+        let tile = self.tile.as_ref().expect("tile installed before recompile");
+        let m = tile.m;
+        self.kernel.recompile(
+            tile.rows,
+            tile.cols,
+            self.rows.iter().flat_map(|row| {
+                row.pairs
+                    .iter()
+                    .filter(|(_, s)| s.occupied)
+                    .map(move |&(group, s)| {
+                        (row.logical_col, group * m + s.offset as usize, s.value)
+                    })
+            }),
+        );
+        debug_assert_eq!(self.kernel.cols(), tile.cols);
+        debug_assert_eq!(self.kernel.nnz() as u64, tile.occupied_slots);
+        self.cost = self.analytic_matvec_cost();
+    }
+
+    /// The closed-form per-matvec bill of Fig. 5's 3-stage row stream —
+    /// one row per cycle + 3 (fill/drain), every stored bit of every
+    /// streamed row sensed, decoders and shift-acc/adder-tree active
+    /// throughout. Depends only on the stored layout and configuration,
+    /// never on the activations, which is why it can be precomputed at
+    /// load time.
+    fn analytic_matvec_cost(&self) -> MatvecCost {
+        let cycles = self.rows.len() as u64 + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let comp = &self.config.components;
+        let mut energy = self.peripheral_leakage(latency);
+        let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
+        let bits_read: u64 = self
+            .rows
+            .iter()
+            .map(|r| r.pairs.len() as u64 * pair_bits)
+            .sum();
+        energy.add_read(self.config.mtj.read_energy * bits_read as f64);
+        energy.add_read(
+            (comp.row_decoder_driver.power() + comp.col_decoder_driver.power()) * latency,
+        );
+        energy.add_compute((comp.parallel_shift_acc.power() + comp.adder_tree.power()) * latency);
+        MatvecCost {
+            cycles,
+            latency,
+            energy,
+        }
     }
 
     /// Peripheral-logic leakage over `elapsed` (the MTJ array itself is
@@ -357,6 +420,9 @@ impl SparsePe for MramSparsePe {
             Some(channel) => self.apply_stochastic_writes(channel),
             None => (0, 0),
         };
+        // Compile after fault injection: the kernel must execute the
+        // (possibly corrupted) stored weights, not the requested ones.
+        self.recompile();
 
         // Write cost: one row per write pulse; on average half of the MTJs
         // toggle under the differential (read-before-write) driver.
@@ -395,61 +461,65 @@ impl SparsePe for MramSparsePe {
 
     fn matvec(&mut self, x: &[i8]) -> Result<MatvecReport, PeError> {
         let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        let mut outputs = vec![0i32; tile.cols];
+        let cost = self.matvec_into(x, &mut outputs)?;
+        Ok(MatvecReport {
+            outputs,
+            cycles: cost.cycles,
+            latency: cost.latency,
+            energy: cost.energy,
+        })
+    }
+
+    fn matvec_into(&mut self, x: &[i8], y: &mut [i32]) -> Result<MatvecCost, PeError> {
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
         if x.len() != tile.rows {
             return Err(PeError::InputLength {
                 expected: tile.rows,
                 actual: x.len(),
             });
         }
-
-        // --- Functional compute (exact) ---------------------------------
-        let m = tile.m;
-        let mut acc = vec![0i64; tile.cols];
-        for row in &self.rows {
-            // Stage 2+3 for this row: MUX-select activations, parallel
-            // shift-accumulate across the row's pairs, fold into the
-            // column accumulator.
-            let mut row_sum = 0i64;
-            for &(group, slot) in &row.pairs {
-                if !slot.occupied {
-                    continue;
-                }
-                let logical_row = group * m + slot.offset as usize;
-                row_sum += slot.value as i64 * x[logical_row] as i64;
-            }
-            acc[row.logical_col] += row_sum;
-        }
-        let outputs: Vec<i32> = acc.into_iter().map(|v| v as i32).collect();
-
-        // --- Cycle model -------------------------------------------------
-        // One row per cycle at steady state + 2 fill + 1 adder-tree drain.
-        let cycles = self.rows.len() as u64 + 3;
-        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
-
-        // --- Energy model ------------------------------------------------
-        let comp = &self.config.components;
-        let mut energy = self.peripheral_leakage(latency);
-        // Array reads: every stored bit of every streamed row is sensed.
-        let pair_bits = (self.config.weight_bits + self.config.index_bits) as u64;
-        let bits_read: u64 = self
-            .rows
-            .iter()
-            .map(|r| r.pairs.len() as u64 * pair_bits)
-            .sum();
-        energy.add_read(self.config.mtj.read_energy * bits_read as f64);
-        energy.add_read(
-            (comp.row_decoder_driver.power() + comp.col_decoder_driver.power()) * latency,
+        assert_eq!(
+            y.len(),
+            tile.cols,
+            "output buffer does not match the tile's column count"
         );
-        energy.add_compute((comp.parallel_shift_acc.power() + comp.adder_tree.power()) * latency);
+        let occupied = tile.occupied_slots;
+        // Compiled execution kernel: exact row-stream arithmetic as a
+        // single-pass gather (see `kernel.rs` for the equivalence).
+        self.kernel.matvec_into(x, y);
+        // Analytic accounting model, precomputed at load time.
+        let cost = self.cost;
+        self.stats.record_matvec_cost(&cost, occupied);
+        Ok(cost)
+    }
 
-        let report = MatvecReport {
-            outputs,
-            cycles,
-            latency,
-            energy,
-        };
-        self.stats.record_matvec(&report, tile.occupied_slots);
-        Ok(report)
+    fn matvec_batch(
+        &mut self,
+        xs: &[i8],
+        batch: usize,
+        y: &mut [i32],
+    ) -> Result<MatvecCost, PeError> {
+        assert!(batch > 0, "batch must be non-empty");
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        if xs.len() != batch * tile.rows {
+            return Err(PeError::InputLength {
+                expected: batch * tile.rows,
+                actual: xs.len(),
+            });
+        }
+        assert_eq!(
+            y.len(),
+            batch * tile.cols,
+            "output buffer does not match batch × column count"
+        );
+        let occupied = tile.occupied_slots;
+        self.kernel.matmul_into(xs, batch, y);
+        let cost = self.cost;
+        for _ in 0..batch {
+            self.stats.record_matvec_cost(&cost, occupied);
+        }
+        Ok(cost)
     }
 
     fn stats(&self) -> &PeStats {
@@ -684,6 +754,116 @@ mod tests {
             pe.matvec(&x).unwrap().outputs,
             other.matvec(&x).unwrap().outputs
         );
+    }
+
+    /// The pre-decoupling step-wise row stream, kept verbatim as the
+    /// oracle for the compiled kernel.
+    fn step_wise_walk(pe: &MramSparsePe, x: &[i8]) -> Vec<i32> {
+        let tile = pe.tile.as_ref().expect("loaded");
+        let m = tile.m;
+        let mut acc = vec![0i64; tile.cols];
+        for row in &pe.rows {
+            let mut row_sum = 0i64;
+            for &(group, slot) in &row.pairs {
+                if !slot.occupied {
+                    continue;
+                }
+                let logical_row = group * m + slot.offset as usize;
+                row_sum += slot.value as i64 * x[logical_row] as i64;
+            }
+            acc[row.logical_col] += row_sum;
+        }
+        acc.into_iter().map(|v| v as i32).collect()
+    }
+
+    /// The pre-decoupling per-call accounting, kept verbatim as the oracle
+    /// for the precomputed [`MatvecCost`] — same expressions, same f64
+    /// operation order.
+    fn step_wise_cost(pe: &MramSparsePe) -> MatvecCost {
+        let cycles = pe.rows.len() as u64 + 3;
+        let latency = Latency::from_cycles(cycles, pe.config.tech.clock_mhz());
+        let comp = &pe.config.components;
+        let mut energy = pe.peripheral_leakage(latency);
+        let pair_bits = (pe.config.weight_bits + pe.config.index_bits) as u64;
+        let bits_read: u64 = pe
+            .rows
+            .iter()
+            .map(|r| r.pairs.len() as u64 * pair_bits)
+            .sum();
+        energy.add_read(pe.config.mtj.read_energy * bits_read as f64);
+        energy.add_read(
+            (comp.row_decoder_driver.power() + comp.col_decoder_driver.power()) * latency,
+        );
+        energy.add_compute((comp.parallel_shift_acc.power() + comp.adder_tree.power()) * latency);
+        MatvecCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    #[test]
+    fn flat_kernel_matches_step_wise_walk_and_cost() {
+        for (rows, pattern, seed) in [
+            (256usize, NmPattern::one_of_four(), 1usize),
+            (250, NmPattern::one_of_four(), 2), // partial tail group
+            (256, NmPattern::one_of_eight(), 3),
+            (205, NmPattern::one_of_eight(), 4), // partial tail group
+        ] {
+            let csc = sparse_tile(rows, 8, pattern, seed);
+            let mut pe = MramSparsePe::new();
+            pe.load(&csc).unwrap();
+            let x: Vec<i8> = (0..rows)
+                .map(|i| match i % 5 {
+                    0 => i8::MIN,
+                    1 => i8::MAX,
+                    k => ((i * 23 + k) % 256) as u8 as i8,
+                })
+                .collect();
+            let report = pe.matvec(&x).unwrap();
+            assert_eq!(report.outputs, step_wise_walk(&pe, &x), "{pattern}");
+            let oracle = step_wise_cost(&pe);
+            assert_eq!(report.cycles, oracle.cycles);
+            assert_eq!(report.latency, oracle.latency);
+            assert_eq!(report.energy, oracle.energy, "bit-exact energy buckets");
+        }
+    }
+
+    #[test]
+    fn matvec_into_and_batch_match_matvec_and_stats() {
+        let csc = sparse_tile(128, 8, NmPattern::one_of_four(), 5);
+        let mut a = MramSparsePe::new();
+        a.load(&csc).unwrap();
+        let mut b = MramSparsePe::new();
+        b.load(&csc).unwrap();
+
+        let xs: Vec<i8> = (0..4 * 128)
+            .map(|i| ((i * 37 + 11) % 256) as u8 as i8)
+            .collect();
+        let mut seq = Vec::new();
+        for chunk in xs.chunks(128) {
+            seq.extend_from_slice(&a.matvec(chunk).unwrap().outputs);
+        }
+        let mut y = vec![0i32; 4 * 8];
+        b.matvec_batch(&xs, 4, &mut y).unwrap();
+        assert_eq!(y, seq);
+        assert_eq!(a.stats(), b.stats(), "ledgers agree bit-exactly");
+        assert_eq!(b.stats().matvecs, 4);
+    }
+
+    #[test]
+    fn faulted_load_compiles_the_corrupted_weights() {
+        let mut cfg = MramPeConfig::dac24();
+        cfg.mtj.write_error_rate = 0.2;
+        let csc = sparse_tile(256, 8, NmPattern::one_of_four(), 9);
+        let mut pe = MramSparsePe::with_config(cfg);
+        let report = pe.load_with_faults(&csc, 17, 0).unwrap();
+        assert!(report.corrupted_bits > 0);
+        let x = vec![1i8; 256];
+        // The compiled kernel must execute the stored (faulted) program —
+        // identical to the step-wise walk over the corrupted rows.
+        let r = pe.matvec(&x).unwrap();
+        assert_eq!(r.outputs, step_wise_walk(&pe, &x));
     }
 
     #[test]

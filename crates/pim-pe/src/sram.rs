@@ -39,7 +39,8 @@
 //! here).
 
 use crate::error::PeError;
-use crate::stats::{LoadReport, MatvecReport, PeStats};
+use crate::kernel::FlatKernel;
+use crate::stats::{LoadReport, MatvecCost, MatvecReport, PeStats};
 use crate::SparsePe;
 use pim_device::components::SramPeComponents;
 use pim_device::sram_cell::{SramCell, SramCellKind};
@@ -114,6 +115,12 @@ pub struct SramSparsePe {
     config: SramPeConfig,
     segments: Vec<Segment>,
     tile: Option<TileInfo>,
+    /// Flat occupied-only execution kernel, compiled at load/update time
+    /// from `segments`; empty until a tile is resident.
+    kernel: FlatKernel,
+    /// Analytic per-matvec cost of the resident tile, precomputed at
+    /// load/update time (the cycle/energy model is data-independent).
+    cost: MatvecCost,
     stats: PeStats,
 }
 
@@ -145,6 +152,8 @@ impl SramSparsePe {
             config,
             segments: Vec::new(),
             tile: None,
+            kernel: FlatKernel::default(),
+            cost: MatvecCost::default(),
             stats: PeStats::new(),
         }
     }
@@ -280,6 +289,7 @@ impl SramSparsePe {
 
         self.segments = segments;
         self.tile = Some(tile);
+        self.recompile();
         let report = LoadReport {
             cycles,
             latency,
@@ -290,6 +300,53 @@ impl SramSparsePe {
         };
         self.stats.record_load(&report);
         Ok(report)
+    }
+
+    /// Recompiles the flat execution kernel and the analytic per-matvec
+    /// cost from the freshly-installed segments — called by every
+    /// load/update, so `matvec` is a branch-free single-pass gather.
+    fn recompile(&mut self) {
+        let tile = self.tile.as_ref().expect("tile installed before recompile");
+        let m = tile.m;
+        self.kernel.recompile(
+            tile.rows,
+            tile.cols,
+            self.segments.iter().flat_map(|seg| {
+                seg.slots
+                    .iter()
+                    .filter(|(_, s)| s.occupied)
+                    .map(move |&(group, s)| {
+                        (seg.logical_col, group * m + s.offset as usize, s.value)
+                    })
+            }),
+        );
+        debug_assert_eq!(self.kernel.cols(), tile.cols);
+        debug_assert_eq!(self.kernel.nnz() as u64, tile.occupied_slots);
+        self.cost = self.analytic_matvec_cost(tile.rows, tile.m);
+    }
+
+    /// The closed-form per-matvec bill of §3.1's pipelined walk —
+    /// `weight_bits × M + 3` cycles with read/compute channel powers active
+    /// throughout plus the activation buffer traffic. Depends only on the
+    /// tile shape and configuration, never on the activations, which is
+    /// why it can be precomputed at load time.
+    fn analytic_matvec_cost(&self, tile_rows: usize, m: usize) -> MatvecCost {
+        let cycles = self.config.weight_bits as u64 * m as u64 + 3;
+        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
+        let comp = &self.config.components;
+        let mut energy = self.leakage_over(latency);
+        let read_power = comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
+        energy.add_read(read_power * latency);
+        let compute_power = comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power();
+        energy.add_compute(compute_power * latency);
+        // Activation traffic through the global buffer.
+        let buffer_bits = (tile_rows as u64) * self.config.weight_bits as u64;
+        energy.add_read(comp.buffer_energy_per_bit * buffer_bits as f64);
+        MatvecCost {
+            cycles,
+            latency,
+            energy,
+        }
     }
 
     fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
@@ -322,6 +379,7 @@ impl SparsePe for SramSparsePe {
         let (segments, tile) = self.pack_segments(weights)?;
         self.segments = segments;
         self.tile = Some(tile);
+        self.recompile();
 
         // Write cost: every stored slot writes weight + index cells; the
         // array is written one physical row (across all groups) per cycle.
@@ -359,65 +417,65 @@ impl SparsePe for SramSparsePe {
 
     fn matvec(&mut self, x: &[i8]) -> Result<MatvecReport, PeError> {
         let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        let mut outputs = vec![0i32; tile.cols];
+        let cost = self.matvec_into(x, &mut outputs)?;
+        Ok(MatvecReport {
+            outputs,
+            cycles: cost.cycles,
+            latency: cost.latency,
+            energy: cost.energy,
+        })
+    }
+
+    fn matvec_into(&mut self, x: &[i8], y: &mut [i32]) -> Result<MatvecCost, PeError> {
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
         if x.len() != tile.rows {
             return Err(PeError::InputLength {
                 expected: tile.rows,
                 actual: x.len(),
             });
         }
+        assert_eq!(
+            y.len(),
+            tile.cols,
+            "output buffer does not match the tile's column count"
+        );
+        let occupied = tile.occupied_slots;
+        // Compiled execution kernel: exact bit-serial arithmetic as a
+        // single-pass gather (see `kernel.rs` for the equivalence).
+        self.kernel.matvec_into(x, y);
+        // Analytic accounting model, precomputed at load time.
+        let cost = self.cost;
+        self.stats.record_matvec_cost(&cost, occupied);
+        Ok(cost)
+    }
 
-        // --- Functional bit-serial compute (exact) ---------------------
-        // acc[col] accumulates the shift-weighted adder-tree outputs; the
-        // row-wise accumulator is the per-logical-column merge below.
-        let m = tile.m;
-        let mut acc = vec![0i64; tile.cols];
-        for bit in 0..self.config.weight_bits {
-            for segment in &self.segments {
-                let mut tree = 0i64; // one adder-tree evaluation per phase,
-                                     // summed over the M comparator phases
-                for &(group, slot) in &segment.slots {
-                    if !slot.occupied {
-                        continue;
-                    }
-                    let logical_row = group * m + slot.offset as usize;
-                    let xv = x[logical_row] as u8;
-                    if (xv >> bit) & 1 == 1 {
-                        tree += slot.value as i64;
-                    }
-                }
-                let weighted = tree << bit;
-                if bit == self.config.weight_bits - 1 {
-                    acc[segment.logical_col] -= weighted; // sign plane
-                } else {
-                    acc[segment.logical_col] += weighted;
-                }
-            }
+    fn matvec_batch(
+        &mut self,
+        xs: &[i8],
+        batch: usize,
+        y: &mut [i32],
+    ) -> Result<MatvecCost, PeError> {
+        assert!(batch > 0, "batch must be non-empty");
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        if xs.len() != batch * tile.rows {
+            return Err(PeError::InputLength {
+                expected: batch * tile.rows,
+                actual: xs.len(),
+            });
         }
-        let outputs: Vec<i32> = acc.into_iter().map(|v| v as i32).collect();
-
-        // --- Cycle model -----------------------------------------------
-        let cycles = self.config.weight_bits as u64 * m as u64 + 3;
-        let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
-
-        // --- Energy model ----------------------------------------------
-        let comp = &self.config.components;
-        let mut energy = self.leakage_over(latency);
-        let read_power = comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
-        energy.add_read(read_power * latency);
-        let compute_power = comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power();
-        energy.add_compute(compute_power * latency);
-        // Activation traffic through the global buffer.
-        let buffer_bits = (tile.rows as u64) * self.config.weight_bits as u64;
-        energy.add_read(comp.buffer_energy_per_bit * buffer_bits as f64);
-
-        let report = MatvecReport {
-            outputs,
-            cycles,
-            latency,
-            energy,
-        };
-        self.stats.record_matvec(&report, tile.occupied_slots);
-        Ok(report)
+        assert_eq!(
+            y.len(),
+            batch * tile.cols,
+            "output buffer does not match batch × column count"
+        );
+        let occupied = tile.occupied_slots;
+        self.kernel.matmul_into(xs, batch, y);
+        let cost = self.cost;
+        for _ in 0..batch {
+            self.stats.record_matvec_cost(&cost, occupied);
+        }
+        Ok(cost)
     }
 
     fn stats(&self) -> &PeStats {
@@ -709,6 +767,165 @@ mod tests {
                 fresh.matvec(&x).unwrap().outputs
             );
         }
+    }
+
+    /// The pre-decoupling step-wise simulation, kept verbatim as the
+    /// oracle for the compiled kernel: walk `weight_bits × segments ×
+    /// slots` with the occupancy branch, exactly as `matvec` used to.
+    fn step_wise_walk(pe: &SramSparsePe, x: &[i8]) -> Vec<i32> {
+        let tile = pe.tile.as_ref().expect("loaded");
+        let m = tile.m;
+        let mut acc = vec![0i64; tile.cols];
+        for bit in 0..pe.config.weight_bits {
+            for segment in &pe.segments {
+                let mut tree = 0i64;
+                for &(group, slot) in &segment.slots {
+                    if !slot.occupied {
+                        continue;
+                    }
+                    let logical_row = group * m + slot.offset as usize;
+                    let xv = x[logical_row] as u8;
+                    if (xv >> bit) & 1 == 1 {
+                        tree += slot.value as i64;
+                    }
+                }
+                let weighted = tree << bit;
+                if bit == pe.config.weight_bits - 1 {
+                    acc[segment.logical_col] -= weighted; // sign plane
+                } else {
+                    acc[segment.logical_col] += weighted;
+                }
+            }
+        }
+        acc.into_iter().map(|v| v as i32).collect()
+    }
+
+    /// The pre-decoupling per-call accounting, kept verbatim as the oracle
+    /// for the precomputed [`MatvecCost`]: same expressions, same f64
+    /// operation order, evaluated per call instead of at load time.
+    fn step_wise_cost(pe: &SramSparsePe) -> MatvecCost {
+        let tile = pe.tile.as_ref().expect("loaded");
+        let cycles = pe.config.weight_bits as u64 * tile.m as u64 + 3;
+        let latency = Latency::from_cycles(cycles, pe.config.tech.clock_mhz());
+        let comp = &pe.config.components;
+        let mut energy = pe.leakage_over(latency);
+        let read_power = comp.decoder.power() + comp.bit_cell.power() + comp.index_decoder.power();
+        energy.add_read(read_power * latency);
+        let compute_power = comp.shift_acc.power() + comp.adder.power() + comp.global_relu.power();
+        energy.add_compute(compute_power * latency);
+        let buffer_bits = (tile.rows as u64) * pe.config.weight_bits as u64;
+        energy.add_read(comp.buffer_energy_per_bit * buffer_bits as f64);
+        MatvecCost {
+            cycles,
+            latency,
+            energy,
+        }
+    }
+
+    proptest! {
+        // Tentpole equivalence pin: on random tiles — 1:4 and 1:8, with
+        // reduction lengths that leave partial tail groups (unoccupied
+        // slots) and activations spanning the full i8 range including
+        // MIN/MAX — the compiled kernel is bit-identical to BOTH retained
+        // oracles: the step-wise hardware walk and pim_sparse's
+        // bit-serial reference.
+        #[test]
+        fn flat_kernel_matches_step_wise_and_bit_serial_oracles(
+            (rows, pattern) in prop_oneof![
+                Just((64usize, NmPattern::one_of_four())),
+                Just((61usize, NmPattern::one_of_four())), // partial tail group
+                Just((64usize, NmPattern::one_of_eight())),
+                Just((52usize, NmPattern::one_of_eight())), // partial tail group
+            ],
+            seed in 0usize..256,
+            raw_x in proptest::collection::vec(any::<i8>(), 64),
+        ) {
+            let dense = Matrix::from_fn(rows, 4, |r, c| {
+                if c == 3 {
+                    0 // all-zero column: kernel columns with no contribution
+                } else {
+                    match (r * 31 + c * 17 + seed * 7) % 97 {
+                        0 => i8::MIN,
+                        1 => i8::MAX,
+                        k => (k as i32 - 48) as i8,
+                    }
+                }
+            });
+            let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+            let csc = CscMatrix::compress(&dense, &mask).expect("shapes match");
+            let mut pe = SramSparsePe::new();
+            pe.load(&csc).unwrap();
+            let x = &raw_x[..rows];
+            let report = pe.matvec(x).unwrap();
+            prop_assert_eq!(&report.outputs, &step_wise_walk(&pe, x));
+            let masked = masked_dense(&dense, &mask).unwrap();
+            prop_assert_eq!(
+                &report.outputs,
+                &pim_sparse::gemm::bit_serial_matvec(&masked, x).unwrap()
+            );
+        }
+
+        // Accounting pin: the load-time analytic cost equals the old
+        // per-call computation exactly — same cycles and the same f64 bit
+        // pattern in every energy bucket — so every stats ledger built on
+        // it (PeStats, PeRunStats, EDP) is unchanged by the decoupling.
+        #[test]
+        fn analytic_cost_matches_step_wise_accounting(
+            (rows, pattern) in prop_oneof![
+                Just((64usize, NmPattern::one_of_four())),
+                Just((61usize, NmPattern::one_of_four())),
+                Just((64usize, NmPattern::one_of_eight())),
+                Just((128usize, NmPattern::one_of_eight())),
+            ],
+            seed in 0usize..64,
+        ) {
+            let csc = sparse_tile(rows, 4, pattern, seed);
+            let mut pe = SramSparsePe::new();
+            pe.load(&csc).unwrap();
+            let oracle = step_wise_cost(&pe);
+            let x = vec![1i8; rows];
+            let report = pe.matvec(&x).unwrap();
+            prop_assert_eq!(report.cycles, oracle.cycles);
+            prop_assert_eq!(report.latency, oracle.latency);
+            // Bucket-by-bucket exact f64 equality, not approximate.
+            prop_assert_eq!(report.energy.leakage.as_pj(), oracle.energy.leakage.as_pj());
+            prop_assert_eq!(report.energy.read.as_pj(), oracle.energy.read.as_pj());
+            prop_assert_eq!(report.energy.compute.as_pj(), oracle.energy.compute.as_pj());
+            prop_assert_eq!(report.energy.write.as_pj(), oracle.energy.write.as_pj());
+        }
+    }
+
+    #[test]
+    fn matvec_into_and_batch_match_matvec_and_stats() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 13);
+        let mut a = SramSparsePe::new();
+        a.load(&csc).unwrap();
+        let mut b = SramSparsePe::new();
+        b.load(&csc).unwrap();
+
+        let xs: Vec<i8> = (0..3 * 64)
+            .map(|i| ((i * 41 + 7) % 256) as u8 as i8)
+            .collect();
+        // PE `a`: three sequential allocating matvecs.
+        let mut seq = Vec::new();
+        let mut seq_cost = None;
+        for chunk in xs.chunks(64) {
+            let r = a.matvec(chunk).unwrap();
+            seq_cost = Some(r.cost());
+            seq.extend_from_slice(&r.outputs);
+        }
+        // PE `b`: one batched zero-alloc call.
+        let mut y = vec![0i32; 3 * 4];
+        let cost = b.matvec_batch(&xs, 3, &mut y).unwrap();
+        assert_eq!(y, seq);
+        assert_eq!(Some(cost), seq_cost, "per-matvec cost is identical");
+        assert_eq!(a.stats(), b.stats(), "ledgers agree bit-exactly");
+        assert_eq!(b.stats().matvecs, 3, "batch records every matvec");
+
+        // And `matvec_into` alone agrees too.
+        let mut single = vec![0i32; 4];
+        b.matvec_into(&xs[..64], &mut single).unwrap();
+        assert_eq!(single, seq[..4]);
     }
 
     #[test]

@@ -37,6 +37,38 @@ pub struct MatvecReport {
     pub energy: EnergyLedger,
 }
 
+impl MatvecReport {
+    /// The accounting half of the report (everything but the outputs).
+    pub fn cost(&self) -> MatvecCost {
+        MatvecCost {
+            cycles: self.cycles,
+            latency: self.latency,
+            energy: self.energy,
+        }
+    }
+}
+
+/// The analytic timing/energy bill of one matvec on a loaded tile.
+///
+/// The PEs' cycle and energy models are closed-form in the tile shape and
+/// configuration — they do not depend on the activation data — so this
+/// cost is computed **once at load/update time** and replayed for every
+/// matvec on the tile. It is the accounting half of a [`MatvecReport`],
+/// `Copy` so the zero-alloc hot path ([`SparsePe::matvec_into`],
+/// [`SparsePe::matvec_batch`]) can return it without touching the heap.
+///
+/// [`SparsePe::matvec_into`]: crate::SparsePe::matvec_into
+/// [`SparsePe::matvec_batch`]: crate::SparsePe::matvec_batch
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatvecCost {
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Wall-clock time.
+    pub latency: Latency,
+    /// Energy split of the operation.
+    pub energy: EnergyLedger,
+}
+
 /// Cumulative counters over a PE's lifetime (or since the last reset).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PeStats {
@@ -79,9 +111,16 @@ impl PeStats {
 
     /// Folds a matvec report into the counters.
     pub fn record_matvec(&mut self, report: &MatvecReport, macs: u64) {
-        self.cycles += report.cycles;
-        self.busy_time += report.latency;
-        self.energy += report.energy;
+        self.record_matvec_cost(&report.cost(), macs);
+    }
+
+    /// Folds the accounting of one matvec into the counters without
+    /// materializing a full [`MatvecReport`] — the zero-alloc hot path.
+    /// Arithmetic is identical to [`record_matvec`](Self::record_matvec).
+    pub fn record_matvec_cost(&mut self, cost: &MatvecCost, macs: u64) {
+        self.cycles += cost.cycles;
+        self.busy_time += cost.latency;
+        self.energy += cost.energy;
         self.matvecs += 1;
         self.macs += macs;
     }

@@ -386,13 +386,25 @@ fn compatible(a: &QueuedRequest, b: &QueuedRequest) -> bool {
     a.model == b.model && a.input.shape() == b.input.shape()
 }
 
+/// Per-worker staging buffers reused across batches: after warm-up a
+/// worker stacks inputs and records queue waits without touching the
+/// allocator (the PE branch's own scratch arenas live in its replica).
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Row-major staging area the batch's input tensors are stacked into.
+    staging: Vec<f32>,
+    /// Per-rider queue waits for the stats ledger and responses.
+    waits: Vec<Duration>,
+}
+
 fn worker_loop(shared: &Shared, replicas: &mut [(u64, ModelReplica)]) {
     // Replicas were cloned before the first epoch read could race a swap,
     // so start from 0 and let the version check sort out staleness.
     let mut seen_epoch = 0;
+    let mut scratch = WorkerScratch::default();
     while let Some(batch) = collect_batch(shared) {
         refresh_replicas(shared, replicas, &mut seen_epoch);
-        serve_batch(shared, replicas, batch);
+        serve_batch(shared, replicas, batch, &mut scratch);
     }
 }
 
@@ -462,24 +474,43 @@ fn collect_batch(shared: &Shared) -> Option<Vec<QueuedRequest>> {
     }
 }
 
-fn serve_batch(shared: &Shared, replicas: &mut [(u64, ModelReplica)], batch: Vec<QueuedRequest>) {
+fn serve_batch(
+    shared: &Shared,
+    replicas: &mut [(u64, ModelReplica)],
+    batch: Vec<QueuedRequest>,
+    scratch: &mut WorkerScratch,
+) {
     let model = batch[0].model;
-    let inputs: Vec<Tensor> = batch.iter().map(|r| r.input.clone()).collect();
-    let stacked = Tensor::stack_batch(&inputs).expect("riders share one shape");
+    // Stack inputs directly into the worker's staging buffer (one copy,
+    // no per-request clones) and lend it to a Tensor for the forward
+    // pass; `compatible` guaranteed the riders share one shape.
+    let mut data = std::mem::take(&mut scratch.staging);
+    data.clear();
+    let mut shape = batch[0].input.shape().to_vec();
+    shape[0] = 0;
+    for r in &batch {
+        data.extend_from_slice(r.input.as_slice());
+        shape[0] += r.input.shape()[0];
+    }
+    let stacked = Tensor::from_vec(shape, data).expect("riders share one shape");
     let replica = &mut replicas[model.0].1;
     let (logits, sim) = replica.infer_batch(&stacked);
+    scratch.staging = stacked.into_vec();
     let preds = predictions(&logits);
 
     let size = batch.len();
     let classes = logits.shape()[1];
     let energy_share = sim.total_energy() / size as f64;
-    let waits: Vec<Duration> = batch.iter().map(|r| r.enqueued.elapsed()).collect();
+    scratch.waits.clear();
+    scratch
+        .waits
+        .extend(batch.iter().map(|r| r.enqueued.elapsed()));
     // Count the batch before replying, so a client holding its response
     // is guaranteed to find it in the stats snapshot.
     shared
         .stats
-        .record_batch(size, sim, waits.iter().sum::<Duration>());
-    for ((row, req), wait) in batch.into_iter().enumerate().zip(waits) {
+        .record_batch(size, sim, scratch.waits.iter().sum::<Duration>());
+    for ((row, req), wait) in batch.into_iter().enumerate().zip(scratch.waits.drain(..)) {
         let response = InferResponse {
             request_id: req.id,
             logits: logits.as_slice()[row * classes..(row + 1) * classes].to_vec(),

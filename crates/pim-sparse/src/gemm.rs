@@ -85,6 +85,13 @@ pub fn masked_dense(weights: &Matrix<i8>, mask: &NmMask) -> Result<Matrix<i8>, M
 /// and the shift accumulator adds `partial << b` — except the sign plane
 /// (bit 7), which is subtracted (two's-complement weighting of −2⁷).
 ///
+/// This walk is the retained **ground-truth oracle** for the PE
+/// simulators: `pim-pe` executes matvecs through flat compiled kernels
+/// (plain gather-multiply-accumulate over occupied slots), and its
+/// property tests pin those kernels against this function bit for bit —
+/// the bit-plane decomposition recombines to exactly `Σ w·x`, so the two
+/// formulations must never disagree on any input.
+///
 /// # Errors
 ///
 /// Returns [`DimensionError`] if `x.len() != weights.rows()`.

@@ -133,6 +133,77 @@ proptest! {
     }
 }
 
+/// Loads `csc` into two fresh PEs and checks that one `matvec_batch` call
+/// is indistinguishable from per-input `matvec_into` calls: same outputs,
+/// same per-matvec cost, bit-exact identical stats ledgers, and outputs
+/// matching the bit-serial reference on the masked dense tile.
+fn assert_batched_equals_sequential<P: SparsePe>(
+    mut seq: P,
+    mut bat: P,
+    csc: &CscMatrix,
+    reference: &Matrix<i8>,
+    xs: &[i8],
+    batch: usize,
+) {
+    let rows = reference.rows();
+    let cols = reference.cols();
+    seq.load(csc).expect("capacity");
+    bat.load(csc).expect("capacity");
+    let mut y_seq = vec![0i32; batch * cols];
+    let mut seq_costs = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let x = &xs[b * rows..(b + 1) * rows];
+        let cost = seq
+            .matvec_into(x, &mut y_seq[b * cols..(b + 1) * cols])
+            .expect("loaded");
+        seq_costs.push(cost);
+        let oracle = bit_serial_matvec(reference, x).expect("length");
+        assert_eq!(&y_seq[b * cols..(b + 1) * cols], &oracle[..], "input {b}");
+    }
+    let mut y_bat = vec![0i32; batch * cols];
+    let bat_cost = bat.matvec_batch(xs, batch, &mut y_bat).expect("loaded");
+    assert_eq!(y_seq, y_bat, "batched outputs drifted from sequential");
+    for cost in seq_costs {
+        assert_eq!(cost, bat_cost, "per-matvec cost is shape-determined");
+    }
+    assert_eq!(seq.stats(), bat.stats(), "ledgers must be bit-exact equal");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_execution_equals_sequential_on_random_tiles(
+        (dense, x) in arb_tile(),
+        pattern in arb_pattern(),
+        batch in 1usize..7,
+    ) {
+        let mask = prune_magnitude(&dense, pattern).expect("non-empty");
+        let csc = CscMatrix::compress(&dense, &mask).expect("fits");
+        let reference = masked_dense(&dense, &mask).expect("fits");
+        // Batch inputs derived from the seed vector, varied per slot.
+        let xs: Vec<i8> = (0..batch)
+            .flat_map(|b| x.iter().map(move |&v| v.wrapping_mul(b as i8 + 1)))
+            .collect();
+        assert_batched_equals_sequential(
+            SramSparsePe::new(),
+            SramSparsePe::new(),
+            &csc,
+            &reference,
+            &xs,
+            batch,
+        );
+        assert_batched_equals_sequential(
+            MramSparsePe::new(),
+            MramSparsePe::new(),
+            &csc,
+            &reference,
+            &xs,
+            batch,
+        );
+    }
+}
+
 #[test]
 fn pe_stats_accumulate_identically_for_identical_work() {
     let dense = Matrix::from_fn(64, 8, |r, c| ((r * 3 + c * 5) % 21) as i8 - 10);
