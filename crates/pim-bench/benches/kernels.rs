@@ -5,7 +5,7 @@
 //! machine-readable baseline tracking the compiled-kernel speedups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pim_bench::{banner, measure_ns, write_bench_json, BenchRecord};
+use pim_bench::{banner, measure_ns, merge_bench_json, BenchRecord};
 use pim_core::pe_inference::PeRepNet;
 use pim_data::SyntheticSpec;
 use pim_nn::layers::{Conv2d, Layer};
@@ -173,26 +173,11 @@ fn bench(c: &mut Criterion) {
     });
     let predict_ns = measure_ns(30, || compiled.predict(&mut model, &images).0);
     let records = [
-        BenchRecord {
-            name: "bit_serial_matvec_tile_512x8",
-            ns_per_iter: bit_serial_ns,
-        },
-        BenchRecord {
-            name: "sram_pe_matvec_into_tile",
-            ns_per_iter: flat_single_ns,
-        },
-        BenchRecord {
-            name: "sram_pe_matvec_batch8_tile",
-            ns_per_iter: flat_batch_ns,
-        },
-        BenchRecord {
-            name: "mram_pe_matvec_batch8_tile",
-            ns_per_iter: mram_batch_ns,
-        },
-        BenchRecord {
-            name: "pe_repnet_predict_batch8",
-            ns_per_iter: predict_ns,
-        },
+        BenchRecord::new("bit_serial_matvec_tile_512x8", bit_serial_ns),
+        BenchRecord::new("sram_pe_matvec_into_tile", flat_single_ns),
+        BenchRecord::new("sram_pe_matvec_batch8_tile", flat_batch_ns),
+        BenchRecord::new("mram_pe_matvec_batch8_tile", mram_batch_ns),
+        BenchRecord::new("pe_repnet_predict_batch8", predict_ns),
     ];
     let derived = [
         // Compiled flat kernel vs the bit-serial reference walk of the
@@ -205,9 +190,10 @@ fn bench(c: &mut Criterion) {
         ("pe_repnet_predict_batch8_ms", predict_ns / 1e6),
     ];
     // Benches run with CWD at the crate; anchor the artifact at the
-    // workspace root next to EXPERIMENTS.md.
+    // workspace root next to EXPERIMENTS.md. Merged, not overwritten: the
+    // telemetry_overhead bench shares this baseline file.
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
-    write_bench_json(&out, "kernels", &records, &derived).expect("writable workspace root");
+    merge_bench_json(&out, "kernels", &records, &derived).expect("writable workspace root");
 }
 
 criterion_group!(benches, bench);

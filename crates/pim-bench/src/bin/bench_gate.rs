@@ -1,0 +1,99 @@
+//! CI regression gate over the `BENCH_kernels.json` baseline.
+//!
+//! ```text
+//! bench-gate <committed.json> <fresh.json>
+//! ```
+//!
+//! Compares the committed baseline against a freshly regenerated one and
+//! exits non-zero when the fresh run regressed structurally or drifted too
+//! far. Deliberately wall-clock-proof for CI:
+//!
+//! * **Structure** — every entry name and derived key the committed
+//!   baseline carries must exist in the fresh document (a bench that
+//!   silently stopped measuring a kernel fails the gate).
+//! * **Bounded ratio drift** — the headline *speedup ratios* (already
+//!   machine-speed-independent, being ratios of two same-machine
+//!   timings) must stay within [`MAX_DRIFT`]× of the committed values in
+//!   either direction. Raw `ns_per_iter` entries are never compared —
+//!   absolute wall-clock varies with the runner and would flake.
+
+use pim_bench::BenchDoc;
+use std::process::ExitCode;
+
+/// Speedup-ratio keys the gate bounds (ratios of same-machine timings).
+const RATIO_KEYS: [&str; 2] = [
+    "flat_vs_bit_serial_speedup",
+    "batch8_vs_single_speedup_sram",
+];
+
+/// Allowed drift factor per ratio, either direction.
+const MAX_DRIFT: f64 = 3.0;
+
+fn load(path: &str) -> Result<BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchDoc::parse(&text).ok_or_else(|| format!("{path} is not a bench baseline document"))
+}
+
+fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
+    let committed = load(committed_path)?;
+    let fresh = load(fresh_path)?;
+    let mut failures = Vec::new();
+    for r in &committed.entries {
+        match fresh.entry_ns(&r.name) {
+            Some(ns) => println!("  entry {:<32} present ({ns:.1} ns/iter)", r.name),
+            None => failures.push(format!("entry '{}' missing from the fresh run", r.name)),
+        }
+    }
+    for (key, _) in &committed.derived {
+        if fresh.derived_value(key).is_none() {
+            failures.push(format!("derived key '{key}' missing from the fresh run"));
+        }
+    }
+    for key in RATIO_KEYS {
+        let (Some(was), Some(now)) = (committed.derived_value(key), fresh.derived_value(key))
+        else {
+            failures.push(format!("ratio key '{key}' absent from a baseline"));
+            continue;
+        };
+        if !(was.is_finite() && now.is_finite() && was > 0.0 && now > 0.0) {
+            failures.push(format!("ratio key '{key}' is not a positive finite value"));
+            continue;
+        }
+        let drift = now / was;
+        if (1.0 / MAX_DRIFT..=MAX_DRIFT).contains(&drift) {
+            println!("  ratio {key:<32} {was:.3} -> {now:.3} (drift {drift:.2}x, ok)");
+        } else {
+            failures.push(format!(
+                "ratio '{key}' drifted {drift:.2}x (committed {was:.3}, fresh {now:.3}, \
+                 allowed {:.2}x..{MAX_DRIFT:.2}x)",
+                1.0 / MAX_DRIFT
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed, fresh] = args.as_slice() else {
+        eprintln!("usage: bench-gate <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    println!("bench-gate: {committed} vs {fresh}");
+    match run(committed, fresh) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench-gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench-gate: FAIL: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-gate: ERROR: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

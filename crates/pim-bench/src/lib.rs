@@ -7,6 +7,7 @@
 //! series to compare against the publication, and `EXPERIMENTS.md` records
 //! the paper-vs-measured comparison.
 
+use pim_telemetry::TelemetryRegistry;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
@@ -23,9 +24,19 @@ pub fn banner(title: &str) {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Kernel identifier (plain `[a-z0-9_]` — written unescaped).
-    pub name: &'static str,
+    pub name: String,
     /// Mean wall-clock nanoseconds per iteration.
     pub ns_per_iter: f64,
+}
+
+impl BenchRecord {
+    /// A named measurement.
+    pub fn new(name: impl Into<String>, ns_per_iter: f64) -> Self {
+        Self {
+            name: name.into(),
+            ns_per_iter,
+        }
+    }
 }
 
 /// Times `f` over `iters` iterations (after one warmup call) and returns
@@ -39,11 +50,35 @@ pub fn measure_ns<O>(iters: u32, mut f: impl FnMut() -> O) -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
+/// [`measure_ns`], additionally publishing the result as the
+/// `pim_bench_ns_per_iter{bench="<name>"}` gauge in `registry` so bench
+/// timings render next to the runtime series in one Prometheus page.
+pub fn measure_ns_into<O>(
+    registry: &TelemetryRegistry,
+    name: &str,
+    iters: u32,
+    f: impl FnMut() -> O,
+) -> f64 {
+    let ns = measure_ns(iters, f);
+    registry
+        .gauge_with(
+            "pim_bench_ns_per_iter",
+            "Mean wall-clock nanoseconds per bench iteration",
+            &[("bench", name)],
+        )
+        .set(ns);
+    ns
+}
+
 /// Renders bench records plus derived ratios as a JSON document.
 ///
 /// Hand-rolled: the workspace vendors no serde, and every key written here
 /// is a plain identifier that needs no escaping.
-pub fn render_bench_json(bench: &str, records: &[BenchRecord], derived: &[(&str, f64)]) -> String {
+pub fn render_bench_json<S: AsRef<str>>(
+    bench: &str,
+    records: &[BenchRecord],
+    derived: &[(S, f64)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"{bench}\",");
@@ -60,20 +95,136 @@ pub fn render_bench_json(bench: &str, records: &[BenchRecord], derived: &[(&str,
     s.push_str("  \"derived\": {\n");
     for (i, (k, v)) in derived.iter().enumerate() {
         let comma = if i + 1 < derived.len() { "," } else { "" };
-        let _ = writeln!(s, "    \"{k}\": {v:.3}{comma}");
+        let _ = writeln!(s, "    \"{}\": {v:.3}{comma}", k.as_ref());
     }
     s.push_str("  }\n}\n");
     s
 }
 
 /// Writes [`render_bench_json`] output to `path` and reports where.
-pub fn write_bench_json(
+pub fn write_bench_json<S: AsRef<str>>(
     path: &Path,
     bench: &str,
     records: &[BenchRecord],
-    derived: &[(&str, f64)],
+    derived: &[(S, f64)],
 ) -> std::io::Result<()> {
     std::fs::write(path, render_bench_json(bench, records, derived))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// A parsed `BENCH_*.json` baseline.
+///
+/// Understands exactly the line-oriented document [`render_bench_json`]
+/// emits (which is how every baseline in the repo is produced) — it is not
+/// a general JSON parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// The `"bench"` identifier.
+    pub bench: String,
+    /// Measured entries, in document order.
+    pub entries: Vec<BenchRecord>,
+    /// Derived ratio/summary keys, in document order.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl BenchDoc {
+    /// An empty document named `bench`.
+    pub fn empty(bench: impl Into<String>) -> Self {
+        Self {
+            bench: bench.into(),
+            entries: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Parses a document produced by [`render_bench_json`]; `None` if the
+    /// text does not carry the expected structure.
+    pub fn parse(json: &str) -> Option<Self> {
+        let mut bench = None;
+        let mut entries = Vec::new();
+        let mut derived = Vec::new();
+        let mut in_derived = false;
+        for line in json.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix("\"bench\": \"") {
+                bench = Some(rest.trim_end_matches('"').to_string());
+            } else if let Some(rest) = line.strip_prefix("{\"name\": \"") {
+                let (name, rest) = rest.split_once('"')?;
+                let value = rest
+                    .strip_prefix(", \"ns_per_iter\": ")?
+                    .trim_end_matches('}');
+                entries.push(BenchRecord::new(name, value.parse().ok()?));
+            } else if line == "\"derived\": {" {
+                in_derived = true;
+            } else if in_derived && line.starts_with('"') {
+                let (key, rest) = line.strip_prefix('"')?.split_once('"')?;
+                derived.push((key.to_string(), rest.strip_prefix(": ")?.parse().ok()?));
+            }
+        }
+        Some(Self {
+            bench: bench?,
+            entries,
+            derived,
+        })
+    }
+
+    /// The `ns_per_iter` of entry `name`, if present.
+    pub fn entry_ns(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ns_per_iter)
+    }
+
+    /// The derived value under `key`, if present.
+    pub fn derived_value(&self, key: &str) -> Option<f64> {
+        self.derived.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Replaces entry `name` in place, or appends it.
+    pub fn upsert_entry(&mut self, name: &str, ns_per_iter: f64) {
+        match self.entries.iter_mut().find(|r| r.name == name) {
+            Some(r) => r.ns_per_iter = ns_per_iter,
+            None => self.entries.push(BenchRecord::new(name, ns_per_iter)),
+        }
+    }
+
+    /// Replaces derived `key` in place, or appends it.
+    pub fn upsert_derived(&mut self, key: &str, value: f64) {
+        match self.derived.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.derived.push((key.to_string(), value)),
+        }
+    }
+
+    /// Renders back to the [`render_bench_json`] document format.
+    pub fn render(&self) -> String {
+        render_bench_json(&self.bench, &self.entries, &self.derived)
+    }
+}
+
+/// Upserts `records` and `derived` into the baseline at `path`, keeping
+/// whatever other entries it already holds — so several benches can share
+/// one baseline file without clobbering each other. An absent or
+/// unparseable file starts fresh as bench `bench`.
+pub fn merge_bench_json<S: AsRef<str>>(
+    path: &Path,
+    bench: &str,
+    records: &[BenchRecord],
+    derived: &[(S, f64)],
+) -> std::io::Result<()> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| BenchDoc::parse(&s))
+        .unwrap_or_else(|| BenchDoc::empty(bench));
+    for r in records {
+        doc.upsert_entry(&r.name, r.ns_per_iter);
+    }
+    for (k, v) in derived {
+        doc.upsert_derived(k.as_ref(), *v);
+    }
+    std::fs::write(path, doc.render())?;
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -93,14 +244,8 @@ mod tests {
     #[test]
     fn render_bench_json_is_well_formed() {
         let records = [
-            BenchRecord {
-                name: "a_kernel",
-                ns_per_iter: 123.456,
-            },
-            BenchRecord {
-                name: "b_kernel",
-                ns_per_iter: 7.0,
-            },
+            BenchRecord::new("a_kernel", 123.456),
+            BenchRecord::new("b_kernel", 7.0),
         ];
         let json = render_bench_json("kernels", &records, &[("speedup", 17.25)]);
         assert!(json.contains("\"bench\": \"kernels\""));
@@ -110,5 +255,55 @@ mod tests {
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn bench_doc_round_trips_through_render_and_parse() {
+        let records = [
+            BenchRecord::new("a_kernel", 123.5),
+            BenchRecord::new("b_kernel", 7.0),
+        ];
+        let json = render_bench_json("kernels", &records, &[("speedup", 17.25), ("frac", 0.013)]);
+        let doc = BenchDoc::parse(&json).expect("own format parses");
+        assert_eq!(doc.bench, "kernels");
+        assert_eq!(doc.entries, records);
+        assert_eq!(doc.entry_ns("b_kernel"), Some(7.0));
+        assert_eq!(doc.derived_value("speedup"), Some(17.25));
+        assert_eq!(doc.derived_value("frac"), Some(0.013));
+        assert_eq!(doc.derived_value("missing"), None);
+        // Rendering the parsed doc reproduces the document exactly.
+        assert_eq!(doc.render(), json);
+    }
+
+    #[test]
+    fn bench_doc_upserts_replace_in_place_and_append() {
+        let mut doc = BenchDoc::empty("kernels");
+        doc.upsert_entry("k", 10.0);
+        doc.upsert_entry("k", 20.0);
+        doc.upsert_entry("other", 1.0);
+        assert_eq!(doc.entry_ns("k"), Some(20.0));
+        assert_eq!(doc.entries.len(), 2);
+        doc.upsert_derived("r", 1.5);
+        doc.upsert_derived("r", 2.5);
+        assert_eq!(doc.derived_value("r"), Some(2.5));
+        assert_eq!(doc.derived.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_documents_without_a_bench_key() {
+        assert_eq!(BenchDoc::parse("{}"), None);
+        assert_eq!(BenchDoc::parse("not json at all"), None);
+    }
+
+    #[test]
+    fn measure_ns_into_publishes_the_gauge() {
+        let registry = TelemetryRegistry::new();
+        let ns = measure_ns_into(&registry, "noop", 3, || ());
+        let gauge = registry.gauge_with(
+            "pim_bench_ns_per_iter",
+            "Mean wall-clock nanoseconds per bench iteration",
+            &[("bench", "noop")],
+        );
+        assert_eq!(gauge.value(), ns);
     }
 }

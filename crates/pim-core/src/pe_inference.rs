@@ -21,7 +21,7 @@ use pim_nn::models::RepNet;
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
 use pim_nn::tensor::Tensor;
-use pim_pe::{MatvecCost, PeError, PeStats, SparsePe, SramSparsePe};
+use pim_pe::{MatvecCost, PeError, PeStats, PeTelemetry, SparsePe, SramSparsePe};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
 use std::fmt;
@@ -335,6 +335,10 @@ pub struct PeRepNet {
     modules: Vec<PeModule>,
     classifier: PeLayer,
     feature_width: usize,
+    /// Live counter mirror: when attached, every `predict`/`refresh`
+    /// ledger delta is also folded into the shared telemetry counters
+    /// (clones share the same counters, so a worker pool aggregates).
+    telemetry: Option<PeTelemetry>,
 }
 
 impl PeRepNet {
@@ -394,7 +398,24 @@ impl PeRepNet {
             modules,
             classifier,
             feature_width,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a [`PeTelemetry`] counter bundle: from now on every
+    /// [`predict`](PeRepNet::predict) run ledger and every
+    /// [`refresh`](PeRepNet::refresh) write-back delta is also recorded
+    /// into its registry, making read/write/leakage energy observable
+    /// mid-run. Replaces any previous attachment; clones of the branch
+    /// share the same counters.
+    pub fn attach_telemetry(&mut self, telemetry: PeTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Detaches the telemetry bundle (recording stops; counters keep
+    /// their values in the registry).
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// Differentially rewrites the resident SRAM tiles with `model`'s
@@ -449,6 +470,9 @@ impl PeRepNet {
             clf.inner().bias_values(),
             pattern_of_linear(clf),
         )?;
+        if let Some(t) = &self.telemetry {
+            t.record(&delta);
+        }
         Ok(delta)
     }
 
@@ -502,6 +526,9 @@ impl PeRepNet {
         self.classifier
             .forward_batch(&rows, batch, logits.as_mut_slice(), &mut stats);
         self.classifier.scratch.patches = rows;
+        if let Some(t) = &self.telemetry {
+            t.record(&stats);
+        }
         (logits, stats)
     }
 

@@ -5,6 +5,7 @@ use crate::error::LearnError;
 use crate::learner::{OnlineLearner, OnlineLearnerConfig};
 use crate::policy::{Region, WritePolicy};
 use crate::stats::{LearnReport, LearnStats};
+use crate::telemetry::LearnTelemetry;
 use pim_core::experiments::Fig8;
 use pim_core::pe_inference::PeRepNet;
 use pim_device::edp;
@@ -14,7 +15,10 @@ use pim_nn::tensor::Tensor;
 use pim_nn::train::{Dataset, Model, StepStats};
 use pim_pe::PeStats;
 use pim_runtime::{CompiledModel, ModelId, Runtime};
+use pim_telemetry::Telemetry;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Online continual learning with live publication into a serving
 /// [`Runtime`].
@@ -50,6 +54,9 @@ pub struct LearnEngine {
     /// bound a differential write-back is pre-authorized against.
     full_load_bits: u64,
     version: u64,
+    /// Pre-registered metric handles; `None` leaves the engine
+    /// uninstrumented.
+    telemetry: Option<LearnTelemetry>,
 }
 
 impl LearnEngine {
@@ -76,7 +83,24 @@ impl LearnEngine {
             stats: LearnStats::new(policy.budget_bits()),
             full_load_bits,
             version: 0,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a [`Telemetry`] bundle: the engine registers per-stage
+    /// latency histograms (`pim_learn_stage_seconds{stage=step|preflight|
+    /// write_back|swap}`), step/publish counters, the
+    /// `pim_learn_budget_used_ratio` endurance gauge, and the
+    /// `source="learn"` [`PeStats`](pim_pe::PeStats) energy mirror on the
+    /// resident branch — and records `learn.*` spans into the bundle's
+    /// tracer. Pass the same bundle to the serving runtime's builder and
+    /// both sides render from one registry. Published artifacts
+    /// ([`compiled`](Self::compiled)) detach the learn-side counters, so
+    /// serving traffic never lands in them.
+    pub fn attach_telemetry(&mut self, bundle: &Arc<Telemetry>) {
+        let tel = LearnTelemetry::register(Arc::clone(bundle));
+        self.branch.attach_telemetry(tel.pe.clone());
+        self.telemetry = Some(tel);
     }
 
     /// Admits one labelled sample into the learner's replay buffer.
@@ -96,8 +120,21 @@ impl LearnEngine {
     ///
     /// Returns [`LearnError::EmptyReplay`] before any sample arrived.
     pub fn step(&mut self) -> Result<StepStats, LearnError> {
+        let started = Instant::now();
         let stats = self.learner.step()?;
         self.stats.record_step(&stats);
+        if let Some(tel) = &self.telemetry {
+            tel.stage_step.observe(started.elapsed().as_secs_f64());
+            tel.steps_total.inc();
+            tel.bundle.tracer.record_span_ending_now(
+                "learn.sgd_step",
+                started.elapsed(),
+                &[
+                    ("loss", format!("{:.6}", stats.loss)),
+                    ("batch", stats.batch.to_string()),
+                ],
+            );
+        }
         Ok(stats)
     }
 
@@ -118,14 +155,44 @@ impl LearnEngine {
     /// * [`LearnError::Pe`] — a rewritten layer no longer fits its PEs
     ///   (cannot happen while shapes are unchanged).
     pub fn write_back(&mut self) -> Result<PeStats, LearnError> {
-        self.policy.authorize(
+        let preflight_started = Instant::now();
+        let authorized = self.policy.authorize(
             Region::SramAdaptor,
             self.stats.sram_write_bits(),
             self.full_load_bits,
-        )?;
+        );
+        if let Some(tel) = &self.telemetry {
+            let preflight = preflight_started.elapsed();
+            tel.stage_preflight.observe(preflight.as_secs_f64());
+            tel.bundle.tracer.record_span_ending_now(
+                "learn.preflight",
+                preflight,
+                &[("authorized", authorized.is_ok().to_string())],
+            );
+        }
+        authorized?;
+        let write_started = Instant::now();
         let delta = self.branch.refresh(self.learner.model_mut())?;
         self.version += 1;
         self.stats.record_publish(&delta);
+        if let Some(tel) = &self.telemetry {
+            // The PE ledger delta already landed in the `source="learn"`
+            // energy counters via the branch's attached PeTelemetry; here
+            // only host-side timing and budget use are recorded.
+            let wall = write_started.elapsed();
+            tel.stage_write_back.observe(wall.as_secs_f64());
+            tel.publishes_total.inc();
+            tel.budget_used.set(self.stats.report().budget_used());
+            tel.bundle.tracer.record_span_ending_now(
+                "learn.write_back",
+                wall,
+                &[
+                    ("version", self.version.to_string()),
+                    ("write_bits", delta.write_bits.to_string()),
+                    ("energy_pj", format!("{:.3}", delta.energy.write.as_pj())),
+                ],
+            );
+        }
         Ok(delta)
     }
 
@@ -152,7 +219,18 @@ impl LearnEngine {
     /// are updated), but serving keeps the old model.
     pub fn publish(&mut self, runtime: &Runtime, id: ModelId) -> Result<u64, LearnError> {
         self.write_back()?;
-        Ok(runtime.swap_model(id, self.compiled())?)
+        let swap_started = Instant::now();
+        let version = runtime.swap_model(id, self.compiled())?;
+        if let Some(tel) = &self.telemetry {
+            let wall = swap_started.elapsed();
+            tel.stage_swap.observe(wall.as_secs_f64());
+            tel.bundle.tracer.record_span_ending_now(
+                "learn.swap",
+                wall,
+                &[("slot_version", version.to_string())],
+            );
+        }
+        Ok(version)
     }
 
     /// Snapshots the resident branch as a servable artifact (bit-for-bit

@@ -30,14 +30,21 @@
 //!   hybrid write-back EDP against a modelled finetune-all-in-NVM
 //!   deployment, regenerating the paper's headline comparison from a
 //!   real run instead of the analytical workload model.
+//! * **Telemetry** — [`LearnEngine::attach_telemetry`] times every
+//!   learning stage (`step`/`preflight`/`write_back`/`swap`) into
+//!   histograms, mirrors the PE write ledger into `source="learn"`
+//!   counters, tracks the endurance budget as a gauge, and traces each
+//!   publish as spans.
 //!
-//! See `examples/continual.rs` for the full loop against a live runtime.
+//! See `examples/continual.rs` for the full loop against a live runtime
+//! and `examples/telemetry.rs` for the instrumented one.
 
 mod engine;
 mod error;
 mod learner;
 mod policy;
 mod stats;
+pub mod telemetry;
 
 pub use engine::LearnEngine;
 pub use error::LearnError;

@@ -1,0 +1,79 @@
+//! The learn engine's pre-registered telemetry handles.
+//!
+//! Built once by [`LearnEngine::attach_telemetry`](crate::LearnEngine::attach_telemetry)
+//! from a shared [`Telemetry`] bundle (typically the same bundle the
+//! serving runtime uses, so learn- and serve-side series render side by
+//! side from one registry). Metric names are stable API.
+
+use pim_pe::PeTelemetry;
+use pim_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// Stage label values of [`STAGE_METRIC`], in publish-cycle order.
+pub const STAGES: [&str; 4] = ["step", "preflight", "write_back", "swap"];
+
+/// Histogram family of per-stage wall-clock seconds.
+pub const STAGE_METRIC: &str = "pim_learn_stage_seconds";
+
+/// The `source` label the learn engine's [`PeTelemetry`] counters carry.
+pub const PE_SOURCE: &str = "learn";
+
+#[derive(Debug, Clone)]
+pub(crate) struct LearnTelemetry {
+    /// The bundle itself, for tracer access.
+    pub bundle: Arc<Telemetry>,
+    /// Wall time of one incremental SGD step.
+    pub stage_step: Histogram,
+    /// Wall time of the endurance-policy authorization check.
+    pub stage_preflight: Histogram,
+    /// Wall time of the differential SRAM tile rewrite.
+    pub stage_write_back: Histogram,
+    /// Wall time of the hot swap into serving.
+    pub stage_swap: Histogram,
+    /// Incremental training steps taken.
+    pub steps_total: Counter,
+    /// Model versions published (write-backs performed).
+    pub publishes_total: Counter,
+    /// Fraction of the adaptor endurance budget spent (0 when infinite).
+    pub budget_used: Gauge,
+    /// The `PeStats` mirror attached to the resident branch: write-back
+    /// deltas land in its `write` energy channel, resident spot-check
+    /// predictions in the read/compute channels.
+    pub pe: PeTelemetry,
+}
+
+impl LearnTelemetry {
+    pub(crate) fn register(bundle: Arc<Telemetry>) -> Self {
+        let registry = &bundle.registry;
+        // 1µs .. ~67s, factor 4: SGD steps and write-backs both fit.
+        let seconds = exponential_buckets(1e-6, 4.0, 13);
+        let stage = |stage: &str| {
+            registry.histogram_with(
+                STAGE_METRIC,
+                "Wall-clock seconds spent per continual-learning stage",
+                &seconds,
+                &[("stage", stage)],
+            )
+        };
+        Self {
+            stage_step: stage(STAGES[0]),
+            stage_preflight: stage(STAGES[1]),
+            stage_write_back: stage(STAGES[2]),
+            stage_swap: stage(STAGES[3]),
+            steps_total: registry.counter(
+                "pim_learn_steps_total",
+                "Incremental SGD steps taken on the adaptor",
+            ),
+            publishes_total: registry.counter(
+                "pim_learn_publishes_total",
+                "Differential write-backs performed (model versions)",
+            ),
+            budget_used: registry.gauge(
+                "pim_learn_budget_used_ratio",
+                "Fraction of the adaptor endurance budget spent",
+            ),
+            pe: PeTelemetry::register(registry, PE_SOURCE),
+            bundle,
+        }
+    }
+}

@@ -43,12 +43,14 @@ mod kernel;
 mod mram;
 mod sram;
 mod stats;
+pub mod telemetry;
 mod transpose;
 
 pub use error::PeError;
 pub use mram::{FaultReport, MramPeConfig, MramSparsePe, StochasticWrites};
 pub use sram::{SramPeConfig, SramSparsePe};
 pub use stats::{LoadReport, MatvecCost, MatvecReport, PeStats};
+pub use telemetry::PeTelemetry;
 pub use transpose::TransposedSramPe;
 
 use pim_sparse::CscMatrix;

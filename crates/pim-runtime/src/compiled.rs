@@ -4,7 +4,7 @@ use crate::error::RuntimeError;
 use pim_core::pe_inference::PeRepNet;
 use pim_nn::models::RepNet;
 use pim_nn::tensor::Tensor;
-use pim_pe::PeStats;
+use pim_pe::{PeStats, PeTelemetry};
 use std::fmt;
 
 /// A model lowered onto the PEs **once** — INT8 quantization, N:M CSC
@@ -13,7 +13,7 @@ use std::fmt;
 /// request replays the cached tiles; nothing is recompiled per request.
 ///
 /// The artifact is the unit of registration with the runtime: each worker
-/// thread takes a [`replica`](CompiledModel::replica) (its own set of
+/// thread takes a replica (its own set of
 /// simulated PEs plus a frozen-backbone clone), so workers never contend
 /// on shared PE state.
 #[derive(Debug, Clone)]
@@ -75,13 +75,20 @@ impl CompiledModel {
         );
         let cfg = model.backbone().config().clone();
         let num_classes = model.classifier().inner().weight_matrix().cols();
+        // The artifact will be served under the runtime's own telemetry
+        // (attached at registration/swap); drop whatever the caller had
+        // attached — a published clone must not keep feeding e.g. the
+        // learn-side `source="learn"` counters from serving traffic.
+        let mut branch = branch.clone();
+        branch.detach_telemetry();
+        let compile_stats = branch.cumulative_stats();
         Self {
             name: name.into(),
             model: model.clone(),
-            branch: branch.clone(),
+            branch,
             input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
             num_classes,
-            compile_stats: branch.cumulative_stats(),
+            compile_stats,
         }
     }
 
@@ -108,6 +115,13 @@ impl CompiledModel {
     /// PE ledger of the one-time lowering (tile writes dominate).
     pub fn compile_stats(&self) -> PeStats {
         self.compile_stats
+    }
+
+    /// Routes the artifact's per-run PE ledger deltas — and those of every
+    /// [`replica`](Self::replica) cloned afterwards, which share the same
+    /// underlying counters — into `telemetry`.
+    pub(crate) fn attach_pe_telemetry(&mut self, telemetry: PeTelemetry) {
+        self.branch.attach_telemetry(telemetry);
     }
 
     /// A worker-private copy: its own simulated PEs and backbone.

@@ -4,8 +4,10 @@ use crate::compiled::{CompiledModel, ModelReplica};
 use crate::error::RuntimeError;
 use crate::request::{InferResponse, ModelId, QueuedRequest, Ticket};
 use crate::stats::{RuntimeStats, StatsCollector};
+use crate::telemetry::RuntimeTelemetry;
 use pim_nn::layers::predictions;
 use pim_nn::tensor::Tensor;
+use pim_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -57,6 +59,7 @@ impl Default for RuntimeConfig {
 pub struct RuntimeBuilder {
     config: RuntimeConfig,
     models: Vec<CompiledModel>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RuntimeBuilder {
@@ -84,6 +87,20 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches a [`Telemetry`] bundle: the runtime registers per-stage
+    /// latency histograms (`pim_runtime_stage_seconds{stage=queue|
+    /// batch_form|compute|reply}`), queue-depth and batch-size series,
+    /// request/rejection/swap counters, and the `source="serve"`
+    /// [`PeStats`](pim_pe::PeStats) energy mirror — and records
+    /// per-request / per-batch spans and swap events into the bundle's
+    /// tracer. Serving behaviour and the [`RuntimeStats`] ledger are
+    /// unchanged; with no bundle attached the hot path stays
+    /// uninstrumented.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Registers a compiled model; requests name it by the returned id.
     pub fn register(&mut self, model: CompiledModel) -> ModelId {
         self.models.push(model);
@@ -92,12 +109,18 @@ impl RuntimeBuilder {
 
     /// Spawns the worker pool and opens the queue.
     pub fn start(self) -> Runtime {
+        let telemetry = self.telemetry.map(RuntimeTelemetry::register);
         let slots: Vec<ModelSlot> = self
             .models
             .into_iter()
-            .map(|m| ModelSlot {
-                version: 0,
-                model: Arc::new(m),
+            .map(|mut m| {
+                if let Some(tel) = &telemetry {
+                    m.attach_pe_telemetry(tel.pe.clone());
+                }
+                ModelSlot {
+                    version: 0,
+                    model: Arc::new(m),
+                }
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -110,6 +133,7 @@ impl RuntimeBuilder {
             stats: StatsCollector::new(),
             models: Mutex::new(slots),
             swap_epoch: AtomicU64::new(0),
+            telemetry,
         });
         let workers = (0..self.config.workers)
             .map(|i| {
@@ -168,6 +192,9 @@ struct Shared {
     /// Bumped after any slot changes; workers poll this cheap atomic once
     /// per batch and only touch the model table when it moved.
     swap_epoch: AtomicU64,
+    /// Pre-registered metric handles; `None` leaves the hot path
+    /// uninstrumented.
+    telemetry: Option<RuntimeTelemetry>,
 }
 
 /// The concurrent batched serving engine.
@@ -243,8 +270,11 @@ impl Runtime {
     pub fn swap_model(
         &self,
         model: ModelId,
-        replacement: CompiledModel,
+        mut replacement: CompiledModel,
     ) -> Result<u64, RuntimeError> {
+        if let Some(tel) = &self.shared.telemetry {
+            replacement.attach_pe_telemetry(tel.pe.clone());
+        }
         let version = {
             let mut slots = self.shared.models.lock().expect("model table lock");
             let slot = slots
@@ -269,6 +299,16 @@ impl Runtime {
         // new slot contents under the mutex.
         self.shared.swap_epoch.fetch_add(1, Ordering::SeqCst);
         self.shared.stats.record_swap();
+        if let Some(tel) = &self.shared.telemetry {
+            tel.swaps_total.inc();
+            tel.bundle.tracer.event(
+                "serve.swap",
+                &[
+                    ("model", model.0.to_string()),
+                    ("version", version.to_string()),
+                ],
+            );
+        }
         Ok(version)
     }
 
@@ -323,6 +363,9 @@ impl Runtime {
             if state.queue.len() >= self.shared.config.queue_capacity {
                 drop(state);
                 self.shared.stats.record_rejection();
+                if let Some(tel) = &self.shared.telemetry {
+                    tel.rejected_total.inc();
+                }
                 return Err(RuntimeError::QueueFull {
                     capacity: self.shared.config.queue_capacity,
                 });
@@ -334,6 +377,9 @@ impl Runtime {
                 enqueued: Instant::now(),
                 reply: tx,
             });
+            if let Some(tel) = &self.shared.telemetry {
+                tel.queue_depth.set(state.queue.len() as f64);
+            }
         }
         self.shared.available.notify_all();
         Ok(Ticket { request_id: id, rx })
@@ -402,9 +448,9 @@ fn worker_loop(shared: &Shared, replicas: &mut [(u64, ModelReplica)]) {
     // so start from 0 and let the version check sort out staleness.
     let mut seen_epoch = 0;
     let mut scratch = WorkerScratch::default();
-    while let Some(batch) = collect_batch(shared) {
+    while let Some((batch, formed)) = collect_batch(shared) {
         refresh_replicas(shared, replicas, &mut seen_epoch);
-        serve_batch(shared, replicas, batch, &mut scratch);
+        serve_batch(shared, replicas, batch, formed, &mut scratch);
     }
 }
 
@@ -428,15 +474,17 @@ fn refresh_replicas(shared: &Shared, replicas: &mut [(u64, ModelReplica)], seen_
 }
 
 /// Pops a seed request and coalesces compatible riders up to
-/// `max_batch` / `max_wait`. Returns `None` when the queue is closed and
-/// fully drained.
-fn collect_batch(shared: &Shared) -> Option<Vec<QueuedRequest>> {
+/// `max_batch` / `max_wait`. Returns the batch paired with the instant its
+/// seed was popped (start of batch formation), or `None` when the queue is
+/// closed and fully drained.
+fn collect_batch(shared: &Shared) -> Option<(Vec<QueuedRequest>, Instant)> {
     let policy = shared.config.batch;
     let mut state = shared.state.lock().expect("queue lock");
     loop {
         if let Some(first) = state.queue.pop_front() {
+            let formed = Instant::now();
             let mut batch = vec![first];
-            let deadline = Instant::now() + policy.max_wait;
+            let deadline = formed + policy.max_wait;
             loop {
                 // Pull every compatible request currently queued.
                 let mut i = 0;
@@ -465,7 +513,10 @@ fn collect_batch(shared: &Shared) -> Option<Vec<QueuedRequest>> {
                     // deadline check then dispatches.
                 }
             }
-            return Some(batch);
+            if let Some(tel) = &shared.telemetry {
+                tel.queue_depth.set(state.queue.len() as f64);
+            }
+            return Some((batch, formed));
         }
         if state.closed {
             return None;
@@ -478,8 +529,10 @@ fn serve_batch(
     shared: &Shared,
     replicas: &mut [(u64, ModelReplica)],
     batch: Vec<QueuedRequest>,
+    formed: Instant,
     scratch: &mut WorkerScratch,
 ) {
+    let dispatched = Instant::now();
     let model = batch[0].model;
     // Stack inputs directly into the worker's staging buffer (one copy,
     // no per-request clones) and lend it to a Tensor for the forward
@@ -494,7 +547,9 @@ fn serve_batch(
     }
     let stacked = Tensor::from_vec(shape, data).expect("riders share one shape");
     let replica = &mut replicas[model.0].1;
+    let compute_started = Instant::now();
     let (logits, sim) = replica.infer_batch(&stacked);
+    let compute = compute_started.elapsed();
     scratch.staging = stacked.into_vec();
     let preds = predictions(&logits);
 
@@ -510,6 +565,21 @@ fn serve_batch(
     shared
         .stats
         .record_batch(size, sim, scratch.waits.iter().sum::<Duration>());
+    if let Some(tel) = &shared.telemetry {
+        // Energy counters were already fed by the replica's attached
+        // PeTelemetry inside `infer_batch`; here only the host-side
+        // pipeline timings are recorded.
+        tel.batch_size.observe(size as f64);
+        tel.requests_total.add(size as f64);
+        tel.stage_batch_form
+            .observe(dispatched.duration_since(formed).as_secs_f64());
+        tel.stage_compute.observe(compute.as_secs_f64());
+        for r in &batch {
+            tel.stage_queue
+                .observe(dispatched.duration_since(r.enqueued).as_secs_f64());
+        }
+    }
+    let reply_started = Instant::now();
     for ((row, req), wait) in batch.into_iter().enumerate().zip(scratch.waits.drain(..)) {
         let response = InferResponse {
             request_id: req.id,
@@ -522,5 +592,29 @@ fn serve_batch(
         };
         // The client may have dropped its ticket; serving proceeds.
         let _ = req.reply.send(response);
+        if let Some(tel) = &shared.telemetry {
+            tel.bundle.tracer.record_span_ending_now(
+                "serve.request",
+                req.enqueued.elapsed(),
+                &[
+                    ("id", req.id.to_string()),
+                    ("model", model.0.to_string()),
+                    ("batch_size", size.to_string()),
+                ],
+            );
+        }
+    }
+    if let Some(tel) = &shared.telemetry {
+        tel.stage_reply
+            .observe(reply_started.elapsed().as_secs_f64());
+        tel.bundle.tracer.record_span_ending_now(
+            "serve.batch",
+            formed.elapsed(),
+            &[
+                ("model", model.0.to_string()),
+                ("size", size.to_string()),
+                ("energy_pj", format!("{:.3}", sim.total_energy().as_pj())),
+            ],
+        );
     }
 }

@@ -32,8 +32,15 @@
 //! * **Accounting** — per-request and per-batch simulated latency,
 //!   energy, and EDP from the `pim-device`/`pim-pe` cost models, rolled
 //!   up into a [`RuntimeStats`] snapshot ([`Runtime::stats`]).
+//! * **Telemetry** — [`RuntimeBuilder::telemetry`] attaches a shared
+//!   [`Telemetry`] bundle: per-stage latency histograms
+//!   (`queue`/`batch_form`/`compute`/`reply`), queue-depth and
+//!   batch-size distributions, request/rejection/swap counters, a
+//!   per-replica PE energy mirror (`source="serve"`), and
+//!   per-request/batch/swap spans — Prometheus-renderable mid-run.
 //!
-//! See `examples/serving.rs` for an end-to-end tour.
+//! See `examples/serving.rs` for an end-to-end tour and
+//! `examples/telemetry.rs` for the instrumented one.
 
 mod compiled;
 mod engine;
@@ -41,11 +48,13 @@ mod error;
 pub mod metrics;
 mod request;
 mod stats;
+pub mod telemetry;
 
 pub use compiled::CompiledModel;
 pub use engine::{BatchPolicy, Runtime, RuntimeBuilder, RuntimeConfig};
 pub use error::RuntimeError;
 pub use metrics::LatencySummary;
+pub use pim_telemetry::Telemetry;
 pub use request::{InferResponse, ModelId, Ticket};
 pub use stats::RuntimeStats;
 

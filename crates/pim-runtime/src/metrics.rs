@@ -2,19 +2,31 @@
 //!
 //! Both the serving ledger ([`RuntimeStats`](crate::RuntimeStats)) and the
 //! continual-learning ledger (`pim-learn`'s `LearnStats`) report the same
-//! three-number view of a sample distribution — p50 / p99 / mean — so the
-//! summarization lives here once instead of being re-derived per crate.
+//! few-number view of a sample distribution — p50 / p95 / p99 / mean — so
+//! the summarization lives here once instead of being re-derived per crate.
+//!
+//! # Percentile convention
+//!
+//! All percentiles use the **nearest-rank** definition: the p-th
+//! percentile of `n` sorted samples is the sample at 1-indexed rank
+//! `⌈p·n⌉` (clamped to `[1, n]`, so `p = 0` yields the minimum and
+//! `p = 1` the maximum). It always returns an actual sample — never an
+//! interpolated value — and behaves sensibly on small sample sets: with a
+//! single sample every percentile *is* that sample, and p99 of fewer than
+//! 100 samples is the maximum rather than an extrapolation.
 
 use pim_device::Latency;
 use std::fmt;
 
-/// p50 / p99 / mean of a set of simulated-latency samples.
+/// p50 / p95 / p99 / mean of a set of simulated-latency samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// How many samples went into the summary.
     pub samples: u64,
-    /// Median sample.
+    /// Median sample (nearest-rank).
     pub p50: Latency,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95: Latency,
     /// 99th-percentile sample (nearest-rank).
     pub p99: Latency,
     /// Arithmetic mean.
@@ -27,6 +39,7 @@ impl LatencySummary {
         Self {
             samples: 0,
             p50: Latency::from_ns(0.0),
+            p95: Latency::from_ns(0.0),
             p99: Latency::from_ns(0.0),
             mean: Latency::from_ns(0.0),
         }
@@ -44,6 +57,7 @@ impl LatencySummary {
         Self {
             samples: sorted.len() as u64,
             p50: Latency::from_ns(percentile_sorted(&sorted, 0.50)),
+            p95: Latency::from_ns(percentile_sorted(&sorted, 0.95)),
             p99: Latency::from_ns(percentile_sorted(&sorted, 0.99)),
             mean: Latency::from_ns(mean),
         }
@@ -52,18 +66,24 @@ impl LatencySummary {
 
 impl fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "p50 {} p99 {} mean {}", self.p50, self.p99, self.mean)
+        write!(
+            f,
+            "p50 {} p95 {} p99 {} mean {}",
+            self.p50, self.p95, self.p99, self.mean
+        )
     }
 }
 
-/// Nearest-rank percentile of an already-sorted sample set; `p` in `[0, 1]`.
-/// Returns 0 for an empty set.
+/// Nearest-rank percentile of an already-sorted sample set; `p` in
+/// `[0, 1]`. Returns the sample at 1-indexed rank `⌈p·n⌉`, clamped to
+/// `[1, n]` (see the module docs for why), or 0 for an empty set.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 #[cfg(test)]
@@ -87,6 +107,7 @@ mod tests {
         assert_eq!(s.p99, Latency::from_ns(300.0));
         assert_eq!(s.mean, Latency::from_ns(150.0));
         assert!(s.to_string().contains("p50"));
+        assert!(s.to_string().contains("p95"));
     }
 
     #[test]
@@ -96,5 +117,48 @@ mod tests {
         assert_eq!(percentile_sorted(&sorted, 0.5), 3.0);
         assert_eq!(percentile_sorted(&sorted, 1.0), 5.0);
         assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_ns(&[42.0]);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.p50, Latency::from_ns(42.0));
+        assert_eq!(s.p95, Latency::from_ns(42.0));
+        assert_eq!(s.p99, Latency::from_ns(42.0));
+        assert_eq!(s.mean, Latency::from_ns(42.0));
+    }
+
+    #[test]
+    fn two_samples_put_the_median_on_the_lower_one() {
+        // Nearest-rank: rank ⌈0.5·2⌉ = 1 → the smaller sample, not the
+        // larger or an interpolated midpoint.
+        let s = LatencySummary::from_ns(&[200.0, 100.0]);
+        assert_eq!(s.p50, Latency::from_ns(100.0));
+        assert_eq!(s.p95, Latency::from_ns(200.0));
+        assert_eq!(s.p99, Latency::from_ns(200.0));
+        assert_eq!(s.mean, Latency::from_ns(150.0));
+    }
+
+    #[test]
+    fn four_samples_pin_all_ranks() {
+        let s = LatencySummary::from_ns(&[40.0, 10.0, 30.0, 20.0]);
+        // ⌈0.50·4⌉ = 2 → 20, ⌈0.95·4⌉ = 4 → 40, ⌈0.99·4⌉ = 4 → 40.
+        assert_eq!(s.p50, Latency::from_ns(20.0));
+        assert_eq!(s.p95, Latency::from_ns(40.0));
+        assert_eq!(s.p99, Latency::from_ns(40.0));
+    }
+
+    #[test]
+    fn hundred_samples_hit_the_exact_ranks() {
+        // 1..=100 shuffled deterministically; nearest-rank of p on n=100
+        // is exactly the value 100·p.
+        let samples: Vec<f64> = (0..100).map(|i| ((i * 37) % 100 + 1) as f64).collect();
+        let s = LatencySummary::from_ns(&samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50, Latency::from_ns(50.0));
+        assert_eq!(s.p95, Latency::from_ns(95.0));
+        assert_eq!(s.p99, Latency::from_ns(99.0));
+        assert_eq!(s.mean, Latency::from_ns(50.5));
     }
 }

@@ -1,0 +1,91 @@
+//! The runtime's pre-registered telemetry handles.
+//!
+//! Built once at [`Runtime`](crate::Runtime) start from the
+//! [`Telemetry`] bundle passed to the builder; workers and `submit`
+//! update the handles (plain atomics) and never touch the registry
+//! again. Metric names are stable API — dashboards and tests re-acquire
+//! the same series through the registry's get-or-register semantics.
+
+use pim_pe::PeTelemetry;
+use pim_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// Stage label values of [`STAGE_METRIC`], in pipeline order.
+pub const STAGES: [&str; 4] = ["queue", "batch_form", "compute", "reply"];
+
+/// Histogram family of per-stage wall-clock seconds.
+pub const STAGE_METRIC: &str = "pim_runtime_stage_seconds";
+
+/// The `source` label the runtime's [`PeTelemetry`] counters carry.
+pub const PE_SOURCE: &str = "serve";
+
+#[derive(Debug, Clone)]
+pub(crate) struct RuntimeTelemetry {
+    /// The bundle itself, for tracer access.
+    pub bundle: Arc<Telemetry>,
+    /// Requests accepted but not yet dispatched.
+    pub queue_depth: Gauge,
+    /// Riders per dispatched batch.
+    pub batch_size: Histogram,
+    /// Wall time from enqueue to worker dispatch, per rider.
+    pub stage_queue: Histogram,
+    /// Wall time from seed pop to dispatch, per batch.
+    pub stage_batch_form: Histogram,
+    /// Wall time of the PE forward pass, per batch.
+    pub stage_compute: Histogram,
+    /// Wall time spent answering tickets, per batch.
+    pub stage_reply: Histogram,
+    /// Requests answered.
+    pub requests_total: Counter,
+    /// Backpressure rejections.
+    pub rejected_total: Counter,
+    /// Hot model swaps published.
+    pub swaps_total: Counter,
+    /// The `PeStats` mirror attached to every served branch.
+    pub pe: PeTelemetry,
+}
+
+impl RuntimeTelemetry {
+    pub(crate) fn register(bundle: Arc<Telemetry>) -> Self {
+        let registry = &bundle.registry;
+        // 1µs .. ~67s, factor 4: covers sub-batch waits through stalls.
+        let seconds = exponential_buckets(1e-6, 4.0, 13);
+        let stage = |stage: &str| {
+            registry.histogram_with(
+                STAGE_METRIC,
+                "Wall-clock seconds spent per serving stage",
+                &seconds,
+                &[("stage", stage)],
+            )
+        };
+        Self {
+            queue_depth: registry.gauge(
+                "pim_runtime_queue_depth",
+                "Requests accepted but not yet dispatched",
+            ),
+            batch_size: registry.histogram(
+                "pim_runtime_batch_size",
+                "Riders per dispatched PE batch",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            stage_queue: stage(STAGES[0]),
+            stage_batch_form: stage(STAGES[1]),
+            stage_compute: stage(STAGES[2]),
+            stage_reply: stage(STAGES[3]),
+            requests_total: registry.counter(
+                "pim_runtime_requests_total",
+                "Requests answered by the serving pool",
+            ),
+            rejected_total: registry.counter(
+                "pim_runtime_rejected_total",
+                "Requests refused with QueueFull backpressure",
+            ),
+            swaps_total: registry.counter(
+                "pim_runtime_swaps_total",
+                "Hot model swaps published into serving",
+            ),
+            pe: PeTelemetry::register(registry, PE_SOURCE),
+            bundle,
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The lock-cheap metrics registry and its Prometheus text exposition.
+//!
+//! Registration (naming a metric, choosing histogram buckets) is rare and
+//! takes the registry mutex; updates are atomic operations on cloned
+//! handles and never touch the registry again. Handles are `Clone` and
+//! cheap to pass around — clones share the same underlying cells, so a
+//! worker pool incrementing a cloned [`Counter`] is incrementing *the*
+//! counter.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomic `f64` cell (bit-pattern CAS on an `AtomicU64`).
+#[derive(Debug, Default)]
+struct Cell(AtomicU64);
+
+impl Cell {
+    fn add(&self, v: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(current) + v;
+            match self.0.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A monotonically increasing metric (requests served, picojoules spent).
+///
+/// Backed by an `f64` so energy and other fractional totals accumulate
+/// with the exact rounding of the simulator ledgers' `+=` chains;
+/// integer counts are exact up to 2^53.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<Cell>,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Adds `v` (must be non-negative — counters are monotonic).
+    pub fn add(&self, v: f64) {
+        debug_assert!(v >= 0.0, "counter decremented by {v}");
+        self.cell.add(v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
+/// A metric that can move both ways (queue depth, budget fraction).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<Cell>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.cell.set(v);
+    }
+
+    /// Adds `v` (may be negative).
+    pub fn add(&self, v: f64) {
+        self.cell.add(v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
+/// A fixed-bucket histogram (bucket bounds chosen at registration).
+///
+/// Observation cost is a linear scan of the bounds (histograms here have
+/// ~a dozen buckets) plus three atomic updates. There is no per-sample
+/// allocation and no lock.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite upper bounds, strictly ascending. The implicit `+Inf`
+    /// bucket lives at `counts[bounds.len()]`.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: Cell,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending: {bounds:?}"
+        );
+        Self {
+            inner: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: Cell::default(),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, v: f64) {
+        let core = &*self.inner;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.sum.add(v);
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed samples.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum.get()
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `[0, 1]`) — a bucketed over-estimate, good enough for live
+    /// dashboards. Samples past the last finite bound report that bound.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let core = &*self.inner;
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in core.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return core.bounds[i.min(core.bounds.len() - 1)];
+            }
+        }
+        core.bounds[core.bounds.len() - 1]
+    }
+
+    /// Per-bucket counts (finite buckets then the `+Inf` bucket), for
+    /// rendering.
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// `count` exponentially spaced histogram bounds starting at `start`
+/// (factor `factor` apart) — the usual shape for latency buckets.
+///
+/// # Panics
+///
+/// Panics unless `start > 0`, `factor > 1`, and `count >= 1`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count >= 1, "bad bucket spec");
+    (0..count).map(|i| start * factor.powi(i as i32)).collect()
+}
+
+/// What kind of metric a registry entry is.
+#[derive(Debug, Clone)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter(Counter),
+    /// Up/down gauge.
+    Gauge(Gauge),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl MetricKind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter(_) => "counter",
+            MetricKind::Gauge(_) => "gauge",
+            MetricKind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    metric: MetricKind,
+}
+
+/// The metric registry: named families of counters, gauges, and
+/// histograms, each family optionally split by labels.
+///
+/// Registration is **get-or-register**: asking for the same
+/// `(name, labels)` twice returns a handle to the same cells, so an
+/// instrumented subsystem and a dashboard (or test) can both "register"
+/// the metric and observe one value. Asking for an existing
+/// `(name, labels)` with a *different* metric kind panics — that is a
+/// programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-register an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-register a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_register(name, help, labels, || {
+            MetricKind::Counter(Counter::default())
+        }) {
+            MetricKind::Counter(c) => c,
+            other => panic!("{name} is registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get-or-register an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-register a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_register(name, help, labels, || MetricKind::Gauge(Gauge::default())) {
+            MetricKind::Gauge(g) => g,
+            other => panic!("{name} is registered as a {}", other.type_name()),
+        }
+    }
+
+    /// Get-or-register an unlabelled histogram with the given finite
+    /// bucket bounds (strictly ascending; `+Inf` is implicit). On
+    /// get-or-register hits the *existing* buckets win.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Get-or-register a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.get_or_register(name, help, labels, || {
+            MetricKind::Histogram(Histogram::new(bounds))
+        }) {
+            MetricKind::Histogram(h) => h,
+            other => panic!("{name} is registered as a {}", other.type_name()),
+        }
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        build: impl FnOnce() -> MetricKind,
+    ) -> MetricKind {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_label_name(k)),
+            "invalid label name in {labels:?}"
+        );
+        let mut entries = self.entries.lock().expect("registry lock");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+        {
+            return e.metric.clone();
+        }
+        let metric = build();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Every registered family name, in registration order, deduplicated.
+    pub fn metric_names(&self) -> Vec<String> {
+        let entries = self.entries.lock().expect("registry lock");
+        let mut names: Vec<String> = Vec::new();
+        for e in entries.iter() {
+            if names.last() != Some(&e.name) && !names.contains(&e.name) {
+                names.push(e.name.clone());
+            }
+        }
+        names
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` once per family, histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry lock");
+        let mut out = String::new();
+        let mut rendered: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if rendered.contains(&e.name.as_str()) {
+                continue;
+            }
+            rendered.push(&e.name);
+            let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            for member in entries.iter().filter(|m| m.name == e.name) {
+                render_entry(&mut out, member);
+            }
+        }
+        out
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    match &e.metric {
+        MetricKind::Counter(c) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_set(&e.labels, None),
+                c.value()
+            );
+        }
+        MetricKind::Gauge(g) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                e.name,
+                label_set(&e.labels, None),
+                g.value()
+            );
+        }
+        MetricKind::Histogram(h) => {
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.inner.bounds.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    e.name,
+                    label_set(&e.labels, Some(&le)),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                e.name,
+                label_set(&e.labels, None),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                e.name,
+                label_set(&e.labels, None),
+                h.count()
+            );
+        }
+    }
+}
+
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            s.push(',');
+        }
+        let _ = write!(s, "le=\"{le}\"");
+    }
+    s.push('}');
+    s
+}
+
+fn label_eq(a: &[(String, String)], b: &[(&str, &str)]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_shared_across_clones() {
+        let r = TelemetryRegistry::new();
+        let a = r.counter("reqs_total", "requests");
+        let b = a.clone();
+        a.inc();
+        b.add(2.0);
+        assert_eq!(a.value(), 3.0);
+        assert_eq!(r.counter("reqs_total", "requests").value(), 3.0);
+    }
+
+    #[test]
+    fn counter_addition_matches_sequential_f64_sums_bitwise() {
+        // The bit-exact-ledger contract: single-threaded CAS adds round
+        // exactly like a += chain.
+        let c = Counter::default();
+        let samples = [0.1, 0.7, 1e-9, 123.456, 0.3333333];
+        let mut reference = 0.0f64;
+        for s in samples {
+            c.add(s);
+            reference += s;
+        }
+        assert_eq!(c.value().to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = TelemetryRegistry::new();
+        let g = r.gauge("queue_depth", "queue depth");
+        g.set(5.0);
+        g.add(-2.0);
+        assert_eq!(g.value(), 3.0);
+    }
+
+    #[test]
+    fn labelled_families_are_distinct_series() {
+        let r = TelemetryRegistry::new();
+        let read = r.counter_with("energy_pj_total", "energy", &[("channel", "read")]);
+        let write = r.counter_with("energy_pj_total", "energy", &[("channel", "write")]);
+        read.add(1.5);
+        write.add(2.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("energy_pj_total{channel=\"read\"} 1.5"));
+        assert!(text.contains("energy_pj_total{channel=\"write\"} 2.5"));
+        assert_eq!(text.matches("# TYPE energy_pj_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_the_exposition() {
+        let r = TelemetryRegistry::new();
+        let h = r.histogram("lat_seconds", "latency", &[0.001, 0.01, 0.1]);
+        for v in [0.0005, 0.005, 0.005, 0.05, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5.0605).abs() < 1e-12);
+        assert!((h.mean() - 1.0121).abs() < 1e-12);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 4"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_seconds_count 5"));
+    }
+
+    #[test]
+    fn histogram_quantile_reports_bucket_bounds() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for v in [0.5, 0.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.99), 4.0);
+        h.observe(100.0); // past the last finite bound
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_by_the_factor() {
+        assert_eq!(exponential_buckets(0.5, 2.0, 3), vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_conflicts_panic() {
+        let r = TelemetryRegistry::new();
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        TelemetryRegistry::new().counter("bad name", "x");
+    }
+
+    #[test]
+    fn metric_names_lists_each_family_once() {
+        let r = TelemetryRegistry::new();
+        r.counter_with("a_total", "a", &[("k", "1")]);
+        r.counter_with("a_total", "a", &[("k", "2")]);
+        r.gauge("b", "b");
+        assert_eq!(
+            r.metric_names(),
+            vec!["a_total".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn help_and_label_values_are_escaped() {
+        let r = TelemetryRegistry::new();
+        r.counter_with("esc_total", "line\nbreak", &[("path", "a\"b\\c")]);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP esc_total line\\nbreak"));
+        assert!(text.contains("path=\"a\\\"b\\\\c\""));
+    }
+}

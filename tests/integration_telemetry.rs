@@ -1,0 +1,223 @@
+//! Integration: the telemetry subsystem wired through the full stack.
+//!
+//! Proves the two contracts the instrumentation is accountable for:
+//!
+//! 1. **Prometheus rendering round-trips the registry** — every metric
+//!    family registered by the runtime, the learn engine, and the PE
+//!    mirrors appears in `render_prometheus` output with its HELP/TYPE
+//!    header.
+//! 2. **The mirror is bit-exact** — after a serve → learn → publish(swap)
+//!    → serve-again cycle on a single worker, the energy/op counters sum
+//!    to exactly the same f64 bits as the authoritative `PeStats` ledgers
+//!    (`RuntimeStats` on the serve side, `LearnReport` on the learn side).
+
+use pim_learn::{LearnEngine, OnlineLearnerConfig, WritePolicy};
+use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
+use pim_nn::tensor::Tensor;
+use pim_pe::PeTelemetry;
+use pim_runtime::{ModelId, Runtime, Telemetry};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sample(i: usize) -> Tensor {
+    Tensor::from_vec(
+        vec![1, 8, 8],
+        (0..64).map(|v| ((v * 3 + i) % 11) as f32 / 11.0).collect(),
+    )
+    .expect("sample shape")
+}
+
+fn engine(telemetry: &Arc<Telemetry>) -> LearnEngine {
+    let model = RepNet::new(
+        Backbone::new(BackboneConfig::tiny()),
+        RepNetConfig {
+            rep_channels: 4,
+            num_classes: 3,
+            seed: 5,
+        },
+    );
+    let mut engine = LearnEngine::new(
+        "live",
+        model,
+        OnlineLearnerConfig {
+            replay_capacity: 32,
+            batch_size: 4,
+            seed: 21,
+            ..OnlineLearnerConfig::default()
+        },
+        WritePolicy::hybrid_dac24(1 << 20),
+    )
+    .expect("adaptor fits the PEs");
+    engine.attach_telemetry(telemetry);
+    engine
+}
+
+/// Drives a full serve → learn → publish → serve cycle on one worker and
+/// returns everything the assertions need.
+fn serve_learn_swap_cycle(
+    telemetry: &Arc<Telemetry>,
+) -> (pim_runtime::RuntimeStats, pim_learn::LearnReport, ModelId) {
+    let mut engine = engine(telemetry);
+    // One worker: the counters then see the same f64 additions in the
+    // same order as the runtime's own ledger (bit-exactness needs a
+    // deterministic accumulation order).
+    let mut builder = Runtime::builder()
+        .workers(1)
+        .max_wait(Duration::ZERO)
+        .telemetry(Arc::clone(telemetry));
+    let id = builder.register(engine.compiled());
+    let runtime = builder.start();
+
+    for i in 0..16 {
+        engine.observe(&sample(i), i % 3);
+    }
+    for i in 0..8 {
+        runtime.infer(id, &sample(100 + i)).expect("serve");
+    }
+    for _ in 0..4 {
+        engine.step().expect("step");
+    }
+    engine.publish(&runtime, id).expect("publish");
+    for i in 0..8 {
+        runtime
+            .infer(id, &sample(200 + i))
+            .expect("serve after swap");
+    }
+
+    let stats = runtime.shutdown();
+    (stats, engine.report(), id)
+}
+
+#[test]
+fn prometheus_rendering_round_trips_every_registered_family() {
+    let telemetry = Telemetry::new();
+    let (_stats, _report, _id) = serve_learn_swap_cycle(&telemetry);
+
+    let names = telemetry.registry.metric_names();
+    assert!(
+        names.len() >= 10,
+        "the wired stack registers many families, got {names:?}"
+    );
+    let text = telemetry.registry.render_prometheus();
+    for name in &names {
+        assert!(
+            text.contains(&format!("# HELP {name} ")),
+            "family {name} lost its HELP header in the exposition"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {name} ")),
+            "family {name} lost its TYPE header in the exposition"
+        );
+    }
+    // Spot-check the shapes: labelled counter samples and cumulative
+    // histogram buckets with the +Inf terminator.
+    assert!(text.contains("pim_pe_energy_picojoules_total{source=\"serve\",channel=\"read\"}"));
+    assert!(text.contains("pim_runtime_stage_seconds_bucket{stage=\"compute\",le=\"+Inf\"}"));
+    assert!(text.contains("pim_learn_stage_seconds_count{stage=\"write_back\"}"));
+}
+
+#[test]
+fn telemetry_counters_sum_bit_exactly_to_the_ledgers() {
+    let telemetry = Telemetry::new();
+    let (stats, report, _id) = serve_learn_swap_cycle(&telemetry);
+    let registry = &telemetry.registry;
+
+    // Serve side: the source="serve" PE mirror vs the RuntimeStats ledger.
+    assert_eq!(stats.requests_completed, 16);
+    assert_eq!(stats.model_swaps, 1);
+    let serve = PeTelemetry::register(registry, "serve");
+    assert_eq!(
+        serve.total_energy_pj().to_bits(),
+        stats.total_energy.as_pj().to_bits(),
+        "serve energy mirror must reproduce the ledger total bit-for-bit"
+    );
+    let counter = |name: &str, help: &str, source: &str| {
+        registry
+            .counter_with(name, help, &[("source", source)])
+            .value()
+    };
+    assert_eq!(
+        counter("pim_pe_macs_total", "MAC operations executed", "serve") as u64,
+        stats.macs
+    );
+    assert_eq!(
+        counter("pim_pe_matvecs_total", "PE matvec operations", "serve") as u64,
+        stats.pe_matvecs
+    );
+    assert_eq!(
+        registry
+            .counter(
+                "pim_runtime_requests_total",
+                "Requests answered by the serving pool"
+            )
+            .value() as u64,
+        stats.requests_completed
+    );
+    assert_eq!(
+        registry
+            .counter(
+                "pim_runtime_swaps_total",
+                "Hot model swaps published into serving"
+            )
+            .value() as u64,
+        stats.model_swaps
+    );
+
+    // Learn side: the source="learn" PE mirror vs the LearnReport ledger.
+    // Serving the published artifact must NOT have fed these counters —
+    // `CompiledModel::from_branch` detaches the learn-side telemetry.
+    assert_eq!(report.publishes, 1);
+    assert_eq!(report.mram_write_bits, 0, "backbone stays write-protected");
+    let learn = PeTelemetry::register(registry, "learn");
+    assert_eq!(
+        learn.energy_pj()[2].to_bits(),
+        report.write_energy.as_pj().to_bits(),
+        "learn write-energy mirror must reproduce the ledger bit-for-bit"
+    );
+    assert_eq!(
+        counter(
+            "pim_pe_write_bits_total",
+            "Device bits toggled by writes",
+            "learn"
+        ) as u64,
+        report.sram_write_bits
+    );
+    assert_eq!(
+        counter("pim_pe_matvecs_total", "PE matvec operations", "learn"),
+        0.0,
+        "served traffic leaked into the learn-side counters"
+    );
+    assert_eq!(
+        registry
+            .counter(
+                "pim_learn_publishes_total",
+                "Differential write-backs performed (model versions)",
+            )
+            .value() as u64,
+        report.publishes
+    );
+
+    // The tracer saw the whole cycle.
+    let span_names: HashSet<String> = telemetry
+        .tracer
+        .snapshot()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for expected in [
+        "serve.request",
+        "serve.batch",
+        "serve.swap",
+        "learn.sgd_step",
+        "learn.preflight",
+        "learn.write_back",
+        "learn.swap",
+    ] {
+        assert!(
+            span_names.contains(expected),
+            "missing span/event '{expected}' in {span_names:?}"
+        );
+    }
+    assert_eq!(telemetry.tracer.dropped(), 0, "ring must not overflow here");
+}
