@@ -11,6 +11,7 @@ use pim_data::SyntheticSpec;
 use pim_nn::layers::{Conv2d, Layer};
 use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
 use pim_nn::tensor::Tensor;
+use pim_par::WorkPool;
 use pim_pe::{MramSparsePe, SparsePe, SramSparsePe};
 use pim_sparse::gemm::{bit_serial_matvec, dense_matvec};
 use pim_sparse::prune::prune_magnitude;
@@ -146,6 +147,17 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pe_repnet_predict_batch8", |b| {
         b.iter(|| black_box(compiled.predict(&mut model, &images).0))
     });
+    // Same predict with the pim-par pool fanned out over 2 and 4
+    // executors. Bit-exact with the serial run by construction (the
+    // ledger replay is serial either way); only wall-clock differs.
+    for threads in [2usize, 4] {
+        let mut model_par = model.clone();
+        let mut par = compiled.clone();
+        par.attach_pool(std::sync::Arc::new(WorkPool::new(threads)));
+        g.bench_function(format!("pe_repnet_predict_batch8_par{threads}"), |b| {
+            b.iter(|| black_box(par.predict(&mut model_par, &images).0))
+        });
+    }
     g.finish();
 
     // Machine-readable baseline for the perf trajectory. Re-measures the
@@ -172,12 +184,25 @@ fn bench(c: &mut Criterion) {
         yb[0]
     });
     let predict_ns = measure_ns(30, || compiled.predict(&mut model, &images).0);
+    let predict_par_ns = |threads: usize| {
+        let mut model_par = model.clone();
+        let mut par = compiled.clone();
+        par.attach_pool(std::sync::Arc::new(WorkPool::new(threads)));
+        measure_ns(30, || par.predict(&mut model_par, &images).0)
+    };
+    let predict_par2_ns = predict_par_ns(2);
+    let predict_par4_ns = predict_par_ns(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as f64;
     let records = [
         BenchRecord::new("bit_serial_matvec_tile_512x8", bit_serial_ns),
         BenchRecord::new("sram_pe_matvec_into_tile", flat_single_ns),
         BenchRecord::new("sram_pe_matvec_batch8_tile", flat_batch_ns),
         BenchRecord::new("mram_pe_matvec_batch8_tile", mram_batch_ns),
         BenchRecord::new("pe_repnet_predict_batch8", predict_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_par2", predict_par2_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_par4", predict_par4_ns),
     ];
     let derived = [
         // Compiled flat kernel vs the bit-serial reference walk of the
@@ -188,6 +213,13 @@ fn bench(c: &mut Criterion) {
             flat_single_ns / (flat_batch_ns / batch as f64),
         ),
         ("pe_repnet_predict_batch8_ms", predict_ns / 1e6),
+        // End-to-end pool speedup. Only meaningful alongside
+        // `par_available_cores`: on a 1-core runner both ratios sit at
+        // ~1.0 by design (the pool degrades to inline execution), so the
+        // gate reads the core count before enforcing a floor.
+        ("par_speedup_2t", predict_ns / predict_par2_ns),
+        ("par_speedup_4t", predict_ns / predict_par4_ns),
+        ("par_available_cores", cores),
     ];
     // Benches run with CWD at the crate; anchor the artifact at the
     // workspace root next to EXPERIMENTS.md. Merged, not overwritten: the

@@ -21,6 +21,10 @@ use pim_bench::BenchDoc;
 use std::process::ExitCode;
 
 /// Speedup-ratio keys the gate bounds (ratios of same-machine timings).
+///
+/// The `par_speedup_*` keys are deliberately NOT here: parallel speedup
+/// depends on the runner's core count, so it gets its own core-aware
+/// floor check below instead of a drift bound against the committed value.
 const RATIO_KEYS: [&str; 2] = [
     "flat_vs_bit_serial_speedup",
     "batch8_vs_single_speedup_sram",
@@ -28,6 +32,19 @@ const RATIO_KEYS: [&str; 2] = [
 
 /// Allowed drift factor per ratio, either direction.
 const MAX_DRIFT: f64 = 3.0;
+
+/// Fresh-run parallel speedup key checked against [`MIN_PAR_SPEEDUP`].
+const PAR_SPEEDUP_KEY: &str = "par_speedup_4t";
+
+/// Fresh-run core count gating the parallel floor: with fewer cores than
+/// pool threads the pool cannot beat serial, so the check is skipped
+/// (CI's ubuntu runners have 4 vCPUs and do enforce it).
+const PAR_CORES_KEY: &str = "par_available_cores";
+const MIN_PAR_CORES: f64 = 4.0;
+
+/// Required end-to-end speedup of `pe_repnet_predict_batch8` at 4 pool
+/// threads on a machine with at least [`MIN_PAR_CORES`] cores.
+const MIN_PAR_SPEEDUP: f64 = 1.5;
 
 fn load(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -70,7 +87,37 @@ fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
             ));
         }
     }
+    check_parallel_floor(&fresh, &mut failures);
     Ok(failures)
+}
+
+/// Enforces the 4-thread end-to-end speedup floor, but only when the
+/// fresh run happened on a machine with enough cores to express it.
+fn check_parallel_floor(fresh: &BenchDoc, failures: &mut Vec<String>) {
+    let cores = fresh.derived_value(PAR_CORES_KEY);
+    let speedup = fresh.derived_value(PAR_SPEEDUP_KEY);
+    let (Some(cores), Some(speedup)) = (cores, speedup) else {
+        failures.push(format!(
+            "fresh run is missing '{PAR_SPEEDUP_KEY}'/'{PAR_CORES_KEY}'"
+        ));
+        return;
+    };
+    if cores < MIN_PAR_CORES {
+        println!(
+            "  par   {PAR_SPEEDUP_KEY:<32} {speedup:.3} (only {cores:.0} cores, \
+             floor needs {MIN_PAR_CORES:.0}+ — skipped)"
+        );
+    } else if speedup.is_finite() && speedup >= MIN_PAR_SPEEDUP {
+        println!(
+            "  par   {PAR_SPEEDUP_KEY:<32} {speedup:.3} on {cores:.0} cores \
+             (floor {MIN_PAR_SPEEDUP:.2}x, ok)"
+        );
+    } else {
+        failures.push(format!(
+            "parallel speedup '{PAR_SPEEDUP_KEY}' is {speedup:.3} on {cores:.0} cores \
+             (floor {MIN_PAR_SPEEDUP:.2}x)"
+        ));
+    }
 }
 
 fn main() -> ExitCode {

@@ -45,3 +45,6 @@ pub mod system;
 pub mod verify;
 
 pub use system::{HybridSystem, SystemConfig, TaskReport};
+// Re-exported so downstream examples can pick a sparsity pattern for
+// `SystemConfig` without depending on `pim-sparse` directly.
+pub use pim_sparse::NmPattern;

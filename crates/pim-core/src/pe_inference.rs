@@ -21,10 +21,12 @@ use pim_nn::models::RepNet;
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
 use pim_nn::tensor::Tensor;
+use pim_par::{SharedSliceMut, WorkPool};
 use pim_pe::{MatvecCost, PeError, PeStats, PeTelemetry, SparsePe, SramSparsePe};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
 use std::fmt;
+use std::sync::Arc;
 
 /// Aggregate execution statistics of one PE-executed forward pass.
 ///
@@ -67,6 +69,20 @@ struct Scratch {
     /// Per-tile `(cost, nnz)` of the last batched call, replayed into the
     /// run ledger in the sequential (input-major, tile-minor) order.
     costs: Vec<(MatvecCost, u64)>,
+    /// Prefix offsets of each tile's region in the shared `acc` arena
+    /// (`tiles + 1` entries) — lets parallel tile tasks write disjointly.
+    tile_off: Vec<usize>,
+}
+
+/// Rows per parallel batch block: enough blocks to feed every executor
+/// roughly twice (for load balance against uneven tile sizes), never
+/// smaller than one row. A serial pool keeps the whole batch in one block.
+fn par_block(batch: usize, threads: usize) -> usize {
+    if threads <= 1 {
+        batch
+    } else {
+        batch.div_ceil(threads * 2).max(1)
+    }
 }
 
 /// A conv or linear layer compiled into weight-stationary SRAM PE tiles.
@@ -167,52 +183,125 @@ impl PeLayer {
     /// Batched quantized matvecs through the tiles:
     /// `out[b] = deq(PE(q(xs[b]))) + bias` for each of the `batch`
     /// row-major input rows, activations quantized **per input** exactly
-    /// as sequential execution does. Each tile is swept once per input via
-    /// [`SparsePe::matvec_batch`] (the flat weight arrays stay
-    /// cache-resident across the batch) and `batch × tiles` matvecs are
-    /// folded into `stats` in the sequential (input, tile) order, so both
-    /// outputs and the f64 run ledger are bit-identical to one-at-a-time
-    /// calls. Zero heap allocation after the layer scratch has warmed up.
-    fn forward_batch(&mut self, xs: &[f32], batch: usize, out: &mut [f32], stats: &mut PeRunStats) {
+    /// as sequential execution does. The compute fans out over `pool` as a
+    /// tile × batch-block grid (each cell runs
+    /// [`SramSparsePe::matvec_batch_compute`] into its own region of the
+    /// accumulator arena and its own rows/columns of `out`), then the
+    /// `batch × tiles` matvec bills are folded into the ledgers **after
+    /// the join, serially**, in the sequential (input, tile) order — so
+    /// both outputs and the f64 run ledger are bit-identical to
+    /// one-at-a-time calls regardless of thread count or interleaving.
+    /// Zero heap allocation after the layer scratch has warmed up.
+    fn forward_batch(
+        &mut self,
+        xs: &[f32],
+        batch: usize,
+        out: &mut [f32],
+        stats: &mut PeRunStats,
+        pool: &WorkPool,
+    ) {
         debug_assert_eq!(xs.len(), batch * self.reduction);
         debug_assert_eq!(out.len(), batch * self.outputs);
-        self.scratch.x_q.resize(batch * self.reduction, 0);
+        let reduction = self.reduction;
+        let outputs = self.outputs;
+        self.scratch.x_q.resize(batch * reduction, 0);
         self.scratch.scales.resize(batch, 0.0);
-        for b in 0..batch {
-            let row = &xs[b * self.reduction..(b + 1) * self.reduction];
-            let x_params = QuantParams::calibrate(row);
-            self.scratch.scales[b] = self.weight_scale * x_params.scale();
-            x_params.quantize_into(
-                row,
-                &mut self.scratch.x_q[b * self.reduction..(b + 1) * self.reduction],
-            );
+        {
+            // Per-input quantization is row-local, so rows fan out freely.
+            let weight_scale = self.weight_scale;
+            let x_q = SharedSliceMut::new(&mut self.scratch.x_q);
+            let scales = SharedSliceMut::new(&mut self.scratch.scales);
+            pool.for_each_chunk(batch, par_block(batch, pool.threads()), |rows| {
+                // SAFETY: chunk row ranges are disjoint, so the x_q and
+                // scales regions they map to are disjoint too.
+                let (q, sc) = unsafe {
+                    (
+                        x_q.slice(rows.start * reduction..rows.end * reduction),
+                        scales.slice(rows.clone()),
+                    )
+                };
+                for (i, b) in rows.enumerate() {
+                    let row = &xs[b * reduction..(b + 1) * reduction];
+                    let x_params = QuantParams::calibrate(row);
+                    sc[i] = weight_scale * x_params.scale();
+                    x_params.quantize_into(row, &mut q[i * reduction..(i + 1) * reduction]);
+                }
+            });
         }
-        self.scratch.costs.clear();
+
+        // Tile × batch-block compute grid. Integer kernel outputs depend
+        // only on their own (input, column) pair, so the block split is
+        // bit-transparent; no ledger is touched until after the join.
+        let Scratch {
+            x_q,
+            scales,
+            acc,
+            tile_off,
+            costs,
+            ..
+        } = &mut self.scratch;
+        tile_off.clear();
+        tile_off.push(0);
+        for tile in &self.tiles {
+            let last = *tile_off.last().expect("seeded with 0");
+            tile_off.push(last + (tile.col_end - tile.col_start) * batch);
+        }
+        acc.resize(*tile_off.last().expect("seeded with 0"), 0);
+        let block = par_block(batch, pool.threads());
+        let n_blocks = batch.div_ceil(block);
+        {
+            let tiles = &self.tiles;
+            let bias = &self.bias;
+            let x_q = &*x_q;
+            let scales = &*scales;
+            let tile_off = &*tile_off;
+            let acc_view = SharedSliceMut::new(acc);
+            let out_view = SharedSliceMut::new(out);
+            pool.run(tiles.len() * n_blocks, |t| {
+                let (ti, blk) = (t / n_blocks, t % n_blocks);
+                let tile = &tiles[ti];
+                let tc = tile.col_end - tile.col_start;
+                let (b0, b1) = (blk * block, ((blk + 1) * block).min(batch));
+                // SAFETY: tile ti owns acc[tile_off[ti]..tile_off[ti+1]],
+                // sliced by disjoint row blocks — pairwise disjoint across
+                // the grid.
+                let acc_region =
+                    unsafe { acc_view.slice(tile_off[ti] + b0 * tc..tile_off[ti] + b1 * tc) };
+                tile.pe
+                    .matvec_batch_compute(&x_q[b0 * reduction..b1 * reduction], b1 - b0, acc_region)
+                    .expect("tile loaded at compile time");
+                for b in b0..b1 {
+                    let scale = scales[b];
+                    // SAFETY: row b is private to this block and the
+                    // column range is private to this tile.
+                    let dst = unsafe {
+                        out_view.slice(b * outputs + tile.col_start..b * outputs + tile.col_end)
+                    };
+                    for ((d, &a), &bi) in dst
+                        .iter_mut()
+                        .zip(&acc_region[(b - b0) * tc..(b - b0 + 1) * tc])
+                        .zip(&bias[tile.col_start..tile.col_end])
+                    {
+                        *d = a as f32 * scale + bi;
+                    }
+                }
+            });
+        }
+
+        // Deterministic accounting after the join: each tile's own ledger
+        // folds its `batch` matvecs sequentially (tile-local f64 order is
+        // what the fused call used), then the run ledger replays
+        // input-major, tile-minor — the exact sequential-execution order.
+        costs.clear();
         for tile in &mut self.tiles {
-            let tc = tile.col_end - tile.col_start;
-            self.scratch.acc.resize(batch * tc, 0);
             let cost = tile
                 .pe
-                .matvec_batch(&self.scratch.x_q, batch, &mut self.scratch.acc)
+                .record_matvecs(batch)
                 .expect("tile loaded at compile time");
-            self.scratch.costs.push((cost, tile.nnz));
-            for b in 0..batch {
-                let scale = self.scratch.scales[b];
-                let dst = &mut out[b * self.outputs..][tile.col_start..tile.col_end];
-                for ((d, &acc), &bias) in dst
-                    .iter_mut()
-                    .zip(&self.scratch.acc[b * tc..(b + 1) * tc])
-                    .zip(&self.bias[tile.col_start..tile.col_end])
-                {
-                    *d = acc as f32 * scale + bias;
-                }
-            }
+            costs.push((cost, tile.nnz));
         }
-        // Replay the accounting input-major, tile-minor — the order the
-        // sequential path folded it — so the f64 run ledger matches
-        // bit-for-bit (a tile's per-matvec cost is input-independent).
         for _ in 0..batch {
-            for &(cost, nnz) in &self.scratch.costs {
+            for &(cost, nnz) in costs.iter() {
                 stats.record_matvec_cost(&cost, nnz);
             }
         }
@@ -224,11 +313,13 @@ impl PeLayer {
         self.tiles.iter().map(|t| *t.pe.stats()).sum()
     }
 
-    /// Convolution over an NCHW tensor: per image, the whole `oh×ow`
-    /// im2col patch matrix is gathered once into the layer scratch and
-    /// every position runs as one batched PE call per tile, instead of one
-    /// allocating matvec per position.
-    fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats) -> Tensor {
+    /// Convolution over an NCHW tensor: the whole batch's `n × oh×ow`
+    /// im2col patch matrix is gathered once (patch rows fan out over the
+    /// pool) and the PEs run one merged batched call over every position
+    /// of every image. The merged call's flat `(input, tile)` replay
+    /// sequence is identical to per-image calls of `oh×ow` rows each, so
+    /// the ledgers are unchanged by the merge.
+    fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats, pool: &WorkPool) -> Tensor {
         let s = input.shape();
         let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
         let k = self.kernel;
@@ -236,28 +327,39 @@ impl PeLayer {
         let oh = (h + 2 * self.padding - k) / self.stride + 1;
         let ow = (w + 2 * self.padding - k) / self.stride + 1;
         let positions = oh * ow;
+        let rows = n * positions;
         let x = input.as_slice();
         let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
         let os = out.as_mut_slice();
         // Detach the image-level buffers so `forward_batch` can re-borrow
-        // the layer; they return to the scratch after the loop.
+        // the layer; they return to the scratch after the pass.
         let mut patches = std::mem::take(&mut self.scratch.patches);
         let mut staged = std::mem::take(&mut self.scratch.staged);
-        patches.resize(positions * self.reduction, 0.0);
-        staged.resize(positions * self.outputs, 0.0);
-        for ni in 0..n {
-            patches.iter_mut().for_each(|v| *v = 0.0);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let patch = &mut patches[(oy * ow + ox) * self.reduction..][..self.reduction];
+        patches.resize(rows * self.reduction, 0.0);
+        staged.resize(rows * self.outputs, 0.0);
+        {
+            // Every patch row is an independent gather from the input.
+            let reduction = self.reduction;
+            let stride = self.stride;
+            let padding = self.padding;
+            let patches_view = SharedSliceMut::new(&mut patches);
+            pool.for_each_chunk(rows, par_block(rows, pool.threads()), |range| {
+                // SAFETY: chunk row ranges are disjoint.
+                let dst =
+                    unsafe { patches_view.slice(range.start * reduction..range.end * reduction) };
+                dst.iter_mut().for_each(|v| *v = 0.0);
+                for (i, p) in range.enumerate() {
+                    let (ni, pos) = (p / positions, p % positions);
+                    let (oy, ox) = (pos / ow, pos % ow);
+                    let patch = &mut dst[i * reduction..(i + 1) * reduction];
                     for ci in 0..cin {
                         for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            let iy = (oy * stride + ky) as isize - padding as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
                             for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -267,21 +369,68 @@ impl PeLayer {
                         }
                     }
                 }
-            }
-            self.forward_batch(&patches, positions, &mut staged, stats);
-            // Scatter the position-major staged rows into the NCHW output.
-            for p in 0..positions {
-                for (co, &v) in staged[p * self.outputs..(p + 1) * self.outputs]
-                    .iter()
-                    .enumerate()
-                {
-                    os[(ni * self.outputs + co) * positions + p] = v;
+            });
+        }
+        self.forward_batch(&patches, rows, &mut staged, stats, pool);
+        // Scatter the position-major staged rows into the NCHW output;
+        // each image owns a contiguous output region.
+        {
+            let outputs = self.outputs;
+            let staged = &staged;
+            let os_view = SharedSliceMut::new(os);
+            pool.run(n, |ni| {
+                // SAFETY: image ni owns os[ni·C·P .. (ni+1)·C·P].
+                let img = unsafe {
+                    os_view.slice(ni * outputs * positions..(ni + 1) * outputs * positions)
+                };
+                for p in 0..positions {
+                    for (co, &v) in staged[(ni * positions + p) * outputs..][..outputs]
+                        .iter()
+                        .enumerate()
+                    {
+                        img[co * positions + p] = v;
+                    }
                 }
-            }
+            });
         }
         self.scratch.patches = patches;
         self.scratch.staged = staged;
         out
+    }
+
+    /// The exact bit-toggle bill an [`update`](PeLayer::update) to `w`
+    /// would pay, computed **without writing anything**: per tile,
+    /// re-quantize the column block and XOR-count it against the resident
+    /// program ([`SramSparsePe::diff_bits`]). Tiles are independent and
+    /// the u64 sum is order-free, so the diff fans out over the pool while
+    /// still matching the sequential rewrite's bill exactly.
+    fn pending_write_bits(
+        &self,
+        w: &Matrix<f32>,
+        pattern: NmPattern,
+        pool: &WorkPool,
+    ) -> Result<u64, PeError> {
+        assert_eq!(w.rows(), self.reduction, "layer {}: reduction", self.name);
+        assert_eq!(w.cols(), self.outputs, "layer {}: outputs", self.name);
+        let params = QuantParams::calibrate(w.as_slice());
+        let quantized = w.map(|v| params.quantize_value(v));
+        let mut bits: Vec<Result<u64, PeError>> = vec![Ok(0); self.tiles.len()];
+        {
+            let tiles = &self.tiles;
+            let quantized = &quantized;
+            let view = SharedSliceMut::new(&mut bits);
+            pool.run(tiles.len(), |ti| {
+                let tile = &tiles[ti];
+                let (c, end) = (tile.col_start, tile.col_end);
+                let block =
+                    Matrix::from_fn(quantized.rows(), end - c, |r, j| quantized[(r, c + j)]);
+                let mask = prune_magnitude(&block, pattern).expect("non-empty block");
+                let csc = CscMatrix::compress(&block, &mask).expect("mask fits block");
+                // SAFETY: each task owns exactly slot ti.
+                unsafe { view.slice(ti..ti + 1)[0] = tile.pe.diff_bits(&csc) };
+            });
+        }
+        bits.into_iter().try_fold(0u64, |acc, b| Ok(acc + b?))
     }
 }
 
@@ -339,6 +488,9 @@ pub struct PeRepNet {
     /// ledger delta is also folded into the shared telemetry counters
     /// (clones share the same counters, so a worker pool aggregates).
     telemetry: Option<PeTelemetry>,
+    /// Intra-request compute pool. Defaults to a serial pool; clones share
+    /// the same pool (serving replicas time-share one set of threads).
+    pool: Arc<WorkPool>,
 }
 
 impl PeRepNet {
@@ -399,7 +551,24 @@ impl PeRepNet {
             classifier,
             feature_width,
             telemetry: None,
+            pool: Arc::new(WorkPool::serial()),
         })
+    }
+
+    /// Attaches a shared [`WorkPool`]: from now on `predict`,
+    /// `conv_forward`'s im2col staging, and
+    /// [`pending_write_bits`](PeRepNet::pending_write_bits) fan their
+    /// tile/row grids out over it. Outputs and ledgers are bit-identical
+    /// at every thread count (see the module docs of `pim_par`); a
+    /// 1-thread pool **is** the serial path. Clones made after attachment
+    /// share the pool.
+    pub fn attach_pool(&mut self, pool: Arc<WorkPool>) {
+        self.pool = pool;
+    }
+
+    /// The attached compute pool (serial by default).
+    pub fn pool(&self) -> &Arc<WorkPool> {
+        &self.pool
     }
 
     /// Attaches a [`PeTelemetry`] counter bundle: from now on every
@@ -476,6 +645,57 @@ impl PeRepNet {
         Ok(delta)
     }
 
+    /// The exact number of SRAM bits a [`refresh`](PeRepNet::refresh) to
+    /// `model`'s current weights would toggle, **without writing
+    /// anything** — the write-back preflight `pim-learn` authorizes
+    /// against its endurance budget. Per-tile diffs fan out over the
+    /// attached pool; the u64 sum is order-independent, so the figure is
+    /// identical to what the sequential rewrite will bill.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`refresh`](PeRepNet::refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is structurally different from the model this
+    /// branch was compiled from.
+    pub fn pending_write_bits(&self, model: &RepNet) -> Result<u64, PeError> {
+        assert_eq!(
+            self.modules.len(),
+            model.modules().len(),
+            "branch was compiled from a different model"
+        );
+        let pool = &self.pool;
+        let mut total = 0u64;
+        for (pm, module) in self.modules.iter().zip(model.modules()) {
+            let proj_conv = module.connector();
+            let [conv3, conv1] = module.sparse_convs();
+            total += pm.proj.pending_write_bits(
+                &proj_conv.weight_matrix(),
+                NmPattern::new(4, 4).expect("dense encoding"),
+                pool,
+            )?;
+            total += pm.conv3.pending_write_bits(
+                &conv3.inner().weight_matrix(),
+                pattern_of_conv(conv3),
+                pool,
+            )?;
+            total += pm.conv1.pending_write_bits(
+                &conv1.inner().weight_matrix(),
+                pattern_of_conv(conv1),
+                pool,
+            )?;
+        }
+        let clf = model.classifier();
+        total += self.classifier.pending_write_bits(
+            &clf.inner().weight_matrix(),
+            pattern_of_linear(clf),
+            pool,
+        )?;
+        Ok(total)
+    }
+
     /// Runs the compiled branch: backbone taps from the (frozen) NN
     /// backbone, every learnable MAC on the PEs. Returns logits and PE
     /// execution statistics.
@@ -486,12 +706,18 @@ impl PeRepNet {
     /// (shape mismatches).
     pub fn predict(&mut self, model: &mut RepNet, input: &Tensor) -> (Tensor, PeRunStats) {
         let mut stats = PeRunStats::default();
+        let pool = Arc::clone(&self.pool);
+        // The frozen backbone shares the branch's pool: its conv rows fan
+        // out bit-identically to serial. Attaching is a handful of Arc
+        // stores — cheap enough to do per call, and it keeps the model
+        // consistent with whatever pool this branch currently holds.
+        model.attach_pool(&pool);
         let out = model.backbone_outputs(input);
         let batch = input.shape()[0];
         let mut rep: Option<Tensor> = None;
         for (module, tap) in self.modules.iter_mut().zip(&out.taps) {
             // Activation connector on PE.
-            let projected = module.proj.conv_forward(tap, &mut stats);
+            let projected = module.proj.conv_forward(tap, &mut stats, &pool);
             // Mix with the (pooled) carried state; digital periphery.
             let mix = match (&rep, module.pools_prev) {
                 (Some(r), true) => projected.add(&avg_pool2(r)).expect("rep shapes align"),
@@ -500,9 +726,9 @@ impl PeRepNet {
             };
             let mut a = mix;
             relu_in_place(&mut a); // global ReLU, no fresh tensor
-            let mut h = module.conv3.conv_forward(&a, &mut stats);
+            let mut h = module.conv3.conv_forward(&a, &mut stats, &pool);
             relu_in_place(&mut h);
-            let mut o = module.conv1.conv_forward(&h, &mut stats);
+            let mut o = module.conv1.conv_forward(&h, &mut stats, &pool);
             relu_in_place(&mut o);
             rep = Some(o);
         }
@@ -524,7 +750,7 @@ impl PeRepNet {
         }
         let mut logits = Tensor::zeros(&[batch, self.classifier.outputs]);
         self.classifier
-            .forward_batch(&rows, batch, logits.as_mut_slice(), &mut stats);
+            .forward_batch(&rows, batch, logits.as_mut_slice(), &mut stats, &pool);
         self.classifier.scratch.patches = rows;
         if let Some(t) = &self.telemetry {
             t.record(&stats);
@@ -797,6 +1023,57 @@ mod tests {
         let (a, _) = compiled.predict(&mut model, &x);
         let (b, _) = replica.predict(&mut model2, &x);
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn parallel_pool_is_bit_exact_with_serial() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut serial = PeRepNet::compile(&mut model).expect("fits PEs");
+        let mut model_par = model.clone();
+        let mut parallel = serial.clone();
+        parallel.attach_pool(Arc::new(WorkPool::new(4)));
+        assert_eq!(parallel.pool().threads(), 4);
+
+        let (x, _) = task.test.batch(&[0, 1, 2, 3, 4, 5]);
+        let (logits_s, stats_s) = serial.predict(&mut model, &x);
+        let (logits_p, stats_p) = parallel.predict(&mut model_par, &x);
+        // Bit-level equality on outputs AND on the full f64 run ledger.
+        let bits = |t: &Tensor| -> Vec<u32> { t.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&logits_s), bits(&logits_p));
+        assert_eq!(stats_s, stats_p, "run ledgers agree bit-exactly");
+        assert_eq!(
+            serial.cumulative_stats(),
+            parallel.cumulative_stats(),
+            "per-tile cumulative ledgers agree bit-exactly"
+        );
+    }
+
+    #[test]
+    fn pending_write_bits_predicts_the_refresh_delta() {
+        let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
+        let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
+        compiled.attach_pool(Arc::new(WorkPool::new(2)));
+        assert_eq!(
+            compiled.pending_write_bits(&model).expect("same geometry"),
+            0,
+            "freshly compiled branch has nothing pending"
+        );
+        fit(
+            &mut model,
+            &task.train,
+            &FitConfig {
+                epochs: 1,
+                batch_size: 16,
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: 11,
+            },
+        );
+        let pending = compiled.pending_write_bits(&model).expect("same geometry");
+        let delta = compiled.refresh(&mut model).expect("geometry unchanged");
+        assert_eq!(pending, delta.write_bits, "preflight is exact");
+        assert!(pending > 0, "training must have moved some codes");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use pim_device::mtj::MtjParams;
 use pim_nn::models::RepNet;
 use pim_nn::tensor::Tensor;
 use pim_nn::train::{Dataset, Model, StepStats};
+use pim_par::WorkPool;
 use pim_pe::PeStats;
 use pim_runtime::{CompiledModel, ModelId, Runtime};
 use pim_telemetry::Telemetry;
@@ -35,8 +36,10 @@ use std::time::Instant;
 ///    reload),
 /// 3. a [`WritePolicy`] guard — the MRAM backbone is write-protected and
 ///    every adaptor write is pre-authorized against the endurance budget
-///    **before** any bit toggles, using the full-reload bit count as the
-///    worst-case bound (a differential update can only be cheaper).
+///    **before** any bit toggles, using the **exact** pending bit count
+///    ([`PeRepNet::pending_write_bits`]): the tiles are diffed without
+///    being written, so authorization meters precisely what the rewrite
+///    will bill.
 ///
 /// [`publish`](Self::publish) then wraps the resident branch into a
 /// [`CompiledModel`] (no recompile — the tiles are cloned bit-for-bit)
@@ -50,8 +53,8 @@ pub struct LearnEngine {
     policy: WritePolicy,
     stats: LearnStats,
     /// Bits a full (non-differential) reload of every resident tile
-    /// writes — the compile-time load bill, reused as the worst-case
-    /// bound a differential write-back is pre-authorized against.
+    /// writes — the compile-time load bill, kept as the reference
+    /// worst-case bound a differential write-back can never exceed.
     full_load_bits: u64,
     version: u64,
     /// Pre-registered metric handles; `None` leaves the engine
@@ -143,36 +146,46 @@ impl LearnEngine {
     /// Returns the PE ledger delta (cycles, write bits, write energy) of
     /// the rewrite.
     ///
-    /// The policy check happens first, against the worst-case full-reload
-    /// bit count: a denial leaves the tiles untouched. The MRAM backbone
-    /// is never written on this path — the ledger's MRAM counter stays
-    /// zero by measurement.
+    /// The policy check happens first, against the **exact** pending bit
+    /// count: [`PeRepNet::pending_write_bits`] diffs every resident tile
+    /// against the learner's weights without writing (tile-parallel over
+    /// the attached pool), so authorization meters precisely what the
+    /// rewrite will bill — a denial leaves the tiles untouched, and an
+    /// update that fits the remaining budget is never refused for being
+    /// over-estimated. The MRAM backbone is never written on this path —
+    /// the ledger's MRAM counter stays zero by measurement.
     ///
     /// # Errors
     ///
-    /// * [`LearnError::Policy`] — the adaptor budget cannot cover even
-    ///   the worst case of this write-back.
+    /// * [`LearnError::Policy`] — the adaptor budget cannot cover this
+    ///   write-back's pending bits.
     /// * [`LearnError::Pe`] — a rewritten layer no longer fits its PEs
     ///   (cannot happen while shapes are unchanged).
     pub fn write_back(&mut self) -> Result<PeStats, LearnError> {
         let preflight_started = Instant::now();
-        let authorized = self.policy.authorize(
-            Region::SramAdaptor,
-            self.stats.sram_write_bits(),
-            self.full_load_bits,
-        );
+        let pending = self.branch.pending_write_bits(self.learner.model())?;
+        let authorized =
+            self.policy
+                .authorize(Region::SramAdaptor, self.stats.sram_write_bits(), pending);
         if let Some(tel) = &self.telemetry {
             let preflight = preflight_started.elapsed();
             tel.stage_preflight.observe(preflight.as_secs_f64());
             tel.bundle.tracer.record_span_ending_now(
                 "learn.preflight",
                 preflight,
-                &[("authorized", authorized.is_ok().to_string())],
+                &[
+                    ("authorized", authorized.is_ok().to_string()),
+                    ("pending_bits", pending.to_string()),
+                ],
             );
         }
         authorized?;
         let write_started = Instant::now();
         let delta = self.branch.refresh(self.learner.model_mut())?;
+        debug_assert_eq!(
+            delta.write_bits, pending,
+            "preflight diff must match the rewrite bill exactly"
+        );
         self.version += 1;
         self.stats.record_publish(&delta);
         if let Some(tel) = &self.telemetry {
@@ -301,10 +314,32 @@ impl LearnEngine {
         self.version
     }
 
-    /// Bits a full reload of the resident tiles writes (the worst-case
-    /// bound each write-back is authorized against).
+    /// Bits a full reload of the resident tiles writes (the upper bound
+    /// no differential write-back can exceed).
     pub fn full_load_bits(&self) -> u64 {
         self.full_load_bits
+    }
+
+    /// The exact number of SRAM bits the next
+    /// [`write_back`](Self::write_back) would toggle — the figure the
+    /// policy preflight authorizes against. Computed by diffing the
+    /// resident tiles without writing; zero when the learner hasn't moved
+    /// any quantized code since the last write-back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::Pe`] on a tile validation failure (cannot
+    /// happen while shapes are unchanged).
+    pub fn pending_write_bits(&self) -> Result<u64, LearnError> {
+        Ok(self.branch.pending_write_bits(self.learner.model())?)
+    }
+
+    /// Hands the resident branch a shared [`WorkPool`]: tile compute in
+    /// [`predict`](Self::predict) and the per-tile write-back preflight
+    /// diff fan out over it. Results and ledgers are bit-identical at any
+    /// width; a 1-thread pool is the serial path.
+    pub fn attach_pool(&mut self, pool: Arc<WorkPool>) {
+        self.branch.attach_pool(pool);
     }
 }
 
@@ -414,9 +449,27 @@ mod tests {
     #[test]
     fn unchanged_write_back_toggles_nothing() {
         let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        assert_eq!(engine.pending_write_bits().expect("diff"), 0);
         let delta = engine.write_back().expect("write back");
         assert_eq!(delta.write_bits, 0);
         assert_eq!(delta.energy.write.as_pj(), 0.0);
+    }
+
+    #[test]
+    fn preflight_diff_matches_the_write_back_bill_exactly() {
+        let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        engine.attach_pool(Arc::new(WorkPool::new(2)));
+        feed(&mut engine, 12);
+        for _ in 0..3 {
+            engine.step().expect("step");
+        }
+        let pending = engine.pending_write_bits().expect("diff");
+        assert!(pending > 0, "training moved quantized codes");
+        assert!(pending < engine.full_load_bits());
+        let delta = engine.write_back().expect("write back");
+        assert_eq!(pending, delta.write_bits, "exact preflight");
+        // After the rewrite the diff collapses to zero again.
+        assert_eq!(engine.pending_write_bits().expect("diff"), 0);
     }
 
     #[test]

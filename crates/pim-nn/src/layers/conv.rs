@@ -9,7 +9,10 @@
 use super::{Layer, Param};
 use crate::init::kaiming_uniform;
 use crate::tensor::Tensor;
+use pim_par::{SharedSliceMut, WorkPool};
 use pim_sparse::Matrix;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// 2-D convolution over NCHW tensors.
 ///
@@ -33,6 +36,10 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cached: Option<CachedForward>,
+    /// Optional shared compute pool; `None` runs the forward serially.
+    /// Attached (not constructed) so every conv in a model shares one
+    /// pool — see `Backbone::attach_pool`.
+    pool: Option<Arc<WorkPool>>,
 }
 
 #[derive(Debug, Clone)]
@@ -75,7 +82,17 @@ impl Conv2d {
             stride,
             padding,
             cached: None,
+            pool: None,
         }
+    }
+
+    /// Attaches a shared work pool; subsequent forwards fan the im2col /
+    /// matmul / layout loops out over its threads. Every output element
+    /// keeps its exact serial f32 accumulation chain (tasks split *rows*,
+    /// never a reduction), so pooled and serial forwards are
+    /// bit-identical.
+    pub fn attach_pool(&mut self, pool: Arc<WorkPool>) {
+        self.pool = Some(pool);
     }
 
     /// Input channel count.
@@ -155,63 +172,59 @@ impl Conv2d {
         }
     }
 
-    fn im2col(&self, input: &Tensor) -> (Vec<f32>, [usize; 4], (usize, usize)) {
-        let s = input.shape();
-        let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
-        assert_eq!(cin, self.in_channels, "input channel mismatch");
-        let (oh, ow) = self.output_hw(h, w);
+    /// Fills the im2col rows in `rows` (flat index `(ni·oh + oy)·ow + ox`)
+    /// into `dst`, which spans exactly those rows (`rows.len() · red`,
+    /// pre-zeroed).
+    #[allow(clippy::too_many_arguments)]
+    fn fill_cols(
+        &self,
+        x: &[f32],
+        cin: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        rows: Range<usize>,
+        dst: &mut [f32],
+    ) {
         let red = self.reduction_len();
         let k = self.kernel;
-        let x = input.as_slice();
-        let mut cols = vec![0.0f32; n * oh * ow * red];
-        for ni in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row_base = ((ni * oh + oy) * ow + ox) * red;
-                    for ci in 0..cin {
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let col = (ci * k + ky) * k + kx;
-                                cols[row_base + col] =
-                                    x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
-                            }
+        for (i, row) in rows.enumerate() {
+            let (ni, pos) = (row / (oh * ow), row % (oh * ow));
+            let (oy, ox) = (pos / ow, pos % ow);
+            let out = &mut dst[i * red..(i + 1) * red];
+            for ci in 0..cin {
+                for ky in 0..k {
+                    let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
                         }
+                        out[(ci * k + ky) * k + kx] =
+                            x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
         }
-        (cols, [n, cin, h, w], (oh, ow))
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.rank(), 4, "conv expects NCHW input");
-        let (cols, in_shape, (oh, ow)) = self.im2col(input);
-        let n = in_shape[0];
+    /// Computes `out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co]` for
+    /// the rows in `rows`; `cols`/`dst` span exactly those rows.
+    ///
+    /// Four output channels run as four independent accumulator chains so
+    /// the CPU can overlap them; each chain still sums its channel in the
+    /// exact original order, so results are f32-bit-identical to the
+    /// one-channel-at-a-time loop.
+    fn matmul_rows(&self, w: &[f32], b: &[f32], cols: &[f32], rows: usize, dst: &mut [f32]) {
         let red = self.reduction_len();
         let cout = self.out_channels;
-        let w = self.weight.value.as_slice(); // [cout, red]
-        let b = self.bias.value.as_slice();
-        let rows = n * oh * ow;
-        // out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co]
-        //
-        // Four output channels run as four independent accumulator chains
-        // so the CPU can overlap them; each chain still sums its channel
-        // in the exact original order, so results are f32-bit-identical
-        // to the one-channel-at-a-time loop.
-        let mut flat = vec![0.0f32; rows * cout];
         for row in 0..rows {
             let crow = &cols[row * red..(row + 1) * red];
-            let orow = &mut flat[row * cout..(row + 1) * cout];
+            let orow = &mut dst[row * cout..(row + 1) * cout];
             let mut co = 0;
             while co + 4 <= cout {
                 let w0 = &w[co * red..(co + 1) * red];
@@ -241,23 +254,86 @@ impl Layer for Conv2d {
                 co += 1;
             }
         }
-        // Reorder [n, oh, ow, cout] → NCHW.
+    }
+}
+
+/// Chunk size splitting `total` rows into ~2 blocks per pool executor.
+fn row_chunk(total: usize, threads: usize) -> usize {
+    if threads <= 1 {
+        total.max(1)
+    } else {
+        total.div_ceil(threads * 2).max(1)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "conv expects NCHW input");
+        let s = input.shape();
+        let (n, cin, h, w_in) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(cin, self.in_channels, "input channel mismatch");
+        let (oh, ow) = self.output_hw(h, w_in);
+        let red = self.reduction_len();
+        let cout = self.out_channels;
+        let rows = n * oh * ow;
+        let serial;
+        let pool: &WorkPool = match &self.pool {
+            Some(p) => p,
+            None => {
+                serial = WorkPool::serial();
+                &serial
+            }
+        };
+        let chunk = row_chunk(rows, pool.threads());
+        let x = input.as_slice();
+
+        // im2col, fanned out over row ranges (disjoint `cols` regions).
+        let mut cols = vec![0.0f32; rows * red];
+        let cols_view = SharedSliceMut::new(&mut cols);
+        pool.for_each_chunk(rows, chunk, |range| {
+            let dst = unsafe { cols_view.slice(range.start * red..range.end * red) };
+            self.fill_cols(x, cin, h, w_in, oh, ow, range, dst);
+        });
+
+        // out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co], fanned out
+        // over the same row ranges (disjoint `flat` regions). Each task
+        // keeps the serial per-row accumulation order, so the split is
+        // f32-bit-exact.
+        let w = self.weight.value.as_slice(); // [cout, red]
+        let b = self.bias.value.as_slice();
+        let mut flat = vec![0.0f32; rows * cout];
+        let flat_view = SharedSliceMut::new(&mut flat);
+        pool.for_each_chunk(rows, chunk, |range| {
+            let dst = unsafe { flat_view.slice(range.start * cout..range.end * cout) };
+            self.matmul_rows(
+                w,
+                b,
+                &cols[range.start * red..range.end * red],
+                range.len(),
+                dst,
+            );
+        });
+
+        // Reorder [n, oh, ow, cout] → NCHW, one image per task (disjoint
+        // per-image output blocks).
         let mut y = Tensor::zeros(&[n, cout, oh, ow]);
         let ys = y.as_mut_slice();
-        for ni in 0..n {
+        let y_view = SharedSliceMut::new(ys);
+        pool.run(n, |ni| {
+            let img = unsafe { y_view.slice(ni * cout * oh * ow..(ni + 1) * cout * oh * ow) };
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = (ni * oh + oy) * ow + ox;
                     for co in 0..cout {
-                        ys[((ni * cout + co) * oh + oy) * ow + ox] = flat[row * cout + co];
+                        img[(co * oh + oy) * ow + ox] = flat[row * cout + co];
                     }
                 }
             }
-        }
+        });
         if train {
             self.cached = Some(CachedForward {
                 cols,
-                input_shape: in_shape,
+                input_shape: [n, cin, h, w_in],
                 out_hw: (oh, ow),
             });
         }

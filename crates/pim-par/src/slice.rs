@@ -1,0 +1,106 @@
+//! A sendable view over a mutable slice for disjoint-region parallel
+//! writes.
+
+use std::marker::PhantomData;
+
+/// A raw view over `&'a mut [T]` that can be captured by the `Fn` task
+/// closures of [`WorkPool::run`](crate::WorkPool::run) and carved into
+/// per-task sub-slices.
+///
+/// Rust's borrow checker cannot see that chunked pool tasks write disjoint
+/// regions of one output buffer, so this type moves that proof obligation
+/// into a single documented `unsafe` call site: [`slice`](Self::slice).
+///
+/// The lifetime `'a` pins the view to the original borrow — the compiler
+/// still guarantees the underlying buffer outlives every task (the pool's
+/// fork-join scope ends before `'a` does) and that no safe alias exists
+/// while the view is alive.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the view is only a pointer + length; sending or sharing it moves
+// no data. Writes through it are governed by the `slice` contract
+// (disjoint ranges), and `T: Send` keeps the elements themselves movable
+// across the pool's threads.
+unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wraps an exclusive borrow. The borrow stays exclusive for `'a`, so
+    /// all access to the buffer now flows through [`slice`](Self::slice).
+    pub fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrows `range` of the buffer as a mutable sub-slice.
+    ///
+    /// # Safety
+    ///
+    /// Concurrent calls must use **pairwise disjoint** ranges: two live
+    /// sub-slices overlapping is instant UB (aliased `&mut`). The chunk
+    /// ranges handed out by
+    /// [`WorkPool::for_each_chunk`](crate::WorkPool::for_each_chunk)
+    /// partition the index space and satisfy this by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or decreasing.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice(&self, range: std::ops::Range<usize>) -> &'a mut [T] {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range {range:?} out of bounds for SharedSliceMut of len {}",
+            self.len
+        );
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_slices_cover_the_buffer() {
+        let mut data = vec![0u32; 10];
+        {
+            let view = SharedSliceMut::new(&mut data);
+            assert_eq!(view.len(), 10);
+            assert!(!view.is_empty());
+            // SAFETY: the two ranges are disjoint.
+            let (a, b) = unsafe { (view.slice(0..4), view.slice(4..10)) };
+            a.fill(1);
+            b.fill(2);
+        }
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_range_panics() {
+        let mut data = vec![0u32; 4];
+        let view = SharedSliceMut::new(&mut data);
+        // SAFETY: never materializes — the bounds check fires first.
+        let _ = unsafe { view.slice(2..5) };
+    }
+}

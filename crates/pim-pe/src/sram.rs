@@ -105,6 +105,19 @@ struct Segment {
     slots: Vec<(usize, CscSlot)>, // (logical_group, slot)
 }
 
+/// Bit-level difference between the resident segments and a candidate
+/// packing of the same layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegmentDelta {
+    /// Weight (8T compute-cell) bits that would toggle.
+    weight_bits: u64,
+    /// Index (6T cell) bits that would toggle.
+    index_bits: u64,
+    /// Physical rows holding at least one toggled bit (one write cycle
+    /// each).
+    dirty_rows: u64,
+}
+
 /// The SRAM sparse PE simulator. See the module-level documentation for the
 /// cycle and energy models.
 ///
@@ -236,46 +249,17 @@ impl SramSparsePe {
     /// pattern change).
     pub fn update(&mut self, weights: &CscMatrix) -> Result<LoadReport, PeError> {
         let (segments, tile) = self.pack_segments(weights)?;
-        let layout_matches = self.tile.is_some()
-            && self.segments.len() == segments.len()
-            && self
-                .segments
-                .iter()
-                .zip(&segments)
-                .all(|(a, b)| a.logical_col == b.logical_col && a.slots.len() == b.slots.len());
-        if !layout_matches {
+        if !self.layout_matches(&segments) {
             return self.load(weights);
         }
 
-        // Stored image of a slot: 8-bit weight in the compute cells, 4-bit
-        // CSC offset in the index cells; empty slots are zero-filled.
-        let stored = |&(_, s): &(usize, CscSlot)| -> (u8, u8) {
-            if s.occupied {
-                (s.value as u8, s.offset & 0x0F)
-            } else {
-                (0, 0)
-            }
-        };
-        let mut weight_bits_changed = 0u64;
-        let mut index_bits_changed = 0u64;
-        let mut dirty_rows = vec![false; self.config.rows];
-        for (old_seg, new_seg) in self.segments.iter().zip(&segments) {
-            for (row, (old, new)) in old_seg.slots.iter().zip(&new_seg.slots).enumerate() {
-                let (ow, oi) = stored(old);
-                let (nw, ni) = stored(new);
-                let dw = (ow ^ nw).count_ones() as u64;
-                let di = (oi ^ ni).count_ones() as u64;
-                if dw + di > 0 {
-                    dirty_rows[row] = true;
-                }
-                weight_bits_changed += dw;
-                index_bits_changed += di;
-            }
-        }
+        let delta = self.segment_delta(&segments);
+        let weight_bits_changed = delta.weight_bits;
+        let index_bits_changed = delta.index_bits;
 
         // Only dirty physical rows are re-driven, one per cycle; an
         // unchanged tile is free.
-        let cycles = dirty_rows.iter().filter(|&&d| d).count() as u64;
+        let cycles = delta.dirty_rows;
         let latency = Latency::from_cycles(cycles, self.config.tech.clock_mhz());
         let bits_written = weight_bits_changed + index_bits_changed;
         let mut energy = self.leakage_over(latency);
@@ -300,6 +284,135 @@ impl SramSparsePe {
         };
         self.stats.record_load(&report);
         Ok(report)
+    }
+
+    /// Whether `segments` has the same shape as the resident program
+    /// (same segment count, logical columns, and slots per segment), i.e.
+    /// whether [`update`](Self::update) can rewrite it differentially.
+    fn layout_matches(&self, segments: &[Segment]) -> bool {
+        self.tile.is_some()
+            && self.segments.len() == segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(segments)
+                .all(|(a, b)| a.logical_col == b.logical_col && a.slots.len() == b.slots.len())
+    }
+
+    /// Counts the bit toggles a differential rewrite to `segments` would
+    /// perform. Requires [`layout_matches`](Self::layout_matches).
+    fn segment_delta(&self, segments: &[Segment]) -> SegmentDelta {
+        // Stored image of a slot: 8-bit weight in the compute cells, 4-bit
+        // CSC offset in the index cells; empty slots are zero-filled.
+        let stored = |&(_, s): &(usize, CscSlot)| -> (u8, u8) {
+            if s.occupied {
+                (s.value as u8, s.offset & 0x0F)
+            } else {
+                (0, 0)
+            }
+        };
+        let mut delta = SegmentDelta {
+            weight_bits: 0,
+            index_bits: 0,
+            dirty_rows: 0,
+        };
+        let mut dirty_rows = vec![false; self.config.rows];
+        for (old_seg, new_seg) in self.segments.iter().zip(segments) {
+            for (row, (old, new)) in old_seg.slots.iter().zip(&new_seg.slots).enumerate() {
+                let (ow, oi) = stored(old);
+                let (nw, ni) = stored(new);
+                let dw = (ow ^ nw).count_ones() as u64;
+                let di = (oi ^ ni).count_ones() as u64;
+                if dw + di > 0 {
+                    dirty_rows[row] = true;
+                }
+                delta.weight_bits += dw;
+                delta.index_bits += di;
+            }
+        }
+        delta.dirty_rows = dirty_rows.iter().filter(|&&d| d).count() as u64;
+        delta
+    }
+
+    /// The exact number of bits an [`update`](Self::update) to `weights`
+    /// would write, **without writing anything**: the bit-exact XOR count
+    /// when the layout matches, or the full-load bill (`slots ×
+    /// (weight_bits + index_bits)`) when the update would fall back to a
+    /// fresh load.
+    ///
+    /// This is the write-back preflight used by the learning engine: the
+    /// sum over tiles is order-independent (u64 addition), so the diff can
+    /// be computed tile-parallel and still authorize against the exact
+    /// figure the sequential rewrite will bill.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`update`](Self::update): pattern or capacity
+    /// violations.
+    pub fn diff_bits(&self, weights: &CscMatrix) -> Result<u64, PeError> {
+        let (segments, _) = self.pack_segments(weights)?;
+        if !self.layout_matches(&segments) {
+            let total_slots: u64 = segments.iter().map(|s| s.slots.len() as u64).sum();
+            return Ok(total_slots * (self.config.weight_bits + self.config.index_bits) as u64);
+        }
+        let delta = self.segment_delta(&segments);
+        Ok(delta.weight_bits + delta.index_bits)
+    }
+
+    /// The compute half of [`matvec_batch`](SparsePe::matvec_batch):
+    /// identical validation and identical kernel arithmetic, but `&self`
+    /// and **no ledger recording** — parallel tasks can fan a batch out
+    /// over disjoint sub-ranges of one tile, then the dispatcher folds the
+    /// accounting in deterministic order with
+    /// [`record_matvecs`](Self::record_matvecs).
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::NotLoaded`] with no resident tile,
+    /// [`PeError::InputLength`] on a length mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `y` is not `batch × cols`.
+    pub fn matvec_batch_compute(
+        &self,
+        xs: &[i8],
+        batch: usize,
+        y: &mut [i32],
+    ) -> Result<(), PeError> {
+        assert!(batch > 0, "batch must be non-empty");
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        if xs.len() != batch * tile.rows {
+            return Err(PeError::InputLength {
+                expected: batch * tile.rows,
+                actual: xs.len(),
+            });
+        }
+        assert_eq!(
+            y.len(),
+            batch * tile.cols,
+            "output buffer does not match batch × column count"
+        );
+        self.kernel.matmul_into(xs, batch, y);
+        Ok(())
+    }
+
+    /// The accounting half of [`matvec_batch`](SparsePe::matvec_batch):
+    /// folds `count` matvecs of the resident tile into the PE ledger, in
+    /// the same sequential order (and therefore the same f64 bit patterns)
+    /// the fused call would have used, and returns the per-matvec cost.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::NotLoaded`] with no resident tile.
+    pub fn record_matvecs(&mut self, count: usize) -> Result<MatvecCost, PeError> {
+        let tile = self.tile.as_ref().ok_or(PeError::NotLoaded)?;
+        let occupied = tile.occupied_slots;
+        let cost = self.cost;
+        for _ in 0..count {
+            self.stats.record_matvec_cost(&cost, occupied);
+        }
+        Ok(cost)
     }
 
     /// Recompiles the flat execution kernel and the analytic per-matvec
@@ -926,6 +1039,88 @@ mod tests {
         let mut single = vec![0i32; 4];
         b.matvec_into(&xs[..64], &mut single).unwrap();
         assert_eq!(single, seq[..4]);
+    }
+
+    #[test]
+    fn compute_then_record_matches_fused_batch_exactly() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 21);
+        let mut fused = SramSparsePe::new();
+        fused.load(&csc).unwrap();
+        let mut split = SramSparsePe::new();
+        split.load(&csc).unwrap();
+
+        let xs: Vec<i8> = (0..4 * 64)
+            .map(|i| ((i * 53 + 11) % 256) as u8 as i8)
+            .collect();
+        let mut y_fused = vec![0i32; 4 * 4];
+        let cost_fused = fused.matvec_batch(&xs, 4, &mut y_fused).unwrap();
+
+        // Split path computes the batch in two disjoint halves (as a
+        // parallel fan-out would), then records the accounting once.
+        let mut y_split = vec![0i32; 4 * 4];
+        split
+            .matvec_batch_compute(&xs[..2 * 64], 2, &mut y_split[..2 * 4])
+            .unwrap();
+        split
+            .matvec_batch_compute(&xs[2 * 64..], 2, &mut y_split[2 * 4..])
+            .unwrap();
+        let cost_split = split.record_matvecs(4).unwrap();
+
+        assert_eq!(y_split, y_fused, "outputs bit-identical across the split");
+        assert_eq!(cost_split, cost_fused);
+        assert_eq!(split.stats(), fused.stats(), "ledgers agree bit-exactly");
+    }
+
+    #[test]
+    fn compute_and_record_validate_like_the_fused_call() {
+        let pe = SramSparsePe::new();
+        let mut y = vec![0i32; 4];
+        assert_eq!(
+            pe.matvec_batch_compute(&[0i8; 64], 1, &mut y),
+            Err(PeError::NotLoaded)
+        );
+        let mut pe = pe;
+        assert_eq!(pe.record_matvecs(1), Err(PeError::NotLoaded));
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 22);
+        pe.load(&csc).unwrap();
+        assert!(matches!(
+            pe.matvec_batch_compute(&[0i8; 10], 1, &mut y),
+            Err(PeError::InputLength {
+                expected: 64,
+                actual: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn diff_bits_predicts_the_update_bill_exactly() {
+        let a = sparse_tile(64, 4, NmPattern::one_of_four(), 31);
+        let b = sparse_tile(64, 4, NmPattern::one_of_four(), 32);
+        let mut pe = SramSparsePe::new();
+        pe.load(&a).unwrap();
+        let predicted = pe.diff_bits(&b).unwrap();
+        let report = pe.update(&b).unwrap();
+        assert_eq!(predicted, report.bits_written);
+        assert!(predicted > 0, "distinct tiles must differ somewhere");
+    }
+
+    #[test]
+    fn diff_bits_is_zero_for_an_unchanged_tile() {
+        let csc = sparse_tile(64, 4, NmPattern::one_of_four(), 33);
+        let mut pe = SramSparsePe::new();
+        pe.load(&csc).unwrap();
+        assert_eq!(pe.diff_bits(&csc).unwrap(), 0);
+    }
+
+    #[test]
+    fn diff_bits_bills_a_full_load_on_layout_change() {
+        let a = sparse_tile(64, 4, NmPattern::one_of_four(), 34);
+        let b = sparse_tile(32, 4, NmPattern::one_of_four(), 34);
+        let mut pe = SramSparsePe::new();
+        pe.load(&a).unwrap();
+        let predicted = pe.diff_bits(&b).unwrap();
+        let report = pe.update(&b).unwrap();
+        assert_eq!(predicted, report.bits_written, "fallback bill matches");
     }
 
     #[test]

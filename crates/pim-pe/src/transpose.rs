@@ -261,6 +261,7 @@ mod tests {
     use pim_sparse::gemm::dense_matvec;
     use pim_sparse::prune::prune_magnitude;
     use pim_sparse::NmPattern;
+    use proptest::prelude::*;
 
     fn nm_sparse_weight(rows: usize, cols: usize) -> Matrix<i8> {
         let dense = Matrix::from_fn(rows, cols, |r, c| ((r * 23 + c * 7) % 31) as i8 - 15);
@@ -343,5 +344,34 @@ mod tests {
         buf.write_transposed(&w).unwrap();
         let out = buf.matvec(&[2, 2, 2, 2]).unwrap().outputs;
         assert_eq!(out, vec![10, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    proptest! {
+        // Transposition sanity over deliberately NON-square shapes: the
+        // host-side transpose is an involution, and the buffer's windowed
+        // compressed layout computes exactly the naive Wᵀ·e product.
+        #[test]
+        fn transpose_is_an_involution_and_the_buffer_matches_naive(
+            (rows, cols, seed) in (1usize..40, 1usize..20, 0usize..64),
+        ) {
+            let w = Matrix::from_fn(rows, cols, |r, c| {
+                (((r * 31 + c * 17 + seed * 7) % 29) as i8) - 14
+            });
+            // transpose(transpose(x)) == x, and the shape flips.
+            let wt = w.transposed();
+            prop_assert_eq!(wt.shape(), (cols, rows));
+            prop_assert_eq!(&wt.transposed(), &w);
+            // The buffer stores Wᵀ; its matvec must equal both the dense
+            // reference on `wt` and a directly hand-folded Wᵀ·e.
+            let mut buf = TransposedSramPe::new();
+            buf.write_transposed(&w).unwrap();
+            let e: Vec<i32> = (0..cols).map(|c| (c as i32 % 7) - 3).collect();
+            let got = buf.matvec(&e).unwrap().outputs;
+            prop_assert_eq!(&got, &dense_matvec(&wt, &e).unwrap());
+            let naive: Vec<i32> = (0..rows)
+                .map(|k| (0..cols).map(|c| w[(k, c)] as i32 * e[c]).sum())
+                .collect();
+            prop_assert_eq!(got, naive);
+        }
     }
 }

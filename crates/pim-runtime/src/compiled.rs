@@ -4,8 +4,10 @@ use crate::error::RuntimeError;
 use pim_core::pe_inference::PeRepNet;
 use pim_nn::models::RepNet;
 use pim_nn::tensor::Tensor;
+use pim_par::WorkPool;
 use pim_pe::{PeStats, PeTelemetry};
 use std::fmt;
+use std::sync::Arc;
 
 /// A model lowered onto the PEs **once** — INT8 quantization, N:M CSC
 /// compression, and column tiling all happen at [`CompiledModel::compile`]
@@ -122,6 +124,12 @@ impl CompiledModel {
     /// underlying counters — into `telemetry`.
     pub(crate) fn attach_pe_telemetry(&mut self, telemetry: PeTelemetry) {
         self.branch.attach_telemetry(telemetry);
+    }
+
+    /// Hands the artifact (and every replica cloned afterwards) the
+    /// runtime's shared intra-request compute pool.
+    pub(crate) fn attach_pool(&mut self, pool: Arc<WorkPool>) {
+        self.branch.attach_pool(pool);
     }
 
     /// A worker-private copy: its own simulated PEs and backbone.

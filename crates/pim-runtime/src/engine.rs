@@ -7,6 +7,7 @@ use crate::stats::{RuntimeStats, StatsCollector};
 use crate::telemetry::RuntimeTelemetry;
 use pim_nn::layers::predictions;
 use pim_nn::tensor::Tensor;
+use pim_par::{PoolCounters, WorkPool};
 use pim_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +61,9 @@ pub struct RuntimeBuilder {
     config: RuntimeConfig,
     models: Vec<CompiledModel>,
     telemetry: Option<Arc<Telemetry>>,
+    /// Intra-request compute pool width; `None` sizes it to the cores left
+    /// over after the serving workers.
+    par_threads: Option<usize>,
 }
 
 impl RuntimeBuilder {
@@ -87,6 +91,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the width of the shared intra-request compute pool (min 1):
+    /// every served forward pass fans its tile/row grids out over these
+    /// threads (see `pim_par`). `1` degrades to the serial execution path,
+    /// bit-for-bit. Without this call the pool is sized to the cores left
+    /// over after the serving workers (never below 1), so the two thread
+    /// pools don't oversubscribe the host.
+    ///
+    /// Outputs and PE ledgers are bit-identical at every width — the
+    /// parallel tasks only compute; all accounting is folded serially in
+    /// the deterministic sequential order.
+    pub fn par_threads(mut self, n: usize) -> Self {
+        self.par_threads = Some(n.max(1));
+        self
+    }
+
     /// Attaches a [`Telemetry`] bundle: the runtime registers per-stage
     /// latency histograms (`pim_runtime_stage_seconds{stage=queue|
     /// batch_form|compute|reply}`), queue-depth and batch-size series,
@@ -110,6 +129,19 @@ impl RuntimeBuilder {
     /// Spawns the worker pool and opens the queue.
     pub fn start(self) -> Runtime {
         let telemetry = self.telemetry.map(RuntimeTelemetry::register);
+        // One compute pool, shared by every worker's replicas: serving
+        // workers parallelize across requests, the pool parallelizes
+        // within one. Default width = cores not taken by the workers.
+        let par_threads = self.par_threads.unwrap_or_else(|| {
+            let cores = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            cores.saturating_sub(self.config.workers).max(1)
+        });
+        let pool = Arc::new(WorkPool::new(par_threads));
+        if let Some(tel) = &telemetry {
+            tel.pool_threads.set(pool.threads() as f64);
+        }
         let slots: Vec<ModelSlot> = self
             .models
             .into_iter()
@@ -117,6 +149,7 @@ impl RuntimeBuilder {
                 if let Some(tel) = &telemetry {
                     m.attach_pe_telemetry(tel.pe.clone());
                 }
+                m.attach_pool(Arc::clone(&pool));
                 ModelSlot {
                     version: 0,
                     model: Arc::new(m),
@@ -124,6 +157,7 @@ impl RuntimeBuilder {
             })
             .collect();
         let shared = Arc::new(Shared {
+            pool,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 closed: false,
@@ -181,6 +215,8 @@ struct ModelSlot {
 }
 
 struct Shared {
+    /// The intra-request compute pool every replica fans out over.
+    pool: Arc<WorkPool>,
     state: Mutex<QueueState>,
     available: Condvar,
     config: RuntimeConfig,
@@ -275,6 +311,7 @@ impl Runtime {
         if let Some(tel) = &self.shared.telemetry {
             replacement.attach_pe_telemetry(tel.pe.clone());
         }
+        replacement.attach_pool(Arc::clone(&self.shared.pool));
         let version = {
             let mut slots = self.shared.models.lock().expect("model table lock");
             let slot = slots
@@ -315,6 +352,17 @@ impl Runtime {
     /// Current queue depth (requests accepted but not yet dispatched).
     pub fn queue_depth(&self) -> usize {
         self.shared.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// Executor count of the shared intra-request compute pool.
+    pub fn par_threads(&self) -> usize {
+        self.shared.pool.threads()
+    }
+
+    /// A snapshot of the shared compute pool's activity counters
+    /// (jobs dispatched, inline fallbacks, caller vs. worker task split).
+    pub fn pool_counters(&self) -> PoolCounters {
+        self.shared.pool.counters()
     }
 
     /// Enqueues one single-sample request (`[C, H, W]` or `[1, C, H, W]`)
@@ -571,6 +619,12 @@ fn serve_batch(
         // pipeline timings are recorded.
         tel.batch_size.observe(size as f64);
         tel.requests_total.add(size as f64);
+        // Mirror the compute pool's cumulative activity into the gauges.
+        let pc = shared.pool.counters();
+        tel.pool_jobs.set(pc.jobs as f64);
+        tel.pool_inline_jobs.set(pc.inline_jobs as f64);
+        tel.pool_caller_tasks.set(pc.caller_tasks as f64);
+        tel.pool_worker_tasks.set(pc.worker_tasks as f64);
         tel.stage_batch_form
             .observe(dispatched.duration_since(formed).as_secs_f64());
         tel.stage_compute.observe(compute.as_secs_f64());

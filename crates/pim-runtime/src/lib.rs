@@ -54,6 +54,7 @@ pub use compiled::CompiledModel;
 pub use engine::{BatchPolicy, Runtime, RuntimeBuilder, RuntimeConfig};
 pub use error::RuntimeError;
 pub use metrics::LatencySummary;
+pub use pim_par::PoolCounters;
 pub use pim_telemetry::Telemetry;
 pub use request::{InferResponse, ModelId, Ticket};
 pub use stats::RuntimeStats;

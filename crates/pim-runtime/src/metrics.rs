@@ -14,6 +14,15 @@
 //! interpolated value — and behaves sensibly on small sample sets: with a
 //! single sample every percentile *is* that sample, and p99 of fewer than
 //! 100 samples is the maximum rather than an extrapolation.
+//!
+//! # Empty distributions
+//!
+//! An **empty** sample set has no sample to return, so every field —
+//! p50, p95, p99, and mean — is defined to be exactly `0.0` ns (and
+//! `samples == 0` flags that the zeros mean "no data", not "instant").
+//! Callers render summaries before any traffic has arrived (e.g. a
+//! runtime stats snapshot taken right after start-up), and an explicit
+//! all-zero summary beats an `Option` at every call site.
 
 use pim_device::Latency;
 use std::fmt;
@@ -92,10 +101,17 @@ mod tests {
 
     #[test]
     fn empty_summary_is_all_zero() {
+        // The documented n = 0 convention: every percentile is exactly
+        // 0.0 ns, not NaN, not a panic, not an Option.
         let s = LatencySummary::from_ns(&[]);
         assert_eq!(s, LatencySummary::empty());
         assert_eq!(s.samples, 0);
+        assert_eq!(s.p50, Latency::from_ns(0.0));
+        assert_eq!(s.p95, Latency::from_ns(0.0));
+        assert_eq!(s.p99, Latency::from_ns(0.0));
         assert_eq!(s.mean, Latency::from_ns(0.0));
+        assert_eq!(percentile_sorted(&[], 0.0), 0.0);
+        assert_eq!(percentile_sorted(&[], 1.0), 0.0);
     }
 
     #[test]

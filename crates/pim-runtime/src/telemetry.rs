@@ -41,6 +41,18 @@ pub(crate) struct RuntimeTelemetry {
     pub rejected_total: Counter,
     /// Hot model swaps published.
     pub swaps_total: Counter,
+    /// Executors (worker threads + dispatching caller) of the shared
+    /// intra-request compute pool.
+    pub pool_threads: Gauge,
+    /// Cumulative jobs the compute pool has dispatched across its workers.
+    pub pool_jobs: Gauge,
+    /// Cumulative jobs the pool ran inline (serial pool or contended
+    /// dispatch).
+    pub pool_inline_jobs: Gauge,
+    /// Cumulative pool tasks executed by the dispatching worker itself.
+    pub pool_caller_tasks: Gauge,
+    /// Cumulative pool tasks stolen by the pool's helper threads.
+    pub pool_worker_tasks: Gauge,
     /// The `PeStats` mirror attached to every served branch.
     pub pe: PeTelemetry,
 }
@@ -83,6 +95,28 @@ impl RuntimeTelemetry {
             swaps_total: registry.counter(
                 "pim_runtime_swaps_total",
                 "Hot model swaps published into serving",
+            ),
+            // Gauges, not counters: they mirror the pool's own cumulative
+            // snapshot (set, never inc'd) once per served batch.
+            pool_threads: registry.gauge(
+                "pim_par_pool_threads",
+                "Executors of the shared intra-request compute pool",
+            ),
+            pool_jobs: registry.gauge(
+                "pim_par_pool_jobs",
+                "Cumulative fork-join jobs dispatched across pool workers",
+            ),
+            pool_inline_jobs: registry.gauge(
+                "pim_par_pool_inline_jobs",
+                "Cumulative pool jobs run inline (serial or contended)",
+            ),
+            pool_caller_tasks: registry.gauge(
+                "pim_par_pool_caller_tasks",
+                "Cumulative pool tasks executed by the dispatching thread",
+            ),
+            pool_worker_tasks: registry.gauge(
+                "pim_par_pool_worker_tasks",
+                "Cumulative pool tasks stolen by pool helper threads",
             ),
             pe: PeTelemetry::register(registry, PE_SOURCE),
             bundle,

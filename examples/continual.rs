@@ -10,16 +10,19 @@
 //! `pim-runtime` serving pool while clients keep querying it.
 //!
 //! The run closes with the hybrid contract ledger (MRAM writes must be
-//! zero), a differential-vs-full write comparison, and a live
+//! zero), a differential-vs-full write comparison, a live
 //! Figure-8-style EDP bar chart against a modelled finetune-all-in-NVM
-//! deployment.
+//! deployment, and a compact Table-1 scenario: the same frozen backbone
+//! re-adapted to a sequence of downstream tasks through `HybridSystem`.
 //!
 //! Run with: `cargo run --release --example continual`
 
 use pim_core::pe_inference::PeRepNet;
-use pim_data::SyntheticSpec;
+use pim_core::{HybridSystem, NmPattern, SystemConfig};
+use pim_data::{downstream_suite, SyntheticSpec};
 use pim_learn::{LearnEngine, OnlineLearnerConfig, WritePolicy};
 use pim_nn::models::{Backbone, BackboneConfig, RepNet, RepNetConfig};
+use pim_nn::train::FitConfig;
 use pim_runtime::Runtime;
 use std::time::Duration;
 
@@ -148,4 +151,63 @@ fn main() {
         .fig8("1:4")
         .expect("publishes happened, EDP is measured");
     print!("{fig}");
+
+    // -- Table-1 scenario: one backbone, a sequence of tasks ---------------
+    // The same property at system scope: pretrain a backbone once, then
+    // re-adapt only the tiny 1:4-sparse Rep-Net path to each downstream
+    // task. The backbone never takes a write, so every task switch is an
+    // SRAM-only rewrite.
+    println!("\n=== Table-1 scenario: frozen backbone, per-task adaptors ===\n");
+    let backbone = BackboneConfig {
+        in_channels: 3,
+        image_size: 8,
+        stage_widths: vec![16, 32],
+        blocks_per_stage: 1,
+        seed: 1,
+    };
+    let fit = FitConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+    };
+    let upstream = SyntheticSpec::upstream_pretraining()
+        .with_geometry(8, 3)
+        .generate()
+        .expect("upstream spec");
+    let mut system = HybridSystem::pretrain(
+        SystemConfig {
+            backbone,
+            rep_channels: 8,
+            pattern: Some(NmPattern::new(1, 4).expect("valid pattern")),
+            seed: 7,
+        },
+        &upstream,
+        &fit,
+    );
+    for spec in downstream_suite().into_iter().take(2) {
+        let task = spec
+            .with_geometry(8, 3)
+            .with_samples(6, 3)
+            .generate()
+            .expect("task spec");
+        let report = system.learn_task(&task, &fit);
+        assert!(
+            report.accuracy_fp32 > 0.2,
+            "adaptor failed to learn the task: {report}"
+        );
+        assert!(
+            report.accuracy_int8 > report.accuracy_fp32 - 0.25,
+            "PTQ collapsed: {report}"
+        );
+        println!("  {report}");
+    }
+    let dep = system.deployment().expect("maps onto the PEs");
+    assert!(dep.total_area().as_mm2() > 0.0);
+    println!(
+        "  deployment: {:.2} mm² total, write energy/step limited to the SRAM branch",
+        dep.total_area().as_mm2()
+    );
 }
