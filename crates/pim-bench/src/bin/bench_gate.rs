@@ -46,6 +46,15 @@ const MIN_PAR_CORES: f64 = 4.0;
 /// threads on a machine with at least [`MIN_PAR_CORES`] cores.
 const MIN_PAR_SPEEDUP: f64 = 1.5;
 
+/// Serving SLO ceilings enforced on the fresh run's cluster keys
+/// (written by `examples/cluster.rs`): absolute bounds, not drift —
+/// a p99 or rejection fraction above these is a regression regardless
+/// of what the committed baseline said. Only enforced once the
+/// committed baseline carries the key, so pre-cluster baselines still
+/// gate cleanly.
+const SLO_CEILINGS: [(&str, f64); 2] =
+    [("cluster_p99_ms", 250.0), ("cluster_rejection_frac", 0.10)];
+
 fn load(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     BenchDoc::parse(&text).ok_or_else(|| format!("{path} is not a bench baseline document"))
@@ -88,7 +97,30 @@ fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
         }
     }
     check_parallel_floor(&fresh, &mut failures);
+    check_slo_ceilings(&committed, &fresh, &mut failures);
     Ok(failures)
+}
+
+/// Enforces the serving SLO ceilings on the fresh run. A committed
+/// baseline without the key (predating the cluster) skips the check;
+/// a fresh run missing a key the committed baseline carries has already
+/// failed the structure check above.
+fn check_slo_ceilings(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec<String>) {
+    for (key, ceiling) in SLO_CEILINGS {
+        if committed.derived_value(key).is_none() {
+            continue;
+        }
+        let Some(value) = fresh.derived_value(key) else {
+            continue; // already a structure failure
+        };
+        if value.is_finite() && value <= ceiling {
+            println!("  slo   {key:<32} {value:.3} (ceiling {ceiling}, ok)");
+        } else {
+            failures.push(format!(
+                "SLO '{key}' is {value:.3}, above its ceiling {ceiling}"
+            ));
+        }
+    }
 }
 
 /// Enforces the 4-thread end-to-end speedup floor, but only when the

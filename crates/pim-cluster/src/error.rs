@@ -1,0 +1,81 @@
+//! Cluster-level failure modes.
+
+use pim_runtime::RuntimeError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong at the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A per-replica runtime error surfaced through the cluster (bad
+    /// input shape, unknown model, shutdown, incompatible swap, …).
+    Runtime(RuntimeError),
+    /// Every healthy replica refused the request (bounded queues full) —
+    /// the cluster-level admission-control rejection the SLO counts.
+    Saturated {
+        /// Replicas that were tried.
+        replicas: usize,
+    },
+    /// No replica passed the health probe; the fleet is down.
+    NoHealthyReplica,
+    /// The canary replica's answer to the probe input did not match the
+    /// replacement artifact's reference answer bit-for-bit; the canary
+    /// was rolled back and the fleet still serves the old version.
+    CanaryRejected {
+        /// The replica the canary ran on.
+        replica: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Runtime(e) => write!(f, "replica runtime error: {e}"),
+            ClusterError::Saturated { replicas } => write!(
+                f,
+                "all {replicas} healthy replicas rejected the request (queues full)"
+            ),
+            ClusterError::NoHealthyReplica => write!(f, "no healthy replica available"),
+            ClusterError::CanaryRejected { replica } => write!(
+                f,
+                "canary on replica {replica} diverged from the reference answer; rolled back"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ClusterError {
+    fn from(e: RuntimeError) -> Self {
+        ClusterError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = ClusterError::from(RuntimeError::ShuttingDown);
+        assert!(e.to_string().contains("replica runtime error"));
+        assert!(Error::source(&e).is_some());
+        assert!(ClusterError::Saturated { replicas: 3 }
+            .to_string()
+            .contains("3 healthy replicas"));
+        assert!(ClusterError::NoHealthyReplica
+            .to_string()
+            .contains("no healthy"));
+        assert!(ClusterError::CanaryRejected { replica: 0 }
+            .to_string()
+            .contains("rolled back"));
+    }
+}

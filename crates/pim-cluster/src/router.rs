@@ -1,0 +1,132 @@
+//! Queue-depth-aware replica selection.
+//!
+//! The router never owns replica state; the cluster hands it a probe of
+//! per-replica queue depths (`None` = failed health check) and gets back
+//! the order in which to try them. Small fleets get exact
+//! join-shortest-queue; large fleets get power-of-two-choices leads with
+//! the depth-sorted scan kept behind them as the saturation fallback, so
+//! a burst that fills both sampled queues still drains onto the rest of
+//! the fleet instead of bouncing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fleets up to this many healthy replicas are routed with an exact
+/// join-shortest-queue scan; larger fleets switch to two random probes.
+const P2C_THRESHOLD: usize = 8;
+
+/// Deterministic, lock-free replica picker.
+#[derive(Debug)]
+pub(crate) struct Router {
+    /// xorshift64 state for the power-of-two-choices probes. Concurrent
+    /// submitters race on it benignly: an interleaved update just yields
+    /// a different — still uniform — draw.
+    rng: AtomicU64,
+}
+
+impl Router {
+    /// Seeded so routing decisions are reproducible in tests; seed 0 is
+    /// promoted to 1 (xorshift64 has an all-zeros fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: AtomicU64::new(seed.max(1)),
+        }
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// Fills `order` with the healthy replica indices in try order.
+    ///
+    /// `depths[i]` is replica `i`'s queue depth, or `None` if it failed
+    /// the health probe (excluded entirely). Up to [`P2C_THRESHOLD`]
+    /// healthy replicas the order is exact join-shortest-queue (depth,
+    /// then index as the deterministic tiebreak). Beyond it, two random
+    /// probes lead — shorter queue first — and the full depth-sorted scan
+    /// follows as the fallback once both probes reject.
+    pub fn plan(&self, depths: &[Option<usize>], order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(depths.iter().enumerate().filter_map(|(i, d)| d.map(|_| i)));
+        let healthy = order.len();
+        if healthy == 0 {
+            return;
+        }
+        let key = |i: usize| (depths[i].expect("healthy replica has a depth"), i);
+        if healthy <= P2C_THRESHOLD {
+            order.sort_by_key(|&i| key(i));
+            return;
+        }
+        let i = (self.next_rand() % healthy as u64) as usize;
+        let mut j = (self.next_rand() % healthy as u64) as usize;
+        if i == j {
+            j = (j + 1) % healthy;
+        }
+        let (a, b) = (order[i], order[j]);
+        let (first, second) = if key(a) <= key(b) { (a, b) } else { (b, a) };
+        order.sort_by_key(|&i| key(i));
+        order.retain(|&x| x != first && x != second);
+        order.insert(0, second);
+        order.insert(0, first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(router: &Router, depths: &[Option<usize>]) -> Vec<usize> {
+        let mut order = Vec::new();
+        router.plan(depths, &mut order);
+        order
+    }
+
+    #[test]
+    fn small_fleet_is_exact_jsq_with_index_tiebreak() {
+        let r = Router::new(7);
+        let depths = [Some(3), Some(1), Some(2), Some(1)];
+        assert_eq!(plan(&r, &depths), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn unhealthy_replicas_are_never_candidates() {
+        let r = Router::new(7);
+        let depths = [Some(0), None, Some(5), None];
+        assert_eq!(plan(&r, &depths), vec![0, 2]);
+        assert!(plan(&r, &[None, None]).is_empty());
+    }
+
+    #[test]
+    fn large_fleet_p2c_still_covers_every_healthy_replica() {
+        let r = Router::new(42);
+        let depths: Vec<Option<usize>> = (0..12).map(|i| Some((i * 5) % 7)).collect();
+        for _ in 0..50 {
+            let order = plan(&r, &depths);
+            assert_eq!(order.len(), 12, "every healthy replica is a candidate");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..12).collect::<Vec<_>>(), "no duplicates");
+            // The two probes lead with the shorter queue first.
+            let key = |i: usize| (depths[i].unwrap(), i);
+            assert!(key(order[0]) <= key(order[1]));
+            // The fallback tail is the JSQ scan over the rest.
+            for w in order[2..].windows(2) {
+                assert!(key(w[0]) <= key(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let depths: Vec<Option<usize>> = (0..20).map(|i| Some(i % 4)).collect();
+        let a = Router::new(99);
+        let b = Router::new(99);
+        for _ in 0..10 {
+            assert_eq!(plan(&a, &depths), plan(&b, &depths));
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //!   and checks bit-exactness against the NN-side integer reference;
 //! * [`pe_inference`] — the learnable branch compiled into loaded SRAM PE
 //!   tiles and executed end-to-end on the cycle simulators;
+//! * [`shard`] — MARS-style multi-macro execution: the compiled branch's
+//!   tiles partitioned round-robin across macro groups, with a
+//!   scatter/gather path bit-exact with single-macro inference (the
+//!   substrate `pim-cluster` serves from);
 //! * [`experiments`] — drivers regenerating every table and figure of the
 //!   paper's evaluation (Table 1/2, Fig. 7/8, plus ablations).
 //!
@@ -41,6 +45,7 @@
 pub mod experiments;
 pub mod pe_inference;
 pub mod profile;
+pub mod shard;
 pub mod system;
 pub mod verify;
 

@@ -40,13 +40,13 @@ pub type PeRunStats = PeStats;
 
 /// One loaded PE column tile of a layer.
 #[derive(Debug, Clone)]
-struct PeTile {
-    pe: SramSparsePe,
+pub(crate) struct PeTile {
+    pub(crate) pe: SramSparsePe,
     /// Output-column range `[col_start, col_end)` this tile covers.
-    col_start: usize,
-    col_end: usize,
+    pub(crate) col_start: usize,
+    pub(crate) col_end: usize,
     /// Occupied CSC slots — the MACs one matvec on this tile performs.
-    nnz: u64,
+    pub(crate) nnz: u64,
 }
 
 /// Reusable per-layer working buffers — quantized inputs, PE
@@ -55,7 +55,7 @@ struct PeTile {
 /// first use and are reused thereafter, so the per-position / per-matvec
 /// hot loop performs no heap allocation after warmup.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// `batch × reduction` quantized activations.
     x_q: Vec<i8>,
     /// Per-input dequantization scale (`weight_scale × activation_scale`).
@@ -63,12 +63,12 @@ struct Scratch {
     /// `batch × tile_cols` raw PE accumulators of the current tile.
     acc: Vec<i32>,
     /// `positions × reduction` im2col patch matrix of the current image.
-    patches: Vec<f32>,
+    pub(crate) patches: Vec<f32>,
     /// `positions × outputs` staged conv outputs before the NCHW scatter.
-    staged: Vec<f32>,
+    pub(crate) staged: Vec<f32>,
     /// Per-tile `(cost, nnz)` of the last batched call, replayed into the
     /// run ledger in the sequential (input-major, tile-minor) order.
-    costs: Vec<(MatvecCost, u64)>,
+    pub(crate) costs: Vec<(MatvecCost, u64)>,
     /// Prefix offsets of each tile's region in the shared `acc` arena
     /// (`tiles + 1` entries) — lets parallel tile tasks write disjointly.
     tile_off: Vec<usize>,
@@ -77,7 +77,7 @@ struct Scratch {
 /// Rows per parallel batch block: enough blocks to feed every executor
 /// roughly twice (for load balance against uneven tile sizes), never
 /// smaller than one row. A serial pool keeps the whole batch in one block.
-fn par_block(batch: usize, threads: usize) -> usize {
+pub(crate) fn par_block(batch: usize, threads: usize) -> usize {
     if threads <= 1 {
         batch
     } else {
@@ -87,17 +87,17 @@ fn par_block(batch: usize, threads: usize) -> usize {
 
 /// A conv or linear layer compiled into weight-stationary SRAM PE tiles.
 #[derive(Debug, Clone)]
-struct PeLayer {
-    name: String,
-    tiles: Vec<PeTile>,
+pub(crate) struct PeLayer {
+    pub(crate) name: String,
+    pub(crate) tiles: Vec<PeTile>,
     weight_scale: f32,
     bias: Vec<f32>,
-    reduction: usize,
-    outputs: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    scratch: Scratch,
+    pub(crate) reduction: usize,
+    pub(crate) outputs: usize,
+    pub(crate) kernel: usize,
+    pub(crate) stride: usize,
+    pub(crate) padding: usize,
+    pub(crate) scratch: Scratch,
 }
 
 impl PeLayer {
@@ -192,12 +192,29 @@ impl PeLayer {
     /// both outputs and the f64 run ledger are bit-identical to
     /// one-at-a-time calls regardless of thread count or interleaving.
     /// Zero heap allocation after the layer scratch has warmed up.
-    fn forward_batch(
+    pub(crate) fn forward_batch(
         &mut self,
         xs: &[f32],
         batch: usize,
         out: &mut [f32],
         stats: &mut PeRunStats,
+        pool: &WorkPool,
+    ) {
+        self.forward_batch_compute(xs, batch, out, pool);
+        self.replay_costs(batch, stats);
+    }
+
+    /// The compute half of [`forward_batch`](PeLayer::forward_batch):
+    /// quantizes, runs the tile × batch-block grid, folds each tile's own
+    /// ledger, and leaves the per-tile `(cost, nnz)` bills in
+    /// `scratch.costs` — **without** touching the run ledger. The sharded
+    /// execution path calls this on every macro group and then interleaves
+    /// all groups' bills into the canonical global replay order itself.
+    pub(crate) fn forward_batch_compute(
+        &mut self,
+        xs: &[f32],
+        batch: usize,
+        out: &mut [f32],
         pool: &WorkPool,
     ) {
         debug_assert_eq!(xs.len(), batch * self.reduction);
@@ -300,16 +317,53 @@ impl PeLayer {
                 .expect("tile loaded at compile time");
             costs.push((cost, tile.nnz));
         }
+    }
+
+    /// Replays the bills staged by the last
+    /// [`forward_batch_compute`](PeLayer::forward_batch_compute) into the
+    /// run ledger input-major, tile-minor — the sequential-execution
+    /// order.
+    pub(crate) fn replay_costs(&self, batch: usize, stats: &mut PeRunStats) {
         for _ in 0..batch {
-            for &(cost, nnz) in costs.iter() {
+            for &(cost, nnz) in self.scratch.costs.iter() {
                 stats.record_matvec_cost(&cost, nnz);
             }
         }
     }
 
+    /// Splits the layer into `groups` macro-group parts, tile `i` going
+    /// to part `i % groups` (round-robin keeps per-group work balanced
+    /// when tiles are uneven). Each part keeps the full output width and
+    /// bias — its tiles still write only the columns they own — so running
+    /// every part over the same input writes disjoint column sets that
+    /// together reconstruct exactly the unsplit layer's output. A part may
+    /// hold no tiles when the layer has fewer tiles than groups.
+    pub(crate) fn split_round_robin(&self, groups: usize) -> Vec<PeLayer> {
+        (0..groups)
+            .map(|g| PeLayer {
+                name: format!("{}#g{g}", self.name),
+                tiles: self
+                    .tiles
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % groups == g)
+                    .map(|(_, t)| t.clone())
+                    .collect(),
+                weight_scale: self.weight_scale,
+                bias: self.bias.clone(),
+                reduction: self.reduction,
+                outputs: self.outputs,
+                kernel: self.kernel,
+                stride: self.stride,
+                padding: self.padding,
+                scratch: Scratch::default(),
+            })
+            .collect()
+    }
+
     /// Cumulative statistics of this layer's tiles, as the PEs account
     /// them (includes the compile-time tile load).
-    fn cumulative_stats(&self) -> PeStats {
+    pub(crate) fn cumulative_stats(&self) -> PeStats {
         self.tiles.iter().map(|t| *t.pe.stats()).sum()
     }
 
@@ -319,80 +373,45 @@ impl PeLayer {
     /// of every image. The merged call's flat `(input, tile)` replay
     /// sequence is identical to per-image calls of `oh×ow` rows each, so
     /// the ledgers are unchanged by the merge.
-    fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats, pool: &WorkPool) -> Tensor {
+    pub(crate) fn conv_forward(
+        &mut self,
+        input: &Tensor,
+        stats: &mut PeRunStats,
+        pool: &WorkPool,
+    ) -> Tensor {
         let s = input.shape();
         let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
         let k = self.kernel;
         assert_eq!(cin * k * k, self.reduction, "layer {}: geometry", self.name);
-        let oh = (h + 2 * self.padding - k) / self.stride + 1;
-        let ow = (w + 2 * self.padding - k) / self.stride + 1;
+        let (oh, ow) = conv_out_dims(h, w, k, self.stride, self.padding);
         let positions = oh * ow;
         let rows = n * positions;
-        let x = input.as_slice();
         let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
-        let os = out.as_mut_slice();
         // Detach the image-level buffers so `forward_batch` can re-borrow
         // the layer; they return to the scratch after the pass.
         let mut patches = std::mem::take(&mut self.scratch.patches);
         let mut staged = std::mem::take(&mut self.scratch.staged);
-        patches.resize(rows * self.reduction, 0.0);
         staged.resize(rows * self.outputs, 0.0);
-        {
-            // Every patch row is an independent gather from the input.
-            let reduction = self.reduction;
-            let stride = self.stride;
-            let padding = self.padding;
-            let patches_view = SharedSliceMut::new(&mut patches);
-            pool.for_each_chunk(rows, par_block(rows, pool.threads()), |range| {
-                // SAFETY: chunk row ranges are disjoint.
-                let dst =
-                    unsafe { patches_view.slice(range.start * reduction..range.end * reduction) };
-                dst.iter_mut().for_each(|v| *v = 0.0);
-                for (i, p) in range.enumerate() {
-                    let (ni, pos) = (p / positions, p % positions);
-                    let (oy, ox) = (pos / ow, pos % ow);
-                    let patch = &mut dst[i * reduction..(i + 1) * reduction];
-                    for ci in 0..cin {
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky) as isize - padding as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * stride + kx) as isize - padding as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                patch[(ci * k + ky) * k + kx] =
-                                    x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
-                            }
-                        }
-                    }
-                }
-            });
-        }
+        gather_patches(
+            input,
+            self.reduction,
+            k,
+            self.stride,
+            self.padding,
+            oh,
+            ow,
+            &mut patches,
+            pool,
+        );
         self.forward_batch(&patches, rows, &mut staged, stats, pool);
-        // Scatter the position-major staged rows into the NCHW output;
-        // each image owns a contiguous output region.
-        {
-            let outputs = self.outputs;
-            let staged = &staged;
-            let os_view = SharedSliceMut::new(os);
-            pool.run(n, |ni| {
-                // SAFETY: image ni owns os[ni·C·P .. (ni+1)·C·P].
-                let img = unsafe {
-                    os_view.slice(ni * outputs * positions..(ni + 1) * outputs * positions)
-                };
-                for p in 0..positions {
-                    for (co, &v) in staged[(ni * positions + p) * outputs..][..outputs]
-                        .iter()
-                        .enumerate()
-                    {
-                        img[co * positions + p] = v;
-                    }
-                }
-            });
-        }
+        scatter_staged(
+            &staged,
+            out.as_mut_slice(),
+            n,
+            self.outputs,
+            positions,
+            pool,
+        );
         self.scratch.patches = patches;
         self.scratch.staged = staged;
         out
@@ -434,6 +453,98 @@ impl PeLayer {
     }
 }
 
+/// Output height/width of a `k×k` conv with `stride`/`padding` over `h×w`.
+pub(crate) fn conv_out_dims(
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
+    (
+        (h + 2 * padding - k) / stride + 1,
+        (w + 2 * padding - k) / stride + 1,
+    )
+}
+
+/// Gathers the whole batch's `n·oh·ow × reduction` im2col patch matrix in
+/// position-major row order; patch rows fan out over the pool. `patches`
+/// is resized to fit (a reusable scratch buffer).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_patches(
+    input: &Tensor,
+    reduction: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    patches: &mut Vec<f32>,
+    pool: &WorkPool,
+) {
+    let s = input.shape();
+    let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
+    debug_assert_eq!(cin * k * k, reduction);
+    let positions = oh * ow;
+    let rows = n * positions;
+    let x = input.as_slice();
+    patches.resize(rows * reduction, 0.0);
+    // Every patch row is an independent gather from the input.
+    let patches_view = SharedSliceMut::new(patches);
+    pool.for_each_chunk(rows, par_block(rows, pool.threads()), |range| {
+        // SAFETY: chunk row ranges are disjoint.
+        let dst = unsafe { patches_view.slice(range.start * reduction..range.end * reduction) };
+        dst.iter_mut().for_each(|v| *v = 0.0);
+        for (i, p) in range.enumerate() {
+            let (ni, pos) = (p / positions, p % positions);
+            let (oy, ox) = (pos / ow, pos % ow);
+            let patch = &mut dst[i * reduction..(i + 1) * reduction];
+            for ci in 0..cin {
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        patch[(ci * k + ky) * k + kx] =
+                            x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Scatters position-major staged rows (`n·positions × outputs`) into the
+/// NCHW output slice; each image owns a contiguous output region.
+pub(crate) fn scatter_staged(
+    staged: &[f32],
+    os: &mut [f32],
+    n: usize,
+    outputs: usize,
+    positions: usize,
+    pool: &WorkPool,
+) {
+    let os_view = SharedSliceMut::new(os);
+    pool.run(n, |ni| {
+        // SAFETY: image ni owns os[ni·C·P .. (ni+1)·C·P].
+        let img =
+            unsafe { os_view.slice(ni * outputs * positions..(ni + 1) * outputs * positions) };
+        for p in 0..positions {
+            for (co, &v) in staged[(ni * positions + p) * outputs..][..outputs]
+                .iter()
+                .enumerate()
+            {
+                img[co * positions + p] = v;
+            }
+        }
+    });
+}
+
 /// The pattern a layer compiles under: its mask's, or dense `4:4`.
 fn pattern_of_conv(conv: &SparseConv2d) -> NmPattern {
     conv.mask()
@@ -449,11 +560,11 @@ fn pattern_of_linear(fc: &SparseLinear) -> NmPattern {
 
 /// One Rep-Net module compiled onto PEs.
 #[derive(Debug, Clone)]
-struct PeModule {
-    pools_prev: bool,
-    proj: PeLayer,
-    conv3: PeLayer,
-    conv1: PeLayer,
+pub(crate) struct PeModule {
+    pub(crate) pools_prev: bool,
+    pub(crate) proj: PeLayer,
+    pub(crate) conv3: PeLayer,
+    pub(crate) conv1: PeLayer,
 }
 
 /// The Rep-Net learnable branch compiled onto SRAM sparse PEs.
@@ -481,9 +592,9 @@ struct PeModule {
 /// recompiling — this is what `pim-runtime` fans out across workers.
 #[derive(Debug, Clone)]
 pub struct PeRepNet {
-    modules: Vec<PeModule>,
-    classifier: PeLayer,
-    feature_width: usize,
+    pub(crate) modules: Vec<PeModule>,
+    pub(crate) classifier: PeLayer,
+    pub(crate) feature_width: usize,
     /// Live counter mirror: when attached, every `predict`/`refresh`
     /// ledger delta is also folded into the shared telemetry counters
     /// (clones share the same counters, so a worker pool aggregates).
@@ -808,14 +919,14 @@ impl fmt::Display for PeRepNet {
 }
 
 /// In-place ReLU (digital periphery — the PE's global ReLU unit).
-fn relu_in_place(t: &mut Tensor) {
+pub(crate) fn relu_in_place(t: &mut Tensor) {
     for v in t.as_mut_slice() {
         *v = v.max(0.0);
     }
 }
 
 /// 2×2 average pooling (digital periphery — shift-add).
-fn avg_pool2(t: &Tensor) -> Tensor {
+pub(crate) fn avg_pool2(t: &Tensor) -> Tensor {
     let s = t.shape();
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let x = t.as_slice();
@@ -840,7 +951,7 @@ fn avg_pool2(t: &Tensor) -> Tensor {
 }
 
 /// Global average pooling NCHW → `[N, C]`.
-fn global_avg_pool(t: &Tensor) -> Tensor {
+pub(crate) fn global_avg_pool(t: &Tensor) -> Tensor {
     let s = t.shape();
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let x = t.as_slice();

@@ -82,7 +82,7 @@ struct Counters {
     worker_tasks: AtomicU64,
 }
 
-/// A point-in-time snapshot of a pool's [`Counters`].
+/// A point-in-time snapshot of a pool's internal counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolCounters {
     /// Jobs dispatched across the worker threads.

@@ -41,14 +41,29 @@ pub struct PeTelemetry {
 impl PeTelemetry {
     /// Registers (or re-acquires) the PE counter families for `source`.
     pub fn register(registry: &TelemetryRegistry, source: &str) -> Self {
+        Self::register_with(registry, source, &[])
+    }
+
+    /// Like [`register`](PeTelemetry::register), with `extra` label pairs
+    /// appended after the `source` (and `channel`) labels — e.g.
+    /// `("replica", "2")` so a cluster can attribute PE energy per node.
+    /// Distinct label lists register distinct series; identical ones
+    /// re-acquire the same cells (the registry's get-or-register rule).
+    pub fn register_with(
+        registry: &TelemetryRegistry,
+        source: &str,
+        extra: &[(&str, &str)],
+    ) -> Self {
         let energy = ENERGY_CHANNELS.map(|channel| {
-            registry.counter_with(
-                ENERGY_METRIC,
-                "Simulated PE energy by channel",
-                &[("source", source), ("channel", channel)],
-            )
+            let mut labels = vec![("source", source), ("channel", channel)];
+            labels.extend_from_slice(extra);
+            registry.counter_with(ENERGY_METRIC, "Simulated PE energy by channel", &labels)
         });
-        let c = |name: &str, help: &str| registry.counter_with(name, help, &[("source", source)]);
+        let c = |name: &str, help: &str| {
+            let mut labels = vec![("source", source)];
+            labels.extend_from_slice(extra);
+            registry.counter_with(name, help, &labels)
+        };
         Self {
             energy,
             cycles: c("pim_pe_cycles_total", "Simulated PE clock cycles"),
@@ -150,6 +165,23 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("pim_pe_write_bits_total{source=\"test\"} 40"));
         assert!(text.contains("channel=\"read\""));
+    }
+
+    #[test]
+    fn extra_labels_register_distinct_series() {
+        let registry = TelemetryRegistry::new();
+        let r0 = PeTelemetry::register_with(&registry, "serve", &[("replica", "0")]);
+        let r1 = PeTelemetry::register_with(&registry, "serve", &[("replica", "1")]);
+        r0.record(&delta(1.0, 0.0, 0));
+        r1.record(&delta(2.0, 0.0, 0));
+        assert_eq!(r0.energy_pj()[1], 1.0);
+        assert_eq!(r1.energy_pj()[1], 2.0);
+        // Same labels re-acquire the same cells.
+        let again = PeTelemetry::register_with(&registry, "serve", &[("replica", "0")]);
+        assert_eq!(again.energy_pj()[1], 1.0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("source=\"serve\""));
+        assert!(text.contains("replica=\"1\""));
     }
 
     #[test]

@@ -2,12 +2,52 @@
 
 use crate::error::RuntimeError;
 use pim_core::pe_inference::PeRepNet;
+use pim_core::shard::ShardedPeRepNet;
 use pim_nn::models::RepNet;
 use pim_nn::tensor::Tensor;
 use pim_par::WorkPool;
 use pim_pe::{PeStats, PeTelemetry};
 use std::fmt;
 use std::sync::Arc;
+
+/// The execution backend of an artifact: one macro owning every tile, or
+/// the tiles dealt across several macro groups (MARS-style). Both produce
+/// bit-identical logits and ledgers; only the simulated topology differs.
+#[derive(Debug, Clone)]
+enum Branch {
+    Single(PeRepNet),
+    Sharded(ShardedPeRepNet),
+}
+
+impl Branch {
+    fn tile_count(&self) -> usize {
+        match self {
+            Branch::Single(b) => b.tile_count(),
+            Branch::Sharded(s) => s.tile_count(),
+        }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: PeTelemetry) {
+        match self {
+            Branch::Single(b) => b.attach_telemetry(telemetry),
+            Branch::Sharded(s) => s.attach_telemetry(telemetry),
+        }
+    }
+
+    fn attach_pool(&mut self, pool: Arc<WorkPool>) {
+        match self {
+            Branch::Single(b) => b.attach_pool(pool),
+            Branch::Sharded(s) => s.attach_pool(pool),
+        }
+    }
+
+    fn predict(&mut self, model: &mut RepNet, batch: &Tensor) -> (Tensor, PeStats) {
+        match self {
+            Branch::Single(b) => b.predict(model, batch),
+            Branch::Sharded(s) => s.predict(model, batch),
+        }
+    }
+}
 
 /// A model lowered onto the PEs **once** — INT8 quantization, N:M CSC
 /// compression, and column tiling all happen at [`CompiledModel::compile`]
@@ -24,8 +64,9 @@ pub struct CompiledModel {
     /// Frozen backbone + reference branch; cloned per worker because the
     /// forward pass needs `&mut` (activation workspaces).
     model: RepNet,
-    /// The learnable branch as loaded PE tiles.
-    branch: PeRepNet,
+    /// The learnable branch as loaded PE tiles (single macro or sharded
+    /// across macro groups).
+    branch: Branch,
     /// Expected per-sample input shape `[C, H, W]`.
     input_shape: Vec<usize>,
     num_classes: usize,
@@ -50,7 +91,7 @@ impl CompiledModel {
         Ok(Self {
             name: name.into(),
             model,
-            branch,
+            branch: Branch::Single(branch),
             input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
             num_classes,
             compile_stats,
@@ -87,11 +128,51 @@ impl CompiledModel {
         Self {
             name: name.into(),
             model: model.clone(),
-            branch,
+            branch: Branch::Single(branch),
             input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
             num_classes,
             compile_stats,
         }
+    }
+
+    /// Re-deploys the artifact across `groups` simulated macro groups
+    /// (MARS-style): every layer's tiles are dealt round-robin and the
+    /// scatter/gather execution path reconstructs the single-macro answer
+    /// — logits and run ledgers stay bit-exact. `groups <= 1` leaves the
+    /// artifact on a single macro.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact is already sharded (shard the single-macro
+    /// artifact instead of re-dealing an already-dealt one).
+    pub fn shard(mut self, groups: usize) -> Self {
+        if groups <= 1 {
+            return self;
+        }
+        self.branch = match self.branch {
+            Branch::Single(b) => Branch::Sharded(ShardedPeRepNet::shard(&b, groups)),
+            Branch::Sharded(_) => panic!("artifact {} is already sharded", self.name),
+        };
+        self
+    }
+
+    /// Number of simulated macro groups serving this artifact (1 when
+    /// unsharded).
+    pub fn macro_groups(&self) -> usize {
+        match &self.branch {
+            Branch::Single(_) => 1,
+            Branch::Sharded(s) => s.groups(),
+        }
+    }
+
+    /// Reference inference on a private clone of the artifact: runs a
+    /// `[N, C, H, W]` batch through the cached tiles and returns logits
+    /// plus the per-run PE ledger, without touching the artifact's own
+    /// state or any runtime. This is the ground truth a canary rollout
+    /// compares a live replica's answer against.
+    pub fn infer_reference(&self, batch: &Tensor) -> (Tensor, PeStats) {
+        let mut replica = self.replica();
+        replica.infer_batch(batch)
     }
 
     /// The registration name.
@@ -150,7 +231,11 @@ impl fmt::Display for CompiledModel {
             self.input_shape,
             self.num_classes,
             self.tile_count()
-        )
+        )?;
+        if self.macro_groups() > 1 {
+            write!(f, " across {} macro groups", self.macro_groups())?;
+        }
+        Ok(())
     }
 }
 
@@ -158,7 +243,7 @@ impl fmt::Display for CompiledModel {
 #[derive(Debug)]
 pub(crate) struct ModelReplica {
     model: RepNet,
-    branch: PeRepNet,
+    branch: Branch,
 }
 
 impl ModelReplica {

@@ -64,6 +64,8 @@ pub struct RuntimeBuilder {
     /// Intra-request compute pool width; `None` sizes it to the cores left
     /// over after the serving workers.
     par_threads: Option<usize>,
+    /// Extra `replica="<label>"` label on every telemetry family.
+    replica_label: Option<String>,
 }
 
 impl RuntimeBuilder {
@@ -120,6 +122,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Tags every telemetry family this runtime registers with an extra
+    /// `replica="<label>"` label, so several runtimes sharing one
+    /// [`Telemetry`] bundle (a cluster) stay distinguishable per node.
+    /// Distinct labels are distinct series under the registry's
+    /// `(name, labels)` get-or-register rule; without this call the
+    /// families stay unlabelled, exactly as a standalone runtime registers
+    /// them.
+    pub fn replica_label(mut self, label: impl Into<String>) -> Self {
+        self.replica_label = Some(label.into());
+        self
+    }
+
     /// Registers a compiled model; requests name it by the returned id.
     pub fn register(&mut self, model: CompiledModel) -> ModelId {
         self.models.push(model);
@@ -128,7 +142,10 @@ impl RuntimeBuilder {
 
     /// Spawns the worker pool and opens the queue.
     pub fn start(self) -> Runtime {
-        let telemetry = self.telemetry.map(RuntimeTelemetry::register);
+        let replica_label = self.replica_label;
+        let telemetry = self
+            .telemetry
+            .map(|t| RuntimeTelemetry::register(t, replica_label.as_deref()));
         // One compute pool, shared by every worker's replicas: serving
         // workers parallelize across requests, the pool parallelizes
         // within one. Default width = cores not taken by the workers.
@@ -352,6 +369,34 @@ impl Runtime {
     /// Current queue depth (requests accepted but not yet dispatched).
     pub fn queue_depth(&self) -> usize {
         self.shared.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// The bounded queue's capacity (admission-control limit).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.queue_capacity
+    }
+
+    /// Liveness probe: `true` while the queue is open and every worker
+    /// thread is running. A worker that panicked (or a runtime that began
+    /// shutting down) turns the probe `false`, and a cluster router stops
+    /// sending traffic here.
+    pub fn healthy(&self) -> bool {
+        if self.workers.is_empty() || self.workers.iter().any(|h| h.is_finished()) {
+            return false;
+        }
+        !self.shared.state.lock().expect("queue lock").closed
+    }
+
+    /// Current version of every serving slot, in registration (id) order
+    /// (0 when registered, +1 per [`swap_model`](Self::swap_model)).
+    pub fn model_versions(&self) -> Vec<u64> {
+        self.shared
+            .models
+            .lock()
+            .expect("model table lock")
+            .iter()
+            .map(|s| s.version)
+            .collect()
     }
 
     /// Executor count of the shared intra-request compute pool.

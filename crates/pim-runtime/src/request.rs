@@ -11,6 +11,25 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelId(pub(crate) usize);
 
+impl ModelId {
+    /// Position in registration order.
+    ///
+    /// Registration order is the cross-runtime coordination key: fleets
+    /// that register the same models in the same order share handles.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a registration index — for coordinators
+    /// (e.g. a cluster) that mirror the same registration order across
+    /// several runtimes. A forged index is harmless: the runtime answers
+    /// [`UnknownModel`](crate::RuntimeError::UnknownModel) for any id it
+    /// never registered.
+    pub fn from_index(index: usize) -> Self {
+        ModelId(index)
+    }
+}
+
 impl fmt::Display for ModelId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "model#{}", self.0)

@@ -77,6 +77,7 @@ impl StatsCollector {
         let g = self.inner.lock().expect("stats lock");
         let latency = LatencySummary::from_ns(&g.latencies_ns);
         RuntimeStats {
+            latency_samples_ns: g.latencies_ns.clone(),
             requests_completed: g.completed,
             requests_rejected: g.rejected,
             batches: g.batches,
@@ -140,6 +141,10 @@ pub struct RuntimeStats {
     pub mean_queue_wait: Duration,
     /// Wall-clock time since the runtime started.
     pub wall_elapsed: Duration,
+    /// The raw per-request simulated latency samples (ns) behind the
+    /// percentiles — carried so roll-ups can **merge** snapshots exactly
+    /// instead of approximating percentiles from percentiles.
+    pub latency_samples_ns: Vec<f64>,
 }
 
 impl RuntimeStats {
@@ -151,6 +156,93 @@ impl RuntimeStats {
         } else {
             self.requests_completed as f64 / s
         }
+    }
+
+    /// An all-zero snapshot — the identity of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        Self {
+            requests_completed: 0,
+            requests_rejected: 0,
+            batches: 0,
+            model_swaps: 0,
+            mean_batch_size: 0.0,
+            max_batch_size: 0,
+            p50_latency: Latency::ZERO,
+            p99_latency: Latency::ZERO,
+            mean_latency: Latency::ZERO,
+            total_energy: Energy::ZERO,
+            simulated_busy: Latency::ZERO,
+            edp: 0.0,
+            macs: 0,
+            pe_matvecs: 0,
+            mean_queue_wait: Duration::ZERO,
+            wall_elapsed: Duration::ZERO,
+            latency_samples_ns: Vec::new(),
+        }
+    }
+
+    /// Merges two snapshots into the snapshot an imaginary single runtime
+    /// serving both workloads would have produced: counters add, means
+    /// re-weight, percentiles are **recomputed from the pooled latency
+    /// samples** (not interpolated from the per-snapshot percentiles),
+    /// energy/busy ledgers add and the EDP is re-derived from the merged
+    /// totals. Wall-clock elapsed takes the max — replicas run
+    /// concurrently, their lifetimes don't stack.
+    pub fn merge(&self, other: &RuntimeStats) -> RuntimeStats {
+        let mut samples =
+            Vec::with_capacity(self.latency_samples_ns.len() + other.latency_samples_ns.len());
+        samples.extend_from_slice(&self.latency_samples_ns);
+        samples.extend_from_slice(&other.latency_samples_ns);
+        let latency = LatencySummary::from_ns(&samples);
+        let batches = self.batches + other.batches;
+        let completed = self.requests_completed + other.requests_completed;
+        let total_energy = self.total_energy + other.total_energy;
+        let simulated_busy = self.simulated_busy + other.simulated_busy;
+        RuntimeStats {
+            requests_completed: completed,
+            requests_rejected: self.requests_rejected + other.requests_rejected,
+            batches,
+            model_swaps: self.model_swaps + other.model_swaps,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                (self.mean_batch_size * self.batches as f64
+                    + other.mean_batch_size * other.batches as f64)
+                    / batches as f64
+            },
+            max_batch_size: self.max_batch_size.max(other.max_batch_size),
+            p50_latency: latency.p50,
+            p99_latency: latency.p99,
+            mean_latency: latency.mean,
+            total_energy,
+            simulated_busy,
+            edp: edp(total_energy, simulated_busy),
+            macs: self.macs + other.macs,
+            pe_matvecs: self.pe_matvecs + other.pe_matvecs,
+            mean_queue_wait: if completed == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_secs_f64(
+                    (self.mean_queue_wait.as_secs_f64() * self.requests_completed as f64
+                        + other.mean_queue_wait.as_secs_f64() * other.requests_completed as f64)
+                        / completed as f64,
+                )
+            },
+            wall_elapsed: self.wall_elapsed.max(other.wall_elapsed),
+            latency_samples_ns: samples,
+        }
+    }
+}
+
+impl std::iter::Sum for RuntimeStats {
+    fn sum<I: Iterator<Item = RuntimeStats>>(iter: I) -> Self {
+        iter.fold(RuntimeStats::empty(), |acc, s| acc.merge(&s))
+    }
+}
+
+impl<'a> std::iter::Sum<&'a RuntimeStats> for RuntimeStats {
+    fn sum<I: Iterator<Item = &'a RuntimeStats>>(iter: I) -> Self {
+        iter.fold(RuntimeStats::empty(), |acc, s| acc.merge(s))
     }
 }
 
@@ -225,5 +317,81 @@ mod tests {
         assert_eq!(s.p99_latency, Latency::from_ns(0.0));
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.throughput_rps(), 0.0);
+    }
+
+    /// Two per-replica collectors vs one collector fed the union of their
+    /// batches: `merge` must reproduce the flat computation — percentiles
+    /// from the pooled samples, not from the per-replica percentiles.
+    #[test]
+    fn merged_percentiles_pin_to_the_flat_sample_computation() {
+        let a = StatsCollector::new();
+        let b = StatsCollector::new();
+        let flat = StatsCollector::new();
+        // Skewed splits so naive percentile-of-percentiles would be wrong:
+        // replica a serves the fast batches, replica b the slow tail.
+        let batches: &[(usize, u64, f64, f64, bool)] = &[
+            (3, 10, 100.0, 5.0, true),
+            (5, 12, 110.0, 6.0, true),
+            (2, 20, 900.0, 9.0, false),
+            (1, 30, 4000.0, 11.0, false),
+            (4, 11, 105.0, 5.5, true),
+        ];
+        for &(size, cycles, ns, pj, on_a) in batches {
+            let ledger = batch_ledger(cycles, ns, pj);
+            let wait = Duration::from_micros(10 * size as u64);
+            if on_a {
+                a.record_batch(size, ledger, wait);
+            } else {
+                b.record_batch(size, ledger, wait);
+            }
+            flat.record_batch(size, ledger, wait);
+        }
+        a.record_rejection();
+        b.record_rejection();
+        flat.record_rejection();
+        flat.record_rejection();
+
+        let merged = a.snapshot().merge(&b.snapshot());
+        let want = flat.snapshot();
+        assert_eq!(merged.requests_completed, want.requests_completed);
+        assert_eq!(merged.requests_rejected, want.requests_rejected);
+        assert_eq!(merged.batches, want.batches);
+        assert_eq!(merged.max_batch_size, want.max_batch_size);
+        assert!((merged.mean_batch_size - want.mean_batch_size).abs() < 1e-12);
+        // The pinned part: pooled-sample percentiles, exactly.
+        assert_eq!(merged.p50_latency, want.p50_latency);
+        assert_eq!(merged.p99_latency, want.p99_latency);
+        assert_eq!(merged.mean_latency, want.mean_latency);
+        // Ledger sums and the re-derived EDP.
+        assert_eq!(merged.total_energy, want.total_energy);
+        assert_eq!(merged.simulated_busy, want.simulated_busy);
+        assert_eq!(merged.edp, want.edp);
+        assert_eq!(merged.macs, want.macs);
+        assert_eq!(merged.pe_matvecs, want.pe_matvecs);
+        // Sample multiset survives the merge (order is concatenation).
+        let mut got = merged.latency_samples_ns.clone();
+        let mut flat_samples = want.latency_samples_ns.clone();
+        got.sort_by(f64::total_cmp);
+        flat_samples.sort_by(f64::total_cmp);
+        assert_eq!(got, flat_samples);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_sum_folds() {
+        let c = StatsCollector::new();
+        c.record_batch(2, batch_ledger(10, 50.0, 1.0), Duration::from_micros(5));
+        let s = c.snapshot();
+        let merged = RuntimeStats::empty().merge(&s);
+        assert_eq!(merged.requests_completed, s.requests_completed);
+        assert_eq!(merged.p50_latency, s.p50_latency);
+        assert_eq!(merged.total_energy, s.total_energy);
+        assert_eq!(merged.latency_samples_ns, s.latency_samples_ns);
+
+        let summed: RuntimeStats = [s.clone(), s.clone(), s.clone()].iter().sum();
+        assert_eq!(summed.requests_completed, 6);
+        assert_eq!(summed.batches, 3);
+        assert_eq!(summed.p99_latency, s.p99_latency, "identical replicas");
+        let owned: RuntimeStats = vec![s.clone(), s].into_iter().sum();
+        assert_eq!(owned.requests_completed, 4);
     }
 }

@@ -58,67 +58,84 @@ pub(crate) struct RuntimeTelemetry {
 }
 
 impl RuntimeTelemetry {
-    pub(crate) fn register(bundle: Arc<Telemetry>) -> Self {
+    /// Registers (or re-acquires) every serving family. With a `replica`
+    /// label the same family names register **distinct series** carrying
+    /// `replica="<label>"` — how a cluster keeps N runtimes apart in one
+    /// registry — and with `None` the families are unlabelled, exactly as
+    /// a standalone runtime has always registered them.
+    pub(crate) fn register(bundle: Arc<Telemetry>, replica: Option<&str>) -> Self {
         let registry = &bundle.registry;
         // 1µs .. ~67s, factor 4: covers sub-batch waits through stalls.
         let seconds = exponential_buckets(1e-6, 4.0, 13);
+        let base: Vec<(&str, &str)> = match replica {
+            Some(r) => vec![("replica", r)],
+            None => Vec::new(),
+        };
         let stage = |stage: &str| {
+            let mut labels = vec![("stage", stage)];
+            labels.extend_from_slice(&base);
             registry.histogram_with(
                 STAGE_METRIC,
                 "Wall-clock seconds spent per serving stage",
                 &seconds,
-                &[("stage", stage)],
+                &labels,
             )
         };
+        let counter = |name: &str, help: &str| registry.counter_with(name, help, &base);
+        let gauge = |name: &str, help: &str| registry.gauge_with(name, help, &base);
         Self {
-            queue_depth: registry.gauge(
+            queue_depth: gauge(
                 "pim_runtime_queue_depth",
                 "Requests accepted but not yet dispatched",
             ),
-            batch_size: registry.histogram(
+            batch_size: registry.histogram_with(
                 "pim_runtime_batch_size",
                 "Riders per dispatched PE batch",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+                &base,
             ),
             stage_queue: stage(STAGES[0]),
             stage_batch_form: stage(STAGES[1]),
             stage_compute: stage(STAGES[2]),
             stage_reply: stage(STAGES[3]),
-            requests_total: registry.counter(
+            requests_total: counter(
                 "pim_runtime_requests_total",
                 "Requests answered by the serving pool",
             ),
-            rejected_total: registry.counter(
+            rejected_total: counter(
                 "pim_runtime_rejected_total",
                 "Requests refused with QueueFull backpressure",
             ),
-            swaps_total: registry.counter(
+            swaps_total: counter(
                 "pim_runtime_swaps_total",
                 "Hot model swaps published into serving",
             ),
             // Gauges, not counters: they mirror the pool's own cumulative
             // snapshot (set, never inc'd) once per served batch.
-            pool_threads: registry.gauge(
+            pool_threads: gauge(
                 "pim_par_pool_threads",
                 "Executors of the shared intra-request compute pool",
             ),
-            pool_jobs: registry.gauge(
+            pool_jobs: gauge(
                 "pim_par_pool_jobs",
                 "Cumulative fork-join jobs dispatched across pool workers",
             ),
-            pool_inline_jobs: registry.gauge(
+            pool_inline_jobs: gauge(
                 "pim_par_pool_inline_jobs",
                 "Cumulative pool jobs run inline (serial or contended)",
             ),
-            pool_caller_tasks: registry.gauge(
+            pool_caller_tasks: gauge(
                 "pim_par_pool_caller_tasks",
                 "Cumulative pool tasks executed by the dispatching thread",
             ),
-            pool_worker_tasks: registry.gauge(
+            pool_worker_tasks: gauge(
                 "pim_par_pool_worker_tasks",
                 "Cumulative pool tasks stolen by pool helper threads",
             ),
-            pe: PeTelemetry::register(registry, PE_SOURCE),
+            pe: match replica {
+                Some(r) => PeTelemetry::register_with(registry, PE_SOURCE, &[("replica", r)]),
+                None => PeTelemetry::register(registry, PE_SOURCE),
+            },
             bundle,
         }
     }
