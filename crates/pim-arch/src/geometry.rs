@@ -7,6 +7,41 @@
 
 use std::fmt;
 
+/// A degenerate core organisation rejected by [`CoreGeometry::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A bank grid dimension is zero.
+    ZeroBanks {
+        /// The offending (rows, cols) pair.
+        banks: (usize, usize),
+    },
+    /// A sub-array grid dimension is zero.
+    ZeroSubarrays {
+        /// The offending (rows, cols) pair.
+        subarrays: (usize, usize),
+    },
+    /// A per-PE storage capacity of zero bits cannot hold any model.
+    ZeroPeCapacity,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroBanks { banks } => {
+                write!(f, "bank grid {}x{} has a zero dimension", banks.0, banks.1)
+            }
+            Self::ZeroSubarrays { subarrays } => write!(
+                f,
+                "sub-array grid {}x{} has a zero dimension",
+                subarrays.0, subarrays.1
+            ),
+            Self::ZeroPeCapacity => write!(f, "per-PE capacity must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 /// Hierarchical PE organisation of one core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreGeometry {
@@ -17,6 +52,23 @@ pub struct CoreGeometry {
 }
 
 impl CoreGeometry {
+    /// A validated geometry: every grid dimension must be nonzero, so the
+    /// capacity and provisioning arithmetic never silently degenerates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroBanks`] / [`GeometryError::ZeroSubarrays`]
+    /// when a grid dimension is zero.
+    pub fn new(banks: (usize, usize), subarrays: (usize, usize)) -> Result<Self, GeometryError> {
+        if banks.0 == 0 || banks.1 == 0 {
+            return Err(GeometryError::ZeroBanks { banks });
+        }
+        if subarrays.0 == 0 || subarrays.1 == 0 {
+            return Err(GeometryError::ZeroSubarrays { subarrays });
+        }
+        Ok(Self { banks, subarrays })
+    }
+
     /// The paper's 4×4 banks of 4×4 sub-arrays.
     pub fn dac24() -> Self {
         Self {
@@ -39,11 +91,28 @@ impl CoreGeometry {
     ///
     /// # Panics
     ///
-    /// Panics if the per-PE capacity is zero.
+    /// Panics if the per-PE capacity is zero. Sweep code evaluating
+    /// untrusted grid points should use
+    /// [`try_cores_for`](Self::try_cores_for) instead.
     pub fn cores_for(&self, total_bytes: u64, pe_bits: u64) -> usize {
-        assert!(pe_bits > 0, "pe capacity must be nonzero");
+        self.try_cores_for(total_bytes, pe_bits)
+            .expect("pe capacity must be nonzero")
+    }
+
+    /// Cores needed to make `total_bytes` resident, rejecting a zero per-PE
+    /// capacity (under which no core count divides the storage) instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroPeCapacity`] if `pe_bits` is zero or
+    /// rounds down to zero whole bytes per core.
+    pub fn try_cores_for(&self, total_bytes: u64, pe_bits: u64) -> Result<usize, GeometryError> {
         let per_core = self.core_bytes(pe_bits);
-        total_bytes.div_ceil(per_core) as usize
+        if per_core == 0 {
+            return Err(GeometryError::ZeroPeCapacity);
+        }
+        Ok(total_bytes.div_ceil(per_core) as usize)
     }
 }
 
@@ -94,5 +163,38 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(CoreGeometry::dac24().to_string().contains("256 PEs"));
+    }
+
+    #[test]
+    fn validated_constructor_rejects_degenerate_grids() {
+        assert_eq!(
+            CoreGeometry::new((0, 4), (4, 4)),
+            Err(GeometryError::ZeroBanks { banks: (0, 4) })
+        );
+        assert_eq!(
+            CoreGeometry::new((4, 4), (4, 0)),
+            Err(GeometryError::ZeroSubarrays { subarrays: (4, 0) })
+        );
+        assert_eq!(CoreGeometry::new((4, 4), (4, 4)), Ok(CoreGeometry::dac24()));
+    }
+
+    #[test]
+    fn try_cores_for_rejects_zero_capacity() {
+        let g = CoreGeometry::dac24();
+        assert_eq!(g.try_cores_for(1024, 0), Err(GeometryError::ZeroPeCapacity));
+        assert_eq!(
+            g.try_cores_for(26 * 1024 * 1024, 1024 * 512),
+            Ok(2),
+            "matches the paper's dual-core configuration"
+        );
+    }
+
+    #[test]
+    fn geometry_errors_display() {
+        assert!(GeometryError::ZeroPeCapacity
+            .to_string()
+            .contains("nonzero"));
+        let e = CoreGeometry::new((0, 1), (1, 1)).unwrap_err();
+        assert!(e.to_string().contains("zero dimension"));
     }
 }

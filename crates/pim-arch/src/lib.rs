@@ -12,6 +12,9 @@
 //!
 //! # Modules
 //!
+//! * [`config`] — declarative, validated [`config::ArchConfig`] design
+//!   points (tile dims, bank organisation, N:M pattern, precision,
+//!   worker/thread/batch split) gating the `pim-dse` sweeps.
 //! * [`geometry`] — core/bank/sub-array organisation and capacity.
 //! * [`workload`] — [`workload::ModelProfile`] layer-shape descriptions,
 //!   including a ResNet-50-scale profile matching the paper's ~26 MB
@@ -46,6 +49,7 @@
 
 pub mod baseline;
 pub mod bus;
+pub mod config;
 pub mod core_sim;
 pub mod edp;
 pub mod geometry;
@@ -55,6 +59,7 @@ pub mod pe_model;
 pub mod scheduler;
 pub mod workload;
 
-pub use geometry::CoreGeometry;
+pub use config::{ArchConfig, ConfigError};
+pub use geometry::{CoreGeometry, GeometryError};
 pub use mapper::{Deployment, HybridDeployment, Mapper};
 pub use workload::{LayerShape, ModelProfile};

@@ -189,6 +189,27 @@ impl Mapper {
         }
     }
 
+    /// A mapper whose sparse tile models and capacity accounting follow a
+    /// declarative [`ArchConfig`](crate::config::ArchConfig) design point.
+    /// The dense SRAM/MRAM baselines and the memory model stay at the
+    /// published reference designs — they are the fixed yardsticks every
+    /// sweep point is normalized against, not part of the search space.
+    ///
+    /// The caller is expected to have validated the configuration
+    /// ([`ArchConfig::mapper`](crate::config::ArchConfig::mapper) does
+    /// both); an unvalidated degenerate point produces garbage roll-ups,
+    /// not errors.
+    pub fn from_config(config: &crate::config::ArchConfig) -> Self {
+        Self {
+            sram: SramTileModel::new(config.sram.clone()),
+            mram: MramTileModel::new(config.mram.clone()),
+            sram_dense: DenseMacro::isscc21_sram(),
+            mram_dense: DenseMacro::iscas23_mram(),
+            memory: MemoryModel::dac24(),
+            geometry: config.geometry,
+        }
+    }
+
     /// The core geometry used for capacity accounting.
     pub fn geometry(&self) -> CoreGeometry {
         self.geometry

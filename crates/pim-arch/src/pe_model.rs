@@ -57,9 +57,22 @@ impl SramTileModel {
         w.leakage() * wcells + i.leakage() * icells
     }
 
+    /// Leakage over `elapsed`, computed in **exactly** the f64 operation
+    /// order of `SramSparsePe::leakage_over` (per-cell-kind
+    /// `leakage_energy` on u64 cell counts, folded into the ledger one
+    /// kind at a time) so the analytic cost is bit-identical to the cycle
+    /// simulator's, not merely close — the `pim-dse` sweep evaluator pins
+    /// this equality with proptests.
     fn leakage_over(&self, elapsed: Latency) -> EnergyLedger {
         let mut e = EnergyLedger::new();
-        e.add_leakage(self.leakage_power() * elapsed);
+        let wcells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.weight_bits as u64;
+        let icells =
+            (self.config.rows * self.config.column_groups) as u64 * self.config.index_bits as u64;
+        let w = SramCell::new(SramCellKind::Compute8T, &self.config.tech);
+        let i = SramCell::new(SramCellKind::Index6T, &self.config.tech);
+        e.add_leakage(w.leakage_energy(wcells, elapsed));
+        e.add_leakage(i.leakage_energy(icells, elapsed));
         e
     }
 

@@ -7,8 +7,10 @@
 //! series to compare against the publication, and `EXPERIMENTS.md` records
 //! the paper-vs-measured comparison.
 
+pub mod json;
+
+use json::{JsonValue, JsonWriter};
 use pim_telemetry::TelemetryRegistry;
-use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
@@ -70,35 +72,37 @@ pub fn measure_ns_into<O>(
     ns
 }
 
-/// Renders bench records plus derived ratios as a JSON document.
-///
-/// Hand-rolled: the workspace vendors no serde, and every key written here
-/// is a plain identifier that needs no escaping.
+/// Renders bench records plus derived ratios as a JSON document, via the
+/// shared [`json::JsonWriter`].
 pub fn render_bench_json<S: AsRef<str>>(
     bench: &str,
     records: &[BenchRecord],
     derived: &[(S, f64)],
 ) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"{bench}\",");
-    s.push_str("  \"entries\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let comma = if i + 1 < records.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}",
-            r.name, r.ns_per_iter
-        );
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("bench");
+    w.str(bench);
+    w.key("entries");
+    w.begin_arr();
+    for r in records {
+        w.begin_inline_obj();
+        w.key("name");
+        w.str(&r.name);
+        w.key("ns_per_iter");
+        w.num(r.ns_per_iter, 1);
+        w.end_obj();
     }
-    s.push_str("  ],\n");
-    s.push_str("  \"derived\": {\n");
-    for (i, (k, v)) in derived.iter().enumerate() {
-        let comma = if i + 1 < derived.len() { "," } else { "" };
-        let _ = writeln!(s, "    \"{}\": {v:.3}{comma}", k.as_ref());
+    w.end_arr();
+    w.key("derived");
+    w.begin_obj();
+    for (k, v) in derived {
+        w.key(k.as_ref());
+        w.num(*v, 3);
     }
-    s.push_str("  }\n}\n");
-    s
+    w.end_obj();
+    w.end_obj();
+    w.finish()
 }
 
 /// Writes [`render_bench_json`] output to `path` and reports where.
@@ -115,9 +119,9 @@ pub fn write_bench_json<S: AsRef<str>>(
 
 /// A parsed `BENCH_*.json` baseline.
 ///
-/// Understands exactly the line-oriented document [`render_bench_json`]
-/// emits (which is how every baseline in the repo is produced) — it is not
-/// a general JSON parser.
+/// Parsed through the shared [`json::JsonValue`] reader, so any valid JSON
+/// carrying the `{bench, entries, derived}` shape loads — not just the
+/// exact byte layout [`render_bench_json`] emits.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchDoc {
     /// The `"bench"` identifier.
@@ -138,32 +142,28 @@ impl BenchDoc {
         }
     }
 
-    /// Parses a document produced by [`render_bench_json`]; `None` if the
-    /// text does not carry the expected structure.
+    /// Parses a `{bench, entries, derived}` document; `None` if the text
+    /// is not JSON or does not carry the expected structure.
     pub fn parse(json: &str) -> Option<Self> {
-        let mut bench = None;
+        let doc = JsonValue::parse(json)?;
+        let bench = doc.str_at("bench")?.to_string();
         let mut entries = Vec::new();
+        if let Some(items) = doc.get("entries").and_then(JsonValue::as_arr) {
+            for item in items {
+                entries.push(BenchRecord::new(
+                    item.str_at("name")?,
+                    item.num_at("ns_per_iter")?,
+                ));
+            }
+        }
         let mut derived = Vec::new();
-        let mut in_derived = false;
-        for line in json.lines() {
-            let line = line.trim().trim_end_matches(',');
-            if let Some(rest) = line.strip_prefix("\"bench\": \"") {
-                bench = Some(rest.trim_end_matches('"').to_string());
-            } else if let Some(rest) = line.strip_prefix("{\"name\": \"") {
-                let (name, rest) = rest.split_once('"')?;
-                let value = rest
-                    .strip_prefix(", \"ns_per_iter\": ")?
-                    .trim_end_matches('}');
-                entries.push(BenchRecord::new(name, value.parse().ok()?));
-            } else if line == "\"derived\": {" {
-                in_derived = true;
-            } else if in_derived && line.starts_with('"') {
-                let (key, rest) = line.strip_prefix('"')?.split_once('"')?;
-                derived.push((key.to_string(), rest.strip_prefix(": ")?.parse().ok()?));
+        if let Some(fields) = doc.get("derived").and_then(JsonValue::as_obj) {
+            for (key, value) in fields {
+                derived.push((key.clone(), value.as_f64()?));
             }
         }
         Some(Self {
-            bench: bench?,
+            bench,
             entries,
             derived,
         })

@@ -1,0 +1,151 @@
+//! Measured tier: targeted host micro-benches of a promoted design point.
+//!
+//! Analytic pruning is cheap but model-bound; frontier survivors are
+//! additionally run as *real* `pim-pe` cycle simulations under
+//! [`pim_bench::measure_ns_into`], so every `TUNED.json` winner carries
+//! host wall-clock evidence that its kernels actually execute (and the
+//! timings land in the shared telemetry registry next to the runtime
+//! series). The simulated objectives stay authoritative for selection —
+//! host nanoseconds measure the simulator, not the silicon.
+
+use pim_arch::ArchConfig;
+use pim_bench::measure_ns_into;
+use pim_pe::{MramSparsePe, PeError, SparsePe, SramSparsePe};
+use pim_sparse::prune::prune_magnitude;
+use pim_sparse::{CscMatrix, Matrix, NmPattern};
+use pim_telemetry::TelemetryRegistry;
+
+/// Host wall-clock of one promoted point's kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredCost {
+    /// ns per single matvec on the configured SRAM sparse PE.
+    pub sram_matvec_ns: f64,
+    /// ns per single matvec on the configured MRAM sparse PE.
+    pub mram_matvec_ns: f64,
+    /// ns per matvec inside a `max_batch`-deep batched sweep of the SRAM
+    /// PE (the batching speedup the runtime's coalescer banks on).
+    pub sram_batch_ns_per_matvec: f64,
+}
+
+/// Deterministic dense tile → N:M pruned CSC, seeded by position only so
+/// measurements are reproducible across runs.
+fn sparse_tile(rows: usize, cols: usize, pattern: NmPattern) -> CscMatrix {
+    let dense = Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17 + 7) % 251) as i32 - 125) as i8
+    });
+    let mask = prune_magnitude(&dense, pattern).expect("non-empty tile");
+    CscMatrix::compress(&dense, &mask).expect("shapes match")
+}
+
+/// Loads the largest position-seeded tile that fits `pe`, starting from
+/// `rows` logical rows and halving (down to one pattern group) until the
+/// load succeeds. Returns the loaded tile.
+fn fit_tile<P: SparsePe>(
+    pe: &mut P,
+    pattern: NmPattern,
+    mut rows: usize,
+    cols: usize,
+) -> Result<CscMatrix, PeError> {
+    rows = rows.max(pattern.m());
+    loop {
+        let csc = sparse_tile(rows, cols, pattern);
+        match pe.load(&csc) {
+            Ok(_) => return Ok(csc),
+            Err(PeError::CapacityExceeded { .. }) if rows > pattern.m() => {
+                rows = (rows / 2).max(pattern.m());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn input_for(rows: usize) -> Vec<i8> {
+    (0..rows)
+        .map(|i| ((i * 37 + 11) % 256) as u8 as i8)
+        .collect()
+}
+
+/// Micro-benches `config`'s PE kernels: single SRAM matvec, single MRAM
+/// matvec, and a `max_batch`-deep SRAM batch. Each timing is published as
+/// a `pim_bench_ns_per_iter{bench="dse_<kernel>_<label>"}` gauge in
+/// `registry`.
+///
+/// # Errors
+///
+/// Propagates [`PeError`] when a kernel cannot run at all (a pattern the
+/// PE cannot index, a tile that fits no capacity).
+pub fn measure(
+    config: &ArchConfig,
+    registry: &TelemetryRegistry,
+    iters: u32,
+) -> Result<MeasuredCost, PeError> {
+    let label = config.label();
+    let pattern = config.pattern;
+
+    // SRAM PE: tile sized from the configured geometry.
+    let mut sram = SramSparsePe::with_config(config.sram.clone());
+    let csc = fit_tile(&mut sram, pattern, config.sram.rows, 2)?;
+    let x = input_for(csc.rows());
+    let mut y = vec![0i32; csc.cols()];
+    sram.matvec_into(&x, &mut y)?; // surface errors before timing
+    let sram_matvec_ns = measure_ns_into(registry, &format!("dse_sram_{label}"), iters, || {
+        sram.matvec_into(&x, &mut y).expect("loaded tile")
+    });
+
+    // Batched SRAM sweep at the configured rider cap.
+    let batch = config.max_batch.max(1);
+    let xs: Vec<i8> = x.iter().copied().cycle().take(x.len() * batch).collect();
+    let mut ys = vec![0i32; csc.cols() * batch];
+    let batch_ns = measure_ns_into(registry, &format!("dse_sram_batch_{label}"), iters, || {
+        sram.matvec_batch(&xs, batch, &mut ys).expect("loaded tile")
+    });
+
+    // MRAM PE: larger logical tile, same halving fit.
+    let mut mram = MramSparsePe::with_config(config.mram.clone());
+    let mcsc = fit_tile(&mut mram, pattern, config.mram.rows / 2, 2)?;
+    let mx = input_for(mcsc.rows());
+    let mut my = vec![0i32; mcsc.cols()];
+    mram.matvec_into(&mx, &mut my)?;
+    let mram_matvec_ns = measure_ns_into(registry, &format!("dse_mram_{label}"), iters, || {
+        mram.matvec_into(&mx, &mut my).expect("loaded tile")
+    });
+
+    Ok(MeasuredCost {
+        sram_matvec_ns,
+        mram_matvec_ns,
+        sram_batch_ns_per_matvec: batch_ns / batch as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dac24_point_measures_all_three_kernels() {
+        let registry = TelemetryRegistry::new();
+        let cost = measure(&ArchConfig::dac24(), &registry, 3).unwrap();
+        assert!(cost.sram_matvec_ns > 0.0);
+        assert!(cost.mram_matvec_ns > 0.0);
+        assert!(cost.sram_batch_ns_per_matvec > 0.0);
+        // Timings landed in the registry under the point's label.
+        let label = ArchConfig::dac24().label();
+        let gauge = registry.gauge_with(
+            "pim_bench_ns_per_iter",
+            "Mean wall-clock nanoseconds per bench iteration",
+            &[("bench", &format!("dse_sram_{label}"))],
+        );
+        assert_eq!(gauge.value(), cost.sram_matvec_ns);
+    }
+
+    #[test]
+    fn oversized_tiles_halve_down_until_they_fit() {
+        let cfg = ArchConfig::dac24().with_sram_tile(32, 2);
+        let mut pe = SramSparsePe::with_config(cfg.sram.clone());
+        // 512 logical rows at 1:4 → 128 slots/col, far over a 32×2 tile;
+        // the fit must shrink rather than fail.
+        let csc = fit_tile(&mut pe, cfg.pattern, 512, 2).unwrap();
+        assert!(csc.rows() <= 512);
+        assert!(pe.groups_used() > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Pareto-frontier extraction over the four sweep objectives.
+//!
+//! A design point *dominates* another when it is no worse on every
+//! objective — latency, energy, area, EDP, all minimized — and strictly
+//! better on at least one. The frontier is the set of non-dominated
+//! points; pruning keeps every non-dominated point (pinned by a proptest
+//! in `tests/integration_dse.rs`).
+
+use crate::evaluate::AnalyticCost;
+use pim_arch::ArchConfig;
+use std::fmt;
+
+/// How a point's objectives were obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Analytic `pim-arch` roll-up only.
+    Analytic,
+    /// Promoted: the point's PE kernels were additionally micro-benched
+    /// on the host (`measured_ns`).
+    Measured,
+}
+
+impl Tier {
+    /// Stable lowercase identifier (used in `TUNED.json`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Analytic => "analytic",
+            Self::Measured => "measured",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "analytic" => Some(Self::Analytic),
+            "measured" => Some(Self::Measured),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The validated configuration.
+    pub config: ArchConfig,
+    /// [`ArchConfig::label`] of the configuration.
+    pub label: String,
+    /// Analytic or measured.
+    pub tier: Tier,
+    /// Analytic objectives.
+    pub cost: AnalyticCost,
+    /// Host wall-clock of one simulated SRAM-PE matvec when the point was
+    /// promoted to the measured tier.
+    pub measured_ns: Option<f64>,
+}
+
+impl DesignPoint {
+    /// A fresh analytic-tier point.
+    pub fn analytic(config: ArchConfig, cost: AnalyticCost) -> Self {
+        let label = config.label();
+        Self {
+            config,
+            label,
+            tier: Tier::Analytic,
+            cost,
+            measured_ns: None,
+        }
+    }
+
+    /// Energy-delay product (pJ·ns).
+    pub fn edp(&self) -> f64 {
+        self.cost.edp()
+    }
+
+    /// The four minimized objectives: latency, energy, area, EDP.
+    pub fn objectives(&self) -> [f64; 4] {
+        [
+            self.cost.latency_ns,
+            self.cost.energy_pj,
+            self.cost.area_mm2,
+            self.edp(),
+        ]
+    }
+}
+
+/// `true` when `a` is no worse than `b` on every objective and strictly
+/// better on at least one (all objectives minimized).
+pub fn dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    let (oa, ob) = (a.objectives(), b.objectives());
+    let mut strictly_better = false;
+    for (x, y) in oa.iter().zip(ob.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the Pareto frontier: every point of `points` not dominated by
+/// another, in the input order, sorted by ascending EDP. Duplicate
+/// objective vectors all survive (none dominates its equal).
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| dominates(other, candidate)))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| a.edp().total_cmp(&b.edp()));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(lat: f64, energy: f64, area: f64) -> DesignPoint {
+        DesignPoint::analytic(
+            ArchConfig::dac24(),
+            AnalyticCost {
+                latency_ns: lat,
+                energy_pj: energy,
+                area_mm2: area,
+            },
+        )
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = point(1.0, 1.0, 1.0);
+        let b = point(2.0, 1.0, 1.0);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a), "a point never dominates its equal");
+    }
+
+    #[test]
+    fn frontier_drops_only_dominated_points() {
+        // c trades latency for energy against a — both survive; b is
+        // dominated by a on every axis.
+        let a = point(1.0, 2.0, 1.0);
+        let b = point(2.0, 3.0, 2.0);
+        let c = point(3.0, 1.0, 1.0);
+        let frontier = pareto_frontier(&[a.clone(), b, c.clone()]);
+        assert_eq!(frontier.len(), 2);
+        assert!(frontier.contains(&a));
+        assert!(frontier.contains(&c));
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_edp() {
+        let frontier = pareto_frontier(&[point(3.0, 1.0, 1.0), point(1.0, 2.0, 1.0)]);
+        assert!(frontier[0].edp() <= frontier[1].edp());
+    }
+
+    #[test]
+    fn duplicate_points_all_survive() {
+        let frontier = pareto_frontier(&[point(1.0, 1.0, 1.0), point(1.0, 1.0, 1.0)]);
+        assert_eq!(frontier.len(), 2);
+    }
+
+    #[test]
+    fn tier_round_trips_through_its_name() {
+        for tier in [Tier::Analytic, Tier::Measured] {
+            assert_eq!(Tier::parse(tier.as_str()), Some(tier));
+        }
+        assert_eq!(Tier::parse("bogus"), None);
+    }
+}

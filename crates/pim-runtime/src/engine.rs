@@ -55,6 +55,32 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Runtime sizing defaults produced by a `pim-dse` sweep (the `"runtime"`
+/// object of `TUNED.json`).
+///
+/// Feed one to [`RuntimeBuilder::tuned`] to replace the hard-coded
+/// [`RuntimeConfig`] defaults with sweep-selected values. Explicit builder
+/// calls always win over tuned defaults, regardless of call order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedDefaults {
+    /// Serving worker threads.
+    pub workers: usize,
+    /// Intra-request compute pool width.
+    pub par_threads: usize,
+    /// Per-batch rider cap.
+    pub max_batch: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// Which knobs the user set explicitly (those always beat tuned defaults).
+#[derive(Debug, Default, Clone, Copy)]
+struct ExplicitKnobs {
+    workers: bool,
+    queue_capacity: bool,
+    max_batch: bool,
+}
+
 /// Staged configuration for a [`Runtime`].
 #[derive(Debug, Default)]
 pub struct RuntimeBuilder {
@@ -66,24 +92,46 @@ pub struct RuntimeBuilder {
     par_threads: Option<usize>,
     /// Extra `replica="<label>"` label on every telemetry family.
     replica_label: Option<String>,
+    /// Sweep-selected defaults, applied at [`Self::start`] for every knob
+    /// not explicitly set.
+    tuned: Option<TunedDefaults>,
+    explicit: ExplicitKnobs,
 }
 
 impl RuntimeBuilder {
     /// Sets the worker-thread count (min 1).
     pub fn workers(mut self, n: usize) -> Self {
         self.config.workers = n.max(1);
+        self.explicit.workers = true;
         self
     }
 
     /// Sets the bounded queue capacity (min 1).
     pub fn queue_capacity(mut self, n: usize) -> Self {
         self.config.queue_capacity = n.max(1);
+        self.explicit.queue_capacity = true;
         self
     }
 
     /// Sets the per-batch rider cap (min 1).
     pub fn max_batch(mut self, n: usize) -> Self {
         self.config.batch.max_batch = n.max(1);
+        self.explicit.max_batch = true;
+        self
+    }
+
+    /// Installs sweep-selected [`TunedDefaults`] (typically loaded from
+    /// `TUNED.json` by `pim-dse`). They replace the hard-coded defaults
+    /// for `workers`, `par_threads`, `max_batch`, and `queue_capacity`;
+    /// any of those knobs set explicitly — before *or* after this call —
+    /// keeps its explicit value, because resolution happens once, at
+    /// [`Self::start`].
+    ///
+    /// Tuning never changes served results: all four knobs only move work
+    /// between threads and batches, and outputs are bit-identical at every
+    /// setting (the `pim-par` determinism contract).
+    pub fn tuned(mut self, defaults: TunedDefaults) -> Self {
+        self.tuned = Some(defaults);
         self
     }
 
@@ -141,7 +189,23 @@ impl RuntimeBuilder {
     }
 
     /// Spawns the worker pool and opens the queue.
-    pub fn start(self) -> Runtime {
+    pub fn start(mut self) -> Runtime {
+        // Resolve tuned defaults now, so explicit setter calls win no
+        // matter where `tuned()` appeared in the chain.
+        if let Some(t) = self.tuned {
+            if !self.explicit.workers {
+                self.config.workers = t.workers.max(1);
+            }
+            if !self.explicit.queue_capacity {
+                self.config.queue_capacity = t.queue_capacity.max(1);
+            }
+            if !self.explicit.max_batch {
+                self.config.batch.max_batch = t.max_batch.max(1);
+            }
+            if self.par_threads.is_none() {
+                self.par_threads = Some(t.par_threads.max(1));
+            }
+        }
         let replica_label = self.replica_label;
         let telemetry = self
             .telemetry

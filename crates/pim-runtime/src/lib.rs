@@ -51,7 +51,7 @@ mod stats;
 pub mod telemetry;
 
 pub use compiled::CompiledModel;
-pub use engine::{BatchPolicy, Runtime, RuntimeBuilder, RuntimeConfig};
+pub use engine::{BatchPolicy, Runtime, RuntimeBuilder, RuntimeConfig, TunedDefaults};
 pub use error::RuntimeError;
 pub use metrics::LatencySummary;
 pub use pim_par::PoolCounters;
@@ -101,6 +101,40 @@ mod tests {
         let stats = runtime.shutdown();
         assert_eq!(stats.requests_completed, 1);
         assert!(stats.total_energy.as_pj() > 0.0);
+    }
+
+    #[test]
+    fn tuned_defaults_fill_unset_knobs_but_explicit_calls_win() {
+        let tuned = TunedDefaults {
+            workers: 2,
+            par_threads: 3,
+            max_batch: 4,
+            queue_capacity: 99,
+        };
+        // All four knobs default to the tuned values.
+        let mut builder = Runtime::builder().tuned(tuned);
+        let id = builder.register(CompiledModel::compile("tiny", &tiny_model()).expect("compile"));
+        let runtime = builder.start();
+        assert_eq!(runtime.par_threads(), 3);
+        assert_eq!(runtime.queue_capacity(), 99);
+        let input = Tensor::ones(runtime.models()[0].input_shape());
+        let tuned_logits = runtime.infer(id, &input).expect("infer").logits;
+        runtime.shutdown();
+
+        // Explicit setters beat the tuned defaults even when `tuned()` is
+        // chained afterwards — resolution happens at start().
+        let mut builder = Runtime::builder()
+            .queue_capacity(10)
+            .par_threads(1)
+            .tuned(tuned);
+        let id = builder.register(CompiledModel::compile("tiny", &tiny_model()).expect("compile"));
+        let runtime = builder.start();
+        assert_eq!(runtime.par_threads(), 1);
+        assert_eq!(runtime.queue_capacity(), 10);
+        // Tuning knobs never change served results (determinism contract).
+        let explicit_logits = runtime.infer(id, &input).expect("infer").logits;
+        assert_eq!(tuned_logits, explicit_logits);
+        runtime.shutdown();
     }
 
     #[test]
