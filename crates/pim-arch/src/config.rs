@@ -66,7 +66,8 @@ pub enum ConfigError {
     },
     /// A runtime sizing knob is zero.
     ZeroRuntimeKnob {
-        /// Which knob: `"workers"`, `"par_threads"`, `"max_batch"`, or
+        /// Which knob: `"workers"`, `"par_threads"`, `"max_batch"`,
+        /// `"spawn_threshold"`, or
         /// `"queue_capacity"`.
         knob: &'static str,
     },
@@ -141,6 +142,10 @@ pub struct ArchConfig {
     pub max_batch: usize,
     /// Bound of the serving request queue (admission control).
     pub queue_capacity: usize,
+    /// Minimum estimated scalar ops a fan-out must carry before the
+    /// compute pool dispatches it to workers; smaller jobs run inline on
+    /// the caller (cost-aware granularity).
+    pub spawn_threshold: u64,
 }
 
 impl ArchConfig {
@@ -158,6 +163,7 @@ impl ArchConfig {
             par_threads: 1,
             max_batch: 8,
             queue_capacity: 256,
+            spawn_threshold: 32_768,
         }
     }
 
@@ -196,6 +202,12 @@ impl ArchConfig {
     pub fn with_batching(mut self, max_batch: usize, queue_capacity: usize) -> Self {
         self.max_batch = max_batch;
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Replaces the compute pool's inline-vs-dispatch cost threshold.
+    pub fn with_spawn_threshold(mut self, spawn_threshold: u64) -> Self {
+        self.spawn_threshold = spawn_threshold;
         self
     }
 
@@ -261,6 +273,11 @@ impl ArchConfig {
                 return Err(ConfigError::ZeroRuntimeKnob { knob });
             }
         }
+        if self.spawn_threshold == 0 {
+            return Err(ConfigError::ZeroRuntimeKnob {
+                knob: "spawn_threshold",
+            });
+        }
         Ok(())
     }
 
@@ -289,7 +306,7 @@ impl ArchConfig {
     /// usable as a bench-entry name or telemetry label.
     pub fn label(&self) -> String {
         format!(
-            "p{}of{}_s{}x{}_w{}_m{}x{}_k{}_w{}t{}b{}",
+            "p{}of{}_s{}x{}_w{}_m{}x{}_k{}_w{}t{}b{}c{}",
             self.pattern.n(),
             self.pattern.m(),
             self.sram.rows,
@@ -301,6 +318,7 @@ impl ArchConfig {
             self.workers,
             self.par_threads,
             self.max_batch,
+            self.spawn_threshold,
         )
     }
 }
@@ -315,7 +333,7 @@ impl fmt::Display for ArchConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} sparse, sram {}x{}@{}b, mram {}x{} pairs@{}b, {}, {} workers x {} pool threads, batch {} / queue {}",
+            "{} sparse, sram {}x{}@{}b, mram {}x{} pairs@{}b, {}, {} workers x {} pool threads, batch {} / queue {}, spawn >= {} ops",
             self.pattern,
             self.sram.rows,
             self.sram.column_groups,
@@ -328,6 +346,7 @@ impl fmt::Display for ArchConfig {
             self.par_threads,
             self.max_batch,
             self.queue_capacity,
+            self.spawn_threshold,
         )
     }
 }
@@ -418,6 +437,13 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::ZeroRuntimeKnob {
                 knob: "queue_capacity"
+            })
+        );
+        let cfg = ArchConfig::dac24().with_spawn_threshold(0);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroRuntimeKnob {
+                knob: "spawn_threshold"
             })
         );
     }

@@ -5,7 +5,7 @@
 //! machine-readable baseline tracking the compiled-kernel speedups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pim_bench::{banner, measure_ns, merge_bench_json, BenchRecord};
+use pim_bench::{banner, measure_ns, measure_ns_best, merge_bench_json, BenchRecord};
 use pim_core::pe_inference::PeRepNet;
 use pim_data::SyntheticSpec;
 use pim_nn::layers::{Conv2d, Layer};
@@ -101,6 +101,45 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Bit-plane packed kernel vs the flat gather on the SAME tile and the
+    // SAME inputs — the packed path's target regime: dense **ternary**
+    // weights (128×8, 1024 slots, filling the array exactly) driven by
+    // **binary** activations, i.e. one live weight magnitude plane per
+    // sign and one live activation plane. The load-time profitability
+    // heuristic must select the popcount path on its own.
+    let dense_pattern = NmPattern::new(4, 4).expect("4:4 keeps every slot");
+    let ternary = Matrix::from_fn(128, 8, |r, c| if (r + c) % 2 == 0 { 1i8 } else { -1 });
+    let ternary_mask = prune_magnitude(&ternary, dense_pattern).expect("non-empty");
+    let ternary_csc = CscMatrix::compress(&ternary, &ternary_mask).expect("fits");
+    let mut packed_pe = SramSparsePe::new();
+    packed_pe.load(&ternary_csc).expect("capacity");
+    assert_eq!(
+        packed_pe.kernel_backend(),
+        "packed",
+        "profitability heuristic must pick the bit-plane path for dense ternary"
+    );
+    let mut flat_ternary_pe = packed_pe.clone();
+    flat_ternary_pe.set_packed_enabled(false);
+    assert_eq!(flat_ternary_pe.kernel_backend(), "flat");
+    let bxs: Vec<i8> = (0..batch * 128).map(|i| (i % 2) as i8).collect();
+    let mut y2 = vec![0i32; batch * 8];
+    g.bench_function("packed_matvec_batch8_ternary_binary_acts", |b| {
+        b.iter(|| {
+            packed_pe
+                .matvec_batch(&bxs, batch, &mut y2)
+                .expect("loaded");
+            black_box(y2[0])
+        })
+    });
+    g.bench_function("flat_matvec_batch8_ternary_binary_acts", |b| {
+        b.iter(|| {
+            flat_ternary_pe
+                .matvec_batch(&bxs, batch, &mut y2)
+                .expect("loaded");
+            black_box(y2[0])
+        })
+    });
+
     // NN substrate: conv forward + backward.
     let mut conv = Conv2d::new(8, 16, 3, 1, 1, 3);
     let input = Tensor::from_fn(&[4, 8, 12, 12], |i| (i as f32 * 0.01).sin());
@@ -158,12 +197,19 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(par.predict(&mut model_par, &images).0))
         });
     }
+    // The direct sparse conv in isolation: the first module's 3×3 stage
+    // over a pooled feature batch, no f32 backbone in front.
+    let feat = Tensor::from_fn(&[8, 4, 8, 8], |i| ((i % 23) as f32 - 11.0) / 11.0);
+    g.bench_function("direct_conv3_batch8_4x8x8", |b| {
+        b.iter(|| black_box(compiled.conv3_stage_forward(&feat).0))
+    });
     g.finish();
 
     // Machine-readable baseline for the perf trajectory. Re-measures the
-    // headline kernels with a plain mean (the vendored criterion exposes
-    // no timings) and derives the speedup ratios the compiled-kernel
-    // design is accountable for.
+    // headline kernels (the vendored criterion exposes
+    // no timings) — best-of-passes for the macro kernels so one noise
+    // spike can't poison a recorded baseline — and derives the speedup
+    // ratios the compiled-kernel design is accountable for.
     let mut flat_pe = SramSparsePe::new();
     flat_pe.load(&tile).expect("capacity");
     let mut y1 = vec![0i32; 8];
@@ -183,15 +229,42 @@ fn bench(c: &mut Criterion) {
         mram_pe.matvec_batch(&txs, batch, &mut yb).expect("loaded");
         yb[0]
     });
-    let predict_ns = measure_ns(30, || compiled.predict(&mut model, &images).0);
+    let packed_batch_ns = measure_ns_best(3, 200, || {
+        packed_pe
+            .matvec_batch(&bxs, batch, &mut y2)
+            .expect("loaded");
+        y2[0]
+    });
+    let flat_ternary_ns = measure_ns_best(3, 200, || {
+        flat_ternary_pe
+            .matvec_batch(&bxs, batch, &mut y2)
+            .expect("loaded");
+        y2[0]
+    });
+    let direct_conv_ns = measure_ns_best(4, 15, || compiled.conv3_stage_forward(&feat).0);
+    let predict_ns = measure_ns_best(4, 10, || compiled.predict(&mut model, &images).0);
     let predict_par_ns = |threads: usize| {
         let mut model_par = model.clone();
         let mut par = compiled.clone();
         par.attach_pool(std::sync::Arc::new(WorkPool::new(threads)));
-        measure_ns(30, || par.predict(&mut model_par, &images).0)
+        measure_ns_best(4, 10, || par.predict(&mut model_par, &images).0)
     };
     let predict_par2_ns = predict_par_ns(2);
     let predict_par4_ns = predict_par_ns(4);
+    // Cost-aware granularity on a genuinely 2-wide pool (forced past the
+    // core clamp so 1-core CI still dispatches): an eager threshold spawns
+    // every fan-out; the shipped cost model keeps sub-threshold jobs
+    // inline and skips the synchronization bill.
+    let predict_threshold_ns = |ops: u64| {
+        let mut model_thr = model.clone();
+        let mut thr = compiled.clone();
+        thr.attach_pool(std::sync::Arc::new(
+            WorkPool::with_forced_threads(2).with_spawn_threshold(ops),
+        ));
+        measure_ns_best(4, 10, || thr.predict(&mut model_thr, &images).0)
+    };
+    let eager_ns = predict_threshold_ns(1);
+    let costed_ns = predict_threshold_ns(pim_par::DEFAULT_SPAWN_THRESHOLD);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1) as f64;
@@ -200,11 +273,24 @@ fn bench(c: &mut Criterion) {
         BenchRecord::new("sram_pe_matvec_into_tile", flat_single_ns),
         BenchRecord::new("sram_pe_matvec_batch8_tile", flat_batch_ns),
         BenchRecord::new("mram_pe_matvec_batch8_tile", mram_batch_ns),
+        BenchRecord::new("packed_matvec_batch8_ternary_binary_acts", packed_batch_ns),
+        BenchRecord::new("flat_matvec_batch8_ternary_binary_acts", flat_ternary_ns),
+        BenchRecord::new("direct_conv3_batch8_4x8x8", direct_conv_ns),
         BenchRecord::new("pe_repnet_predict_batch8", predict_ns),
         BenchRecord::new("pe_repnet_predict_batch8_par2", predict_par2_ns),
         BenchRecord::new("pe_repnet_predict_batch8_par4", predict_par4_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_2t_eager", eager_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_2t_costed", costed_ns),
     ];
     let derived = [
+        // Bit-plane popcount kernel vs the flat gather on the same dense
+        // ternary tile under binary activations — the packed path's
+        // target regime; the bench-gate enforces >= 1.0 here.
+        ("packed_vs_flat_speedup", flat_ternary_ns / packed_batch_ns),
+        ("direct_conv3_batch8_us", direct_conv_ns / 1e3),
+        // Cost-model payoff on a forced 2-wide pool: eager dispatch of
+        // every fan-out vs inlining jobs below the tuned threshold.
+        ("granularity_costed_vs_eager_speedup", eager_ns / costed_ns),
         // Compiled flat kernel vs the bit-serial reference walk of the
         // same masked tile — the per-matvec speedup of the decoupling.
         ("flat_vs_bit_serial_speedup", bit_serial_ns / flat_single_ns),

@@ -60,6 +60,20 @@ const MIN_PAR_SPEEDUP: f64 = 1.5;
 const SLO_CEILINGS: [(&str, f64); 2] =
     [("cluster_p99_ms", 250.0), ("cluster_rejection_frac", 0.10)];
 
+/// Same-machine speedup floors enforced on the fresh run once the
+/// committed baseline carries the key. `packed_vs_flat_speedup` is the
+/// bit-plane kernel's contract: on the dense low-precision tile the
+/// bench packs, popcount-accumulate must never lose to the flat kernel.
+const SPEEDUP_FLOORS: [(&str, f64); 1] = [("packed_vs_flat_speedup", 1.0)];
+
+/// Telemetry overhead key: the fresh fraction is clamped at zero before
+/// the ceiling check — timing jitter routinely makes the instrumented
+/// path a hair *faster* (the committed baseline itself carries a small
+/// negative value), and a negative overhead is noise, not a win to gate
+/// on.
+const TELEMETRY_OVERHEAD_KEY: &str = "telemetry_overhead_frac";
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.15;
+
 fn load(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     BenchDoc::parse(&text).ok_or_else(|| format!("{path} is not a bench baseline document"))
@@ -103,7 +117,58 @@ fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
     }
     check_parallel_floor(&fresh, &mut failures);
     check_slo_ceilings(&committed, &fresh, &mut failures);
+    check_speedup_floors(&committed, &fresh, &mut failures);
+    check_telemetry_overhead(&committed, &fresh, &mut failures);
     Ok(failures)
+}
+
+/// Enforces the same-machine speedup floors on the fresh run. A committed
+/// baseline without the key (predating the kernel) skips the check.
+fn check_speedup_floors(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec<String>) {
+    for (key, floor) in SPEEDUP_FLOORS {
+        if committed.derived_value(key).is_none() {
+            continue;
+        }
+        let Some(value) = fresh.derived_value(key) else {
+            continue; // already a structure failure
+        };
+        if value.is_finite() && value >= floor {
+            println!("  floor {key:<32} {value:.3} (floor {floor:.2}x, ok)");
+        } else {
+            failures.push(format!(
+                "speedup '{key}' is {value:.3}, below its floor {floor:.2}x"
+            ));
+        }
+    }
+}
+
+/// Enforces the telemetry-overhead ceiling on `max(0, frac)` — negative
+/// fractions are clamped to zero rather than failing or skewing drift.
+fn check_telemetry_overhead(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec<String>) {
+    if committed.derived_value(TELEMETRY_OVERHEAD_KEY).is_none() {
+        return;
+    }
+    let Some(raw) = fresh.derived_value(TELEMETRY_OVERHEAD_KEY) else {
+        return; // already a structure failure
+    };
+    if !raw.is_finite() {
+        failures.push(format!(
+            "'{TELEMETRY_OVERHEAD_KEY}' is {raw}, not a finite value"
+        ));
+        return;
+    }
+    let frac = raw.max(0.0);
+    if frac <= MAX_TELEMETRY_OVERHEAD {
+        println!(
+            "  tele  {TELEMETRY_OVERHEAD_KEY:<32} {raw:.3} (clamped {frac:.3}, \
+             ceiling {MAX_TELEMETRY_OVERHEAD}, ok)"
+        );
+    } else {
+        failures.push(format!(
+            "telemetry overhead '{TELEMETRY_OVERHEAD_KEY}' is {frac:.3}, \
+             above its ceiling {MAX_TELEMETRY_OVERHEAD}"
+        ));
+    }
 }
 
 /// Enforces the serving SLO ceilings on the fresh run. A committed
@@ -181,7 +246,13 @@ fn validate_tuned_text(text: &str) -> Result<(), String> {
         ));
     }
     let runtime = doc.get("runtime").ok_or("missing 'runtime' object")?;
-    for knob in ["workers", "par_threads", "max_batch", "queue_capacity"] {
+    for knob in [
+        "workers",
+        "par_threads",
+        "max_batch",
+        "queue_capacity",
+        "spawn_threshold",
+    ] {
         let v = runtime
             .usize_at(knob)
             .ok_or_else(|| format!("'runtime.{knob}' is missing or not a whole number"))?;
@@ -252,6 +323,62 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
+    fn doc(pairs: &[(&str, f64)]) -> BenchDoc {
+        let mut d = BenchDoc::empty("kernels");
+        d.derived = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        d
+    }
+
+    #[test]
+    fn negative_telemetry_overhead_is_clamped_not_failed() {
+        let committed = doc(&[(TELEMETRY_OVERHEAD_KEY, -0.005)]);
+        let mut failures = Vec::new();
+        // A fresh run where instrumentation "won" by jitter is fine.
+        check_telemetry_overhead(
+            &committed,
+            &doc(&[(TELEMETRY_OVERHEAD_KEY, -0.25)]),
+            &mut failures,
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+        // A genuinely hot overhead still fails.
+        check_telemetry_overhead(
+            &committed,
+            &doc(&[(TELEMETRY_OVERHEAD_KEY, 0.5)]),
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+        // Baselines predating the key skip the check.
+        let mut none = Vec::new();
+        check_telemetry_overhead(&doc(&[]), &doc(&[(TELEMETRY_OVERHEAD_KEY, 0.5)]), &mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn packed_speedup_floor_fails_below_one() {
+        let committed = doc(&[("packed_vs_flat_speedup", 3.5)]);
+        let mut failures = Vec::new();
+        check_speedup_floors(
+            &committed,
+            &doc(&[("packed_vs_flat_speedup", 1.2)]),
+            &mut failures,
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+        check_speedup_floors(
+            &committed,
+            &doc(&[("packed_vs_flat_speedup", 0.8)]),
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+        // Baselines predating the packed kernel skip the floor.
+        let mut none = Vec::new();
+        check_speedup_floors(
+            &doc(&[]),
+            &doc(&[("packed_vs_flat_speedup", 0.8)]),
+            &mut none,
+        );
+        assert!(none.is_empty());
+    }
+
     const GOOD: &str = r#"{
   "tuned": "dse",
   "best_edp": {
@@ -259,7 +386,7 @@ mod tests {
     "config": {"workers": 4},
     "metrics": {"edp": 1.5}
   },
-  "runtime": {"workers": 4, "par_threads": 1, "max_batch": 8, "queue_capacity": 256},
+  "runtime": {"workers": 4, "par_threads": 1, "max_batch": 8, "queue_capacity": 256, "spawn_threshold": 32768},
   "frontier": [{"label": "p", "edp": 1.5}]
 }"#;
 
@@ -280,6 +407,8 @@ mod tests {
             ),
             ("[{\"label\": \"p\", \"edp\": 1.5}]", "[]"),
             ("\"config\": {\"workers\": 4}", "\"config\": {}"),
+            ("\"spawn_threshold\": 32768", "\"spawn_threshold\": 0"),
+            (", \"spawn_threshold\": 32768", ""),
         ] {
             let broken = GOOD.replace(from, to);
             assert_ne!(broken, GOOD, "replacement {from:?} must apply");

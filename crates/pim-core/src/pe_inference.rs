@@ -50,10 +50,11 @@ pub(crate) struct PeTile {
 }
 
 /// Reusable per-layer working buffers — quantized inputs, PE
-/// accumulators, im2col patches, staged conv outputs, and the per-tile
-/// cost replay list. Buffers grow to the layer's steady-state sizes on
-/// first use and are reused thereafter, so the per-position / per-matvec
-/// hot loop performs no heap allocation after warmup.
+/// accumulators, classifier row staging, and the per-tile cost replay
+/// list. Buffers grow to the layer's steady-state sizes on first use and
+/// are reused thereafter, so the per-position / per-matvec hot loop
+/// performs no heap allocation after warmup (the direct-conv gather uses
+/// one small `reduction`-sized row buffer per fan-out chunk).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Scratch {
     /// `batch × reduction` quantized activations.
@@ -62,10 +63,8 @@ pub(crate) struct Scratch {
     scales: Vec<f32>,
     /// `batch × tile_cols` raw PE accumulators of the current tile.
     acc: Vec<i32>,
-    /// `positions × reduction` im2col patch matrix of the current image.
+    /// Staged input rows (the classifier's pooled feature batch).
     pub(crate) patches: Vec<f32>,
-    /// `positions × outputs` staged conv outputs before the NCHW scatter.
-    pub(crate) staged: Vec<f32>,
     /// Per-tile `(cost, nnz)` of the last batched call, replayed into the
     /// run ledger in the sequential (input-major, tile-minor) order.
     pub(crate) costs: Vec<(MatvecCost, u64)>,
@@ -82,6 +81,21 @@ pub(crate) fn par_block(batch: usize, threads: usize) -> usize {
         batch
     } else {
         batch.div_ceil(threads * 2).max(1)
+    }
+}
+
+/// Row-block size of a tile × row-block compute grid: when the layer
+/// already holds enough tiles to feed every executor roughly twice, the
+/// batch stays whole (tile-level split — fewer, larger tasks); otherwise
+/// the rows split into [`par_block`] blocks (batch-level split) to
+/// manufacture enough grid cells. Either way the split is
+/// bit-transparent: each cell computes outputs that depend only on its
+/// own (input row, column) pairs.
+pub(crate) fn grid_block(batch: usize, tiles: usize, threads: usize) -> usize {
+    if threads <= 1 || tiles >= threads * 2 {
+        batch
+    } else {
+        par_block(batch, threads)
     }
 }
 
@@ -228,7 +242,8 @@ impl PeLayer {
             let weight_scale = self.weight_scale;
             let x_q = SharedSliceMut::new(&mut self.scratch.x_q);
             let scales = SharedSliceMut::new(&mut self.scratch.scales);
-            pool.for_each_chunk(batch, par_block(batch, pool.threads()), |rows| {
+            let est = (batch * reduction) as u64;
+            pool.for_each_chunk_costed(batch, par_block(batch, pool.threads()), est, |rows| {
                 // SAFETY: chunk row ranges are disjoint, so the x_q and
                 // scales regions they map to are disjoint too.
                 let (q, sc) = unsafe {
@@ -264,7 +279,7 @@ impl PeLayer {
             tile_off.push(last + (tile.col_end - tile.col_start) * batch);
         }
         acc.resize(*tile_off.last().expect("seeded with 0"), 0);
-        let block = par_block(batch, pool.threads());
+        let block = grid_block(batch, self.tiles.len(), pool.threads());
         let n_blocks = batch.div_ceil(block);
         {
             let tiles = &self.tiles;
@@ -274,7 +289,8 @@ impl PeLayer {
             let tile_off = &*tile_off;
             let acc_view = SharedSliceMut::new(acc);
             let out_view = SharedSliceMut::new(out);
-            pool.run(tiles.len() * n_blocks, |t| {
+            let est = tiles.iter().map(|t| t.nnz).sum::<u64>() * batch as u64;
+            pool.run_costed(tiles.len() * n_blocks, est, |t| {
                 let (ti, blk) = (t / n_blocks, t % n_blocks);
                 let tile = &tiles[ti];
                 let tc = tile.col_end - tile.col_start;
@@ -367,12 +383,17 @@ impl PeLayer {
         self.tiles.iter().map(|t| *t.pe.stats()).sum()
     }
 
-    /// Convolution over an NCHW tensor: the whole batch's `n × oh×ow`
-    /// im2col patch matrix is gathered once (patch rows fan out over the
-    /// pool) and the PEs run one merged batched call over every position
-    /// of every image. The merged call's flat `(input, tile)` replay
-    /// sequence is identical to per-image calls of `oh×ow` rows each, so
-    /// the ledgers are unchanged by the merge.
+    /// Direct sparse convolution over an NCHW tensor — **no im2col
+    /// round-trip**. Each of the `n × oh×ow` output positions streams
+    /// through the pipeline whole: its window is gathered into a
+    /// task-local row, calibrated and quantized immediately (same values
+    /// as the staged path, so the per-row scale is bit-identical), the
+    /// tile × row-block grid runs over the quantized rows, and each cell
+    /// dequantizes its accumulators **directly into the strided NCHW
+    /// output** — the `rows × reduction` f32 patch arena and the
+    /// `rows × outputs` staged arena of the old path are never written.
+    /// The flat `(position, tile)` cost replay is the same sequence the
+    /// merged im2col call billed, so the ledgers are unchanged.
     pub(crate) fn conv_forward(
         &mut self,
         input: &Tensor,
@@ -380,18 +401,167 @@ impl PeLayer {
         pool: &WorkPool,
     ) -> Tensor {
         let s = input.shape();
+        let (n, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = conv_out_dims(h, w, self.kernel, self.stride, self.padding);
+        let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
+        self.conv_forward_compute(input, out.as_mut_slice(), pool);
+        self.replay_costs(n * oh * ow, stats);
+        out
+    }
+
+    /// The compute half of [`conv_forward`](PeLayer::conv_forward):
+    /// fused gather + quantize fan-out, tile × row-block PE grid with
+    /// strided NCHW dequant writes, bills staged in `scratch.costs` —
+    /// without touching the run ledger. The sharded path calls this per
+    /// macro group (each group re-gathers the broadcast activations and
+    /// writes only its own output channels) and interleaves the groups'
+    /// bills itself.
+    pub(crate) fn conv_forward_compute(
+        &mut self,
+        input: &Tensor,
+        out: &mut [f32],
+        pool: &WorkPool,
+    ) {
+        let s = input.shape();
         let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
         let k = self.kernel;
         assert_eq!(cin * k * k, self.reduction, "layer {}: geometry", self.name);
         let (oh, ow) = conv_out_dims(h, w, k, self.stride, self.padding);
         let positions = oh * ow;
         let rows = n * positions;
+        debug_assert_eq!(out.len(), n * self.outputs * positions);
+        let reduction = self.reduction;
+        let outputs = self.outputs;
+        let x = input.as_slice();
+        self.scratch.x_q.resize(rows * reduction, 0);
+        self.scratch.scales.resize(rows, 0.0);
+        {
+            // Fused gather + calibrate + quantize: each position's window
+            // lands in a chunk-local row buffer and leaves it as INT8 —
+            // identical f32 values to the staged gather, hence an
+            // identical per-row scale and identical quantized codes.
+            let weight_scale = self.weight_scale;
+            let (stride, padding) = (self.stride, self.padding);
+            let x_q = SharedSliceMut::new(&mut self.scratch.x_q);
+            let scales = SharedSliceMut::new(&mut self.scratch.scales);
+            let est = (rows * reduction) as u64;
+            pool.for_each_chunk_costed(rows, par_block(rows, pool.threads()), est, |range| {
+                // SAFETY: chunk row ranges are disjoint, so the x_q and
+                // scales regions they map to are disjoint too.
+                let (q, sc) = unsafe {
+                    (
+                        x_q.slice(range.start * reduction..range.end * reduction),
+                        scales.slice(range.clone()),
+                    )
+                };
+                let mut row_buf = vec![0.0f32; reduction];
+                for (i, p) in range.enumerate() {
+                    let (ni, pos) = (p / positions, p % positions);
+                    let (oy, ox) = (pos / ow, pos % ow);
+                    row_buf.fill(0.0);
+                    gather_patch_into(x, &mut row_buf, ni, oy, ox, cin, h, w, k, stride, padding);
+                    let x_params = QuantParams::calibrate(&row_buf);
+                    sc[i] = weight_scale * x_params.scale();
+                    x_params.quantize_into(&row_buf, &mut q[i * reduction..(i + 1) * reduction]);
+                }
+            });
+        }
+
+        // Tile × row-block compute grid, as in `forward_batch_compute`,
+        // except each cell dequantizes straight into its own strided
+        // (image, channel, position) cells of the NCHW output.
+        let Scratch {
+            x_q,
+            scales,
+            acc,
+            tile_off,
+            costs,
+            ..
+        } = &mut self.scratch;
+        tile_off.clear();
+        tile_off.push(0);
+        for tile in &self.tiles {
+            let last = *tile_off.last().expect("seeded with 0");
+            tile_off.push(last + (tile.col_end - tile.col_start) * rows);
+        }
+        acc.resize(*tile_off.last().expect("seeded with 0"), 0);
+        let block = grid_block(rows, self.tiles.len(), pool.threads());
+        let n_blocks = rows.div_ceil(block);
+        {
+            let tiles = &self.tiles;
+            let bias = &self.bias;
+            let x_q = &*x_q;
+            let scales = &*scales;
+            let tile_off = &*tile_off;
+            let acc_view = SharedSliceMut::new(acc);
+            let out_view = SharedSliceMut::new(out);
+            let est = tiles.iter().map(|t| t.nnz).sum::<u64>() * rows as u64;
+            pool.run_costed(tiles.len() * n_blocks, est, |t| {
+                let (ti, blk) = (t / n_blocks, t % n_blocks);
+                let tile = &tiles[ti];
+                let tc = tile.col_end - tile.col_start;
+                let (b0, b1) = (blk * block, ((blk + 1) * block).min(rows));
+                // SAFETY: tile ti owns acc[tile_off[ti]..tile_off[ti+1]],
+                // sliced by disjoint row blocks — pairwise disjoint across
+                // the grid.
+                let acc_region =
+                    unsafe { acc_view.slice(tile_off[ti] + b0 * tc..tile_off[ti] + b1 * tc) };
+                tile.pe
+                    .matvec_batch_compute(&x_q[b0 * reduction..b1 * reduction], b1 - b0, acc_region)
+                    .expect("tile loaded at compile time");
+                for b in b0..b1 {
+                    let scale = scales[b];
+                    let (ni, pos) = (b / positions, b % positions);
+                    for (j, &a) in acc_region[(b - b0) * tc..(b - b0 + 1) * tc]
+                        .iter()
+                        .enumerate()
+                    {
+                        let co = tile.col_start + j;
+                        // SAFETY: position rows are private to this block
+                        // and output channels private to this tile, so the
+                        // (row, channel) cells are pairwise distinct
+                        // across the grid.
+                        unsafe {
+                            out_view.write(
+                                (ni * outputs + co) * positions + pos,
+                                a as f32 * scale + bias[co],
+                            );
+                        }
+                    }
+                }
+            });
+        }
+
+        costs.clear();
+        for tile in &mut self.tiles {
+            let cost = tile
+                .pe
+                .record_matvecs(rows)
+                .expect("tile loaded at compile time");
+            costs.push((cost, tile.nnz));
+        }
+    }
+
+    /// Reference im2col convolution — gather the full patch matrix, run
+    /// one merged batched call, scatter the staged rows into NCHW. Kept
+    /// as the differential oracle the streaming
+    /// [`conv_forward`](PeLayer::conv_forward) is tested against.
+    #[cfg(test)]
+    pub(crate) fn conv_forward_im2col(
+        &mut self,
+        input: &Tensor,
+        stats: &mut PeRunStats,
+        pool: &WorkPool,
+    ) -> Tensor {
+        let s = input.shape();
+        let (n, h, w) = (s[0], s[2], s[3]);
+        let k = self.kernel;
+        let (oh, ow) = conv_out_dims(h, w, k, self.stride, self.padding);
+        let positions = oh * ow;
+        let rows = n * positions;
         let mut out = Tensor::zeros(&[n, self.outputs, oh, ow]);
-        // Detach the image-level buffers so `forward_batch` can re-borrow
-        // the layer; they return to the scratch after the pass.
-        let mut patches = std::mem::take(&mut self.scratch.patches);
-        let mut staged = std::mem::take(&mut self.scratch.staged);
-        staged.resize(rows * self.outputs, 0.0);
+        let mut patches = Vec::new();
+        let mut staged = vec![0.0; rows * self.outputs];
         gather_patches(
             input,
             self.reduction,
@@ -412,8 +582,6 @@ impl PeLayer {
             positions,
             pool,
         );
-        self.scratch.patches = patches;
-        self.scratch.staged = staged;
         out
     }
 
@@ -469,7 +637,10 @@ pub(crate) fn conv_out_dims(
 
 /// Gathers the whole batch's `n·oh·ow × reduction` im2col patch matrix in
 /// position-major row order; patch rows fan out over the pool. `patches`
-/// is resized to fit (a reusable scratch buffer).
+/// is resized to fit. Only the reference
+/// [`conv_forward_im2col`](PeLayer::conv_forward_im2col) oracle still
+/// stages the full matrix — production conv streams patches directly.
+#[cfg(test)]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gather_patches(
     input: &Tensor,
@@ -499,28 +670,52 @@ pub(crate) fn gather_patches(
             let (ni, pos) = (p / positions, p % positions);
             let (oy, ox) = (pos / ow, pos % ow);
             let patch = &mut dst[i * reduction..(i + 1) * reduction];
-            for ci in 0..cin {
-                for ky in 0..k {
-                    let iy = (oy * stride + ky) as isize - padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kx in 0..k {
-                        let ix = (ox * stride + kx) as isize - padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        patch[(ci * k + ky) * k + kx] =
-                            x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
-                    }
-                }
-            }
+            gather_patch_into(x, patch, ni, oy, ox, cin, h, w, k, stride, padding);
         }
     });
 }
 
+/// Gathers the single im2col patch row of output position `(oy, ox)` in
+/// image `ni` into `patch` (length `cin·k·k`, **pre-zeroed** by the
+/// caller — out-of-bounds window cells keep the zero padding). Shared by
+/// the batched [`gather_patches`] staging and the direct-conv streaming
+/// path so both produce bit-identical rows.
+#[allow(clippy::too_many_arguments)]
+fn gather_patch_into(
+    x: &[f32],
+    patch: &mut [f32],
+    ni: usize,
+    oy: usize,
+    ox: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) {
+    for ci in 0..cin {
+        for ky in 0..k {
+            let iy = (oy * stride + ky) as isize - padding as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            for kx in 0..k {
+                let ix = (ox * stride + kx) as isize - padding as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                patch[(ci * k + ky) * k + kx] =
+                    x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+            }
+        }
+    }
+}
+
 /// Scatters position-major staged rows (`n·positions × outputs`) into the
-/// NCHW output slice; each image owns a contiguous output region.
+/// NCHW output slice; each image owns a contiguous output region. Like
+/// [`gather_patches`], only the im2col test oracle still needs this.
+#[cfg(test)]
 pub(crate) fn scatter_staged(
     staged: &[f32],
     os: &mut [f32],
@@ -875,6 +1070,24 @@ impl PeRepNet {
         (predictions(&logits), stats)
     }
 
+    /// Runs only the first module's compiled 3×3 conv stage — the direct
+    /// sparse convolution (fused gather → quantize → PE tile grid →
+    /// strided dequant) without the f32 backbone in front of it.
+    /// `features` must be `[N, C, H, W]` with `C` equal to the module's
+    /// rep width. Bench/diagnostic hook: this is the kernel
+    /// `BENCH_kernels.json` tracks as `direct_conv_*`; the full pipeline
+    /// is [`predict`](Self::predict).
+    pub fn conv3_stage_forward(&mut self, features: &Tensor) -> (Tensor, PeRunStats) {
+        let mut stats = PeRunStats::default();
+        let pool = Arc::clone(&self.pool);
+        let module = self
+            .modules
+            .first_mut()
+            .expect("compiled branch is non-empty");
+        let out = module.conv3.conv_forward(features, &mut stats, &pool);
+        (out, stats)
+    }
+
     /// Number of PE tiles loaded across the branch.
     pub fn tile_count(&self) -> usize {
         self.modules
@@ -967,11 +1180,12 @@ pub(crate) fn global_avg_pool(t: &Tensor) -> Tensor {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use pim_data::SyntheticSpec;
     use pim_nn::models::{Backbone, BackboneConfig, RepNetConfig};
     use pim_nn::train::{fit, FitConfig, Model};
+    use proptest::prelude::*;
 
     fn trained_model(pattern: Option<NmPattern>) -> (RepNet, pim_data::Task) {
         let backbone_cfg = BackboneConfig {
@@ -1142,7 +1356,7 @@ mod tests {
         let mut serial = PeRepNet::compile(&mut model).expect("fits PEs");
         let mut model_par = model.clone();
         let mut parallel = serial.clone();
-        parallel.attach_pool(Arc::new(WorkPool::new(4)));
+        parallel.attach_pool(Arc::new(WorkPool::with_forced_threads(4)));
         assert_eq!(parallel.pool().threads(), 4);
 
         let (x, _) = task.test.batch(&[0, 1, 2, 3, 4, 5]);
@@ -1163,7 +1377,7 @@ mod tests {
     fn pending_write_bits_predicts_the_refresh_delta() {
         let (mut model, task) = trained_model(Some(NmPattern::one_of_four()));
         let mut compiled = PeRepNet::compile(&mut model).expect("fits PEs");
-        compiled.attach_pool(Arc::new(WorkPool::new(2)));
+        compiled.attach_pool(Arc::new(WorkPool::with_forced_threads(2)));
         assert_eq!(
             compiled.pending_write_bits(&model).expect("same geometry"),
             0,
@@ -1196,5 +1410,117 @@ mod tests {
         let (_, s1) = compiled.predict(&mut model, &x1);
         let (_, s4) = compiled.predict(&mut model, &x4);
         assert!((3 * s1.matvecs..=5 * s1.matvecs).contains(&s4.matvecs));
+    }
+
+    /// A standalone conv layer with deterministic pseudo-random weights.
+    pub(crate) fn conv_layer(
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        pattern: NmPattern,
+        seed: usize,
+    ) -> PeLayer {
+        let w = Matrix::from_fn(cin * k * k, cout, |r, c| {
+            let t = (r * 31 + c * 17 + seed * 101) % 23;
+            (t as f32 - 11.0) / 11.0
+        });
+        let bias: Vec<f32> = (0..cout).map(|c| (c as f32 - 1.5) * 0.05).collect();
+        PeLayer::compile("conv", &w, &bias, pattern, k, stride, padding).expect("tile fits PE")
+    }
+
+    /// A deterministic NCHW probe tensor with varied magnitudes.
+    pub(crate) fn probe_input(n: usize, cin: usize, h: usize, w: usize, seed: usize) -> Tensor {
+        let mut t = Tensor::zeros(&[n, cin, h, w]);
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            let u = (i * 37 + seed * 13) % 29;
+            *v = (u as f32 - 14.0) / 10.0;
+        }
+        t
+    }
+
+    fn tensor_bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn direct_conv_matches_the_im2col_oracle_bitwise() {
+        // Strides/paddings that exercise zero-padded borders, and both a
+        // serial pool and a forced 4-wide pool with an eager threshold.
+        for (stride, padding, threads) in [(1, 1, 1), (2, 1, 4), (1, 0, 4)] {
+            let pool = WorkPool::with_forced_threads(threads).with_spawn_threshold(1);
+            let mut direct = conv_layer(3, 8, 3, stride, padding, NmPattern::one_of_four(), 7);
+            let mut oracle = direct.clone();
+            let x = probe_input(2, 3, 8, 8, 11);
+            let mut stats_d = PeRunStats::new();
+            let mut stats_o = PeRunStats::new();
+            let out_d = direct.conv_forward(&x, &mut stats_d, &pool);
+            let out_o = oracle.conv_forward_im2col(&x, &mut stats_o, &pool);
+            assert_eq!(out_d.shape(), out_o.shape());
+            assert_eq!(tensor_bits(&out_d), tensor_bits(&out_o));
+            assert_eq!(stats_d, stats_o, "run ledgers replay identically");
+            assert_eq!(
+                direct.cumulative_stats(),
+                oracle.cumulative_stats(),
+                "per-tile cumulative ledgers agree bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_threshold_does_not_change_conv_results() {
+        let eager = WorkPool::with_forced_threads(3).with_spawn_threshold(1);
+        let lazy = WorkPool::with_forced_threads(3).with_spawn_threshold(u64::MAX);
+        let mut a = conv_layer(2, 6, 3, 1, 1, NmPattern::two_of_four(), 3);
+        let mut b = a.clone();
+        let x = probe_input(3, 2, 6, 6, 5);
+        let mut stats_a = PeRunStats::new();
+        let mut stats_b = PeRunStats::new();
+        let out_a = a.conv_forward(&x, &mut stats_a, &eager);
+        let out_b = b.conv_forward(&x, &mut stats_b, &lazy);
+        assert_eq!(tensor_bits(&out_a), tensor_bits(&out_b));
+        assert_eq!(
+            stats_a, stats_b,
+            "granularity choice never leaks into ledgers"
+        );
+    }
+
+    proptest! {
+        // The direct streaming conv is a pure refactor of the im2col
+        // round-trip: same gathered values, same per-row calibration,
+        // same kernel calls, same replay order — so logits AND the f64
+        // ledgers must agree bit-for-bit over random geometry, sparsity
+        // pattern, batch, and pool width.
+        #[test]
+        fn direct_conv_is_a_bitwise_refactor_of_im2col(
+            (cin, cout, k, stride, padding) in prop_oneof![
+                Just((3usize, 8usize, 3usize, 1usize, 1usize)),
+                Just((2, 4, 3, 2, 1)),
+                Just((1, 6, 3, 1, 0)),
+                Just((4, 4, 1, 1, 0)),
+            ],
+            pattern in prop_oneof![
+                Just(NmPattern::one_of_four()),
+                Just(NmPattern::two_of_four()),
+                Just(NmPattern::one_of_eight()),
+            ],
+            n in 1usize..=3,
+            hw in 4usize..=9,
+            threads in prop_oneof![Just(1usize), Just(4usize)],
+            seed in 0usize..64,
+        ) {
+            let pool = WorkPool::with_forced_threads(threads).with_spawn_threshold(1);
+            let mut direct = conv_layer(cin, cout, k, stride, padding, pattern, seed);
+            let mut oracle = direct.clone();
+            let x = probe_input(n, cin, hw, hw, seed + 1);
+            let mut stats_d = PeRunStats::new();
+            let mut stats_o = PeRunStats::new();
+            let out_d = direct.conv_forward(&x, &mut stats_d, &pool);
+            let out_o = oracle.conv_forward_im2col(&x, &mut stats_o, &pool);
+            prop_assert_eq!(tensor_bits(&out_d), tensor_bits(&out_o));
+            prop_assert_eq!(stats_d, stats_o);
+            prop_assert_eq!(direct.cumulative_stats(), oracle.cumulative_stats());
+        }
     }
 }

@@ -25,8 +25,7 @@
 //! outputs, same ledgers — only the simulated macro topology differs.
 
 use crate::pe_inference::{
-    avg_pool2, conv_out_dims, gather_patches, global_avg_pool, relu_in_place, scatter_staged,
-    PeLayer, PeRepNet, PeRunStats,
+    avg_pool2, conv_out_dims, global_avg_pool, relu_in_place, PeLayer, PeRepNet, PeRunStats,
 };
 use pim_nn::models::RepNet;
 use pim_nn::tensor::Tensor;
@@ -43,18 +42,12 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 struct ShardedLayer {
     parts: Vec<PeLayer>,
-    /// Coordinator-level im2col / staging buffers (one activation
-    /// broadcast and one staged output shared by all groups).
-    patches: Vec<f32>,
-    staged: Vec<f32>,
 }
 
 impl ShardedLayer {
     fn split(layer: &PeLayer, groups: usize) -> Self {
         Self {
             parts: layer.split_round_robin(groups),
-            patches: Vec::new(),
-            staged: Vec::new(),
         }
     }
 
@@ -102,8 +95,12 @@ impl ShardedLayer {
         self.replay_costs(batch, stats);
     }
 
-    /// Convolution with one coordinator-level im2col gather and NCHW
-    /// scatter around the per-group batched calls.
+    /// Direct sparse convolution: every group streams the broadcast
+    /// activations through [`PeLayer::conv_forward_compute`] — gathering
+    /// and quantizing its own copy of each window row (bit-identical
+    /// rows, hence bit-identical scales) and writing only the output
+    /// channels its tiles own — then the interleaved bills replay. No
+    /// coordinator-level im2col or staging arena exists anymore.
     fn conv_forward(&mut self, input: &Tensor, stats: &mut PeRunStats, pool: &WorkPool) -> Tensor {
         let s = input.shape();
         let (n, h, w) = (s[0], s[2], s[3]);
@@ -111,32 +108,14 @@ impl ShardedLayer {
             let p0 = &self.parts[0];
             (p0.kernel, p0.stride, p0.padding)
         };
-        let (outputs, reduction) = (self.outputs(), self.reduction());
         let (oh, ow) = conv_out_dims(h, w, k, stride, padding);
         let positions = oh * ow;
         let rows = n * positions;
-        let mut out = Tensor::zeros(&[n, outputs, oh, ow]);
-        let mut patches = std::mem::take(&mut self.patches);
-        let mut staged = std::mem::take(&mut self.staged);
-        staged.resize(rows * outputs, 0.0);
-        gather_patches(
-            input,
-            reduction,
-            k,
-            stride,
-            padding,
-            oh,
-            ow,
-            &mut patches,
-            pool,
-        );
+        let mut out = Tensor::zeros(&[n, self.outputs(), oh, ow]);
         for part in &mut self.parts {
-            part.forward_batch_compute(&patches, rows, &mut staged, pool);
+            part.conv_forward_compute(input, out.as_mut_slice(), pool);
         }
         self.replay_costs(rows, stats);
-        scatter_staged(&staged, out.as_mut_slice(), n, outputs, positions, pool);
-        self.patches = patches;
-        self.staged = staged;
         out
     }
 
@@ -394,6 +373,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_direct_conv_matches_the_unsharded_im2col_oracle() {
+        use crate::pe_inference::tests::{conv_layer, probe_input};
+        let x = probe_input(2, 3, 7, 7, 9);
+        for groups in [2, 3] {
+            for threads in [1, 4] {
+                let pool = WorkPool::with_forced_threads(threads).with_spawn_threshold(1);
+                let layer = conv_layer(3, 8, 3, 1, 1, NmPattern::one_of_four(), 13);
+                let mut oracle = layer.clone();
+                let mut sharded = ShardedLayer::split(&layer, groups);
+                let mut stats_s = PeRunStats::new();
+                let mut stats_o = PeRunStats::new();
+                let out_s = sharded.conv_forward(&x, &mut stats_s, &pool);
+                let out_o = oracle.conv_forward_im2col(&x, &mut stats_o, &pool);
+                let bits = |t: &Tensor| {
+                    t.as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u32>>()
+                };
+                assert_eq!(bits(&out_s), bits(&out_o), "G={groups} t={threads}");
+                assert_eq!(stats_s, stats_o, "run ledgers replay identically");
+            }
+        }
+    }
+
+    #[test]
     fn sharding_partitions_every_tile_without_duplication() {
         let (_, branch) = compiled_tiny();
         for groups in [1, 2, 3, 5] {
@@ -442,7 +447,7 @@ mod tests {
         let x = probe(6);
         let mut serial = ShardedPeRepNet::shard(&branch, 3);
         let mut parallel = serial.clone();
-        parallel.attach_pool(Arc::new(WorkPool::new(4)));
+        parallel.attach_pool(Arc::new(WorkPool::with_forced_threads(4)));
         let (a, sa) = serial.predict(&mut model.clone(), &x);
         let (b, sb) = parallel.predict(&mut model.clone(), &x);
         assert_eq!(a.as_slice(), b.as_slice());

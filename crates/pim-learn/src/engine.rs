@@ -458,7 +458,7 @@ mod tests {
     #[test]
     fn preflight_diff_matches_the_write_back_bill_exactly() {
         let mut engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
-        engine.attach_pool(Arc::new(WorkPool::new(2)));
+        engine.attach_pool(Arc::new(WorkPool::with_forced_threads(2)));
         feed(&mut engine, 12);
         for _ in 0..3 {
             engine.step().expect("step");

@@ -40,6 +40,17 @@ pub struct Conv2d {
     /// Attached (not constructed) so every conv in a model shares one
     /// pool — see `Backbone::attach_pool`.
     pool: Option<Arc<WorkPool>>,
+    /// Eval-mode scratch (im2col arena, row-major output arena,
+    /// reduction-major weight copy) reused across forwards so steady-state
+    /// inference allocates nothing.
+    scratch: ConvScratch,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ConvScratch {
+    cols: Vec<f32>,
+    flat: Vec<f32>,
+    wt: Vec<f32>,
 }
 
 #[derive(Debug, Clone)]
@@ -83,6 +94,7 @@ impl Conv2d {
             padding,
             cached: None,
             pool: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -193,68 +205,89 @@ impl Conv2d {
             let (ni, pos) = (row / (oh * ow), row % (oh * ow));
             let (oy, ox) = (pos / ow, pos % ow);
             let out = &mut dst[i * red..(i + 1) * red];
+            // Consecutive `kx` map to consecutive input columns, so each
+            // (ci, ky) line is one contiguous copy of the un-clipped span
+            // `kx0..kx1`; clipped positions keep the pre-zeroed padding.
+            let x0 = ox * self.stride;
+            let kx0 = self.padding.saturating_sub(x0);
+            let kx1 = (w + self.padding).saturating_sub(x0).min(k);
             for ci in 0..cin {
                 for ky in 0..k {
                     let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    for kx in 0..k {
-                        let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[(ci * k + ky) * k + kx] =
-                            x[((ni * cin + ci) * h + iy as usize) * w + ix as usize];
+                    if kx0 >= kx1 {
+                        continue;
                     }
+                    let src = ((ni * cin + ci) * h + iy as usize) * w + x0 + kx0 - self.padding;
+                    let base = (ci * k + ky) * k;
+                    out[base + kx0..base + kx1].copy_from_slice(&x[src..src + (kx1 - kx0)]);
                 }
             }
         }
     }
 
-    /// Computes `out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co]` for
-    /// the rows in `rows`; `cols`/`dst` span exactly those rows.
+    /// Computes `out[row, co] = Σ_r cols[row, r] · wt[r, co] + b[co]` for
+    /// the rows in `rows`; `cols`/`dst` span exactly those rows and `wt`
+    /// is the weight in **reduction-major** layout `[red, cout]`.
     ///
-    /// Four output channels run as four independent accumulator chains so
-    /// the CPU can overlap them; each chain still sums its channel in the
-    /// exact original order, so results are f32-bit-identical to the
-    /// one-channel-at-a-time loop.
-    fn matmul_rows(&self, w: &[f32], b: &[f32], cols: &[f32], rows: usize, dst: &mut [f32]) {
+    /// The inner loop runs across output channels — contiguous SIMD lanes
+    /// the compiler vectorizes, in register blocks of 16/8/4 channels for
+    /// ILP. Lanes never mix: each channel is still one accumulator chain
+    /// summing its channel in the exact original `r` order, so results
+    /// are f32-bit-identical to the one-channel-at-a-time loop.
+    fn matmul_rows_t(&self, wt: &[f32], b: &[f32], cols: &[f32], rows: usize, dst: &mut [f32]) {
         let red = self.reduction_len();
         let cout = self.out_channels;
         for row in 0..rows {
             let crow = &cols[row * red..(row + 1) * red];
             let orow = &mut dst[row * cout..(row + 1) * cout];
             let mut co = 0;
-            while co + 4 <= cout {
-                let w0 = &w[co * red..(co + 1) * red];
-                let w1 = &w[(co + 1) * red..(co + 2) * red];
-                let w2 = &w[(co + 2) * red..(co + 3) * red];
-                let w3 = &w[(co + 3) * red..(co + 4) * red];
-                let (mut a0, mut a1, mut a2, mut a3) = (b[co], b[co + 1], b[co + 2], b[co + 3]);
-                for (r, &cv) in crow.iter().enumerate() {
-                    a0 += cv * w0[r];
-                    a1 += cv * w1[r];
-                    a2 += cv * w2[r];
-                    a3 += cv * w3[r];
-                }
-                orow[co] = a0;
-                orow[co + 1] = a1;
-                orow[co + 2] = a2;
-                orow[co + 3] = a3;
+            while co + 16 <= cout {
+                lane_block::<16>(wt, b, crow, cout, co, orow);
+                co += 16;
+            }
+            if co + 8 <= cout {
+                lane_block::<8>(wt, b, crow, cout, co, orow);
+                co += 8;
+            }
+            if co + 4 <= cout {
+                lane_block::<4>(wt, b, crow, cout, co, orow);
                 co += 4;
             }
             while co < cout {
-                let wrow = &w[co * red..(co + 1) * red];
                 let mut acc = b[co];
-                for (a, bb) in crow.iter().zip(wrow) {
-                    acc += a * bb;
+                for (r, &cv) in crow.iter().enumerate() {
+                    acc += cv * wt[r * cout + co];
                 }
                 orow[co] = acc;
                 co += 1;
             }
         }
     }
+}
+
+/// `L` adjacent output channels of one im2col row as `L` independent
+/// register accumulator chains (bias-seeded, summed in `r` order).
+#[inline(always)]
+fn lane_block<const L: usize>(
+    wt: &[f32],
+    b: &[f32],
+    crow: &[f32],
+    cout: usize,
+    co: usize,
+    orow: &mut [f32],
+) {
+    let mut acc = [0.0f32; L];
+    acc.copy_from_slice(&b[co..co + L]);
+    for (r, &cv) in crow.iter().enumerate() {
+        let wrow = &wt[r * cout + co..r * cout + co + L];
+        for (a, &wv) in acc.iter_mut().zip(wrow) {
+            *a += cv * wv;
+        }
+    }
+    orow[co..co + L].copy_from_slice(&acc);
 }
 
 /// Chunk size splitting `total` rows into ~2 blocks per pool executor.
@@ -288,25 +321,41 @@ impl Layer for Conv2d {
         let x = input.as_slice();
 
         // im2col, fanned out over row ranges (disjoint `cols` regions).
-        let mut cols = vec![0.0f32; rows * red];
+        // The arena is scratch reused across eval forwards (re-zeroed for
+        // the padding positions `fill_cols` skips).
+        let mut cols = std::mem::take(&mut self.scratch.cols);
+        cols.clear();
+        cols.resize(rows * red, 0.0);
         let cols_view = SharedSliceMut::new(&mut cols);
         pool.for_each_chunk(rows, chunk, |range| {
             let dst = unsafe { cols_view.slice(range.start * red..range.end * red) };
             self.fill_cols(x, cin, h, w_in, oh, ow, range, dst);
         });
 
-        // out[row, co] = Σ_r cols[row, r] · w[co, r] + b[co], fanned out
+        // out[row, co] = Σ_r cols[row, r] · wt[r, co] + b[co], fanned out
         // over the same row ranges (disjoint `flat` regions). Each task
         // keeps the serial per-row accumulation order, so the split is
-        // f32-bit-exact.
+        // f32-bit-exact. The reduction-major weight copy puts adjacent
+        // channels in adjacent lanes for `matmul_rows_t`; it is pure data
+        // movement, rebuilt per call because training steps the weights.
         let w = self.weight.value.as_slice(); // [cout, red]
         let b = self.bias.value.as_slice();
-        let mut flat = vec![0.0f32; rows * cout];
+        let mut wt = std::mem::take(&mut self.scratch.wt);
+        wt.clear();
+        wt.resize(red * cout, 0.0);
+        for co in 0..cout {
+            for (r, &wv) in w[co * red..(co + 1) * red].iter().enumerate() {
+                wt[r * cout + co] = wv;
+            }
+        }
+        let mut flat = std::mem::take(&mut self.scratch.flat);
+        flat.clear();
+        flat.resize(rows * cout, 0.0);
         let flat_view = SharedSliceMut::new(&mut flat);
         pool.for_each_chunk(rows, chunk, |range| {
             let dst = unsafe { flat_view.slice(range.start * cout..range.end * cout) };
-            self.matmul_rows(
-                w,
+            self.matmul_rows_t(
+                &wt,
                 b,
                 &cols[range.start * red..range.end * red],
                 range.len(),
@@ -330,12 +379,16 @@ impl Layer for Conv2d {
                 }
             }
         });
+        self.scratch.wt = wt;
+        self.scratch.flat = flat;
         if train {
             self.cached = Some(CachedForward {
                 cols,
                 input_shape: [n, cin, h, w_in],
                 out_hw: (oh, ow),
             });
+        } else {
+            self.scratch.cols = cols;
         }
         y
     }

@@ -15,11 +15,18 @@
 //!   hand out disjoint index ranges (see [`SharedSliceMut`]) and fold any
 //!   order-sensitive accounting sequentially after the join. Nothing about
 //!   scheduling leaks into outputs.
-//! * **Degrades to serial.** A pool built with one thread spawns nothing
-//!   and runs every task inline on the caller, byte-for-byte the serial
-//!   code path. Concurrent dispatchers (e.g. several serving workers
+//! * **Degrades to serial.** A pool built with one thread — or built on a
+//!   host with a single available core, where extra executors can only
+//!   time-slice — spawns nothing and runs every task inline on the caller,
+//!   byte-for-byte the serial code path with no dispatch attempt and no
+//!   lock traffic. Concurrent dispatchers (e.g. several serving workers
 //!   sharing one pool) never block each other: a contended dispatch also
 //!   falls back to inline execution.
+//! * **Cost-aware.** Dispatching a job costs a couple of mutex hand-offs
+//!   and a condvar wake — microseconds. [`WorkPool::run_costed`] lets the
+//!   caller attach a work estimate (e.g. MAC count) to the grid; estimates
+//!   below the pool's spawn threshold run inline, so tiny grids never pay
+//!   more for scheduling than for arithmetic.
 //! * **Idle workers sleep.** Workers park on a condvar between jobs — no
 //!   spinning, so an oversubscribed or single-core host is not degraded by
 //!   an idle pool.
@@ -98,12 +105,23 @@ pub struct PoolCounters {
     pub worker_tasks: u64,
 }
 
+/// Default spawn threshold for [`WorkPool::run_costed`], in estimated
+/// scalar ops (MACs / element visits). A dispatch costs a few mutex
+/// hand-offs plus a condvar wake — order of ten microseconds of combined
+/// overhead — so grids estimated under ~32k one-nanosecond ops are better
+/// off inline. Swept by `pim-dse` and tunable per pool.
+pub const DEFAULT_SPAWN_THRESHOLD: u64 = 32_768;
+
 /// A fixed-size pool of persistent worker threads for scoped fork-join
 /// dispatch.
 ///
 /// `WorkPool::new(n)` spawns `n - 1` workers; the caller of
 /// [`run`](Self::run) is always the n-th executor. `n = 1` spawns nothing
-/// and every job runs inline — the serial code path, bit-for-bit.
+/// and every job runs inline — the serial code path, bit-for-bit. The
+/// requested width is clamped to the host's available cores: on a
+/// single-core runner every pool is serial (extra executors could only
+/// time-slice the one core and the dispatch overhead would make "parallel"
+/// strictly slower than serial).
 ///
 /// # Example
 ///
@@ -132,13 +150,29 @@ pub struct WorkPool {
     dispatch: Mutex<()>,
     counters: Arc<Counters>,
     threads: usize,
+    /// Estimated-op floor below which [`Self::run_costed`] stays inline.
+    spawn_threshold: u64,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkPool {
     /// Creates a pool of `threads` executors (min 1): `threads - 1`
-    /// persistent workers plus the dispatching caller.
+    /// persistent workers plus the dispatching caller. The width is
+    /// clamped to the host's available cores, so on a single-core runner
+    /// the pool degrades to pure-inline execution (no workers spawned, no
+    /// dispatch attempt, no lock traffic) and can never be slower than
+    /// the serial path.
     pub fn new(threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_forced_threads(threads.min(cores))
+    }
+
+    /// [`new`](Self::new) without the available-core clamp — a test/bench
+    /// hook so dispatch, contention, and counter behaviour stay exercised
+    /// on single-core CI runners. Production callers want `new`.
+    pub fn with_forced_threads(threads: usize) -> Self {
         let threads = threads.max(1);
         let counters = Arc::new(Counters::default());
         if threads == 1 {
@@ -147,6 +181,7 @@ impl WorkPool {
                 dispatch: Mutex::new(()),
                 counters,
                 threads,
+                spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
                 handles: Vec::new(),
             };
         }
@@ -173,6 +208,7 @@ impl WorkPool {
             dispatch: Mutex::new(()),
             counters,
             threads,
+            spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
             handles,
         }
     }
@@ -185,6 +221,19 @@ impl WorkPool {
     /// Executor count (workers + the dispatching caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the estimated-op floor below which [`Self::run_costed`] runs
+    /// inline (min 1), returning the pool builder-style. Scheduling-only:
+    /// outputs are bit-identical at every threshold.
+    pub fn with_spawn_threshold(mut self, threshold: u64) -> Self {
+        self.spawn_threshold = threshold.max(1);
+        self
+    }
+
+    /// The current spawn threshold (estimated ops).
+    pub fn spawn_threshold(&self) -> u64 {
+        self.spawn_threshold
     }
 
     /// Snapshot of the cumulative activity counters.
@@ -278,6 +327,45 @@ impl WorkPool {
         };
         drop(gate);
         assert!(!panicked, "pim-par: a parallel task panicked");
+    }
+
+    /// [`run`](Self::run) with a caller-supplied work estimate: when
+    /// `estimated_ops` (total scalar work in the grid, e.g. MAC count ×
+    /// batch) falls below the pool's spawn threshold, the whole grid runs
+    /// inline on the caller — no dispatch attempt, no lock traffic —
+    /// because waking workers would cost more than the arithmetic. At or
+    /// above the threshold it dispatches normally.
+    ///
+    /// Scheduling-only: each index still runs exactly once, so results are
+    /// bit-identical to [`run`](Self::run) at every threshold.
+    pub fn run_costed<F: Fn(usize) + Sync>(&self, tasks: usize, estimated_ops: u64, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        if self.inner.is_some() && estimated_ops < self.spawn_threshold {
+            return self.run_inline(tasks, &f, &self.counters.inline_jobs);
+        }
+        self.run(tasks, f);
+    }
+
+    /// [`for_each_chunk`](Self::for_each_chunk) with the
+    /// [`run_costed`](Self::run_costed) inline-below-threshold rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn for_each_chunk_costed<F>(&self, total: usize, chunk: usize, estimated_ops: u64, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if total == 0 {
+            return;
+        }
+        self.run_costed(total.div_ceil(chunk), estimated_ops, |t| {
+            let start = t * chunk;
+            f(start..(start + chunk).min(total));
+        });
     }
 
     /// [`run`](Self::run) over `⌈total / chunk⌉` contiguous index ranges:
@@ -376,8 +464,10 @@ mod tests {
 
     #[test]
     fn every_index_runs_exactly_once() {
+        // Forced widths: the available-core clamp must not hide the
+        // dispatch path on a single-core CI runner.
         for threads in [1, 2, 4] {
-            let pool = WorkPool::new(threads);
+            let pool = WorkPool::with_forced_threads(threads);
             let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
             pool.run(hits.len(), |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
@@ -409,7 +499,7 @@ mod tests {
 
     #[test]
     fn chunked_ranges_partition_the_total() {
-        let pool = WorkPool::new(3);
+        let pool = WorkPool::with_forced_threads(3);
         let mut seen = vec![0u8; 1001];
         {
             let out = SharedSliceMut::new(&mut seen);
@@ -425,7 +515,7 @@ mod tests {
 
     #[test]
     fn disjoint_parallel_writes_land() {
-        let pool = WorkPool::new(4);
+        let pool = WorkPool::with_forced_threads(4);
         let mut data = vec![0u64; 256];
         {
             let out = SharedSliceMut::new(&mut data);
@@ -452,7 +542,7 @@ mod tests {
 
     #[test]
     fn task_panic_propagates_after_the_join() {
-        let pool = WorkPool::new(4);
+        let pool = WorkPool::with_forced_threads(4);
         let finished = AtomicUsize::new(0);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run(16, |i| {
@@ -475,7 +565,7 @@ mod tests {
 
     #[test]
     fn concurrent_dispatchers_fall_back_instead_of_blocking() {
-        let pool = Arc::new(WorkPool::new(2));
+        let pool = Arc::new(WorkPool::with_forced_threads(2));
         let total = Arc::new(AtomicU64::new(0));
         let threads: Vec<_> = (0..4)
             .map(|_| {
@@ -501,12 +591,70 @@ mod tests {
 
     #[test]
     fn counters_attribute_tasks_to_executors() {
-        let pool = WorkPool::new(4);
+        let pool = WorkPool::with_forced_threads(4);
         pool.run(32, |_| {
             std::thread::yield_now();
         });
         let c = pool.counters();
         assert_eq!(c.jobs, 1);
         assert_eq!(c.caller_tasks + c.worker_tasks, 32);
+    }
+
+    #[test]
+    fn requested_width_is_clamped_to_available_cores() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool = WorkPool::new(1024);
+        assert!(pool.threads() <= cores, "width never exceeds the host");
+        // On a single-core host the clamp makes the pool fully serial:
+        // every job is inline, nothing is ever dispatched.
+        if cores == 1 {
+            let sum = AtomicU64::new(0);
+            pool.run(16, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 120);
+            let c = pool.counters();
+            assert_eq!(c.jobs, 0);
+            assert_eq!(c.inline_jobs, 1);
+            assert_eq!(c.worker_tasks, 0);
+        }
+    }
+
+    #[test]
+    fn run_costed_stays_inline_below_the_spawn_threshold() {
+        let pool = WorkPool::with_forced_threads(4);
+        let sum = AtomicU64::new(0);
+        // Tiny estimate: the grid runs inline, no dispatch.
+        pool.run_costed(8, 10, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        let c = pool.counters();
+        assert_eq!((c.jobs, c.inline_jobs), (0, 1));
+        // Huge estimate: normal dispatch.
+        pool.run_costed(8, u64::MAX, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(pool.counters().jobs, 1);
+        // Both grids ran every index exactly once.
+        assert_eq!(sum.load(Ordering::Relaxed), 2 * 36);
+    }
+
+    #[test]
+    fn spawn_threshold_is_tunable_and_floored_at_one() {
+        let pool = WorkPool::with_forced_threads(2).with_spawn_threshold(0);
+        assert_eq!(pool.spawn_threshold(), 1);
+        // estimate 1 ≥ threshold 1 → dispatches even the smallest grid.
+        pool.run_costed(4, 1, |_| {});
+        assert_eq!(pool.counters().jobs, 1);
+
+        let lazy = WorkPool::with_forced_threads(2).with_spawn_threshold(u64::MAX);
+        let hits = AtomicU64::new(0);
+        lazy.for_each_chunk_costed(100, 10, u64::MAX - 1, |r| {
+            hits.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(lazy.counters().jobs, 0, "below threshold stays inline");
     }
 }

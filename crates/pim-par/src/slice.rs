@@ -74,6 +74,27 @@ impl<'a, T> SharedSliceMut<'a, T> {
             std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
         }
     }
+
+    /// Writes one element at `i` — the strided-scatter companion to
+    /// [`slice`](Self::slice) for tasks whose disjoint writes are not
+    /// contiguous (e.g. one output channel across NCHW positions).
+    ///
+    /// # Safety
+    ///
+    /// Concurrent accesses must target **pairwise distinct** indices, and
+    /// no live sub-slice from [`slice`](Self::slice) may cover `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for SharedSliceMut of len {}",
+            self.len
+        );
+        unsafe { *self.ptr.add(i) = value };
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +114,21 @@ mod tests {
             b.fill(2);
         }
         assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn strided_writes_land_at_distinct_indices() {
+        let mut data = vec![0u32; 6];
+        {
+            let view = SharedSliceMut::new(&mut data);
+            // SAFETY: the indices are pairwise distinct.
+            unsafe {
+                view.write(0, 7);
+                view.write(2, 8);
+                view.write(5, 9);
+            }
+        }
+        assert_eq!(data, [7, 0, 8, 0, 0, 9]);
     }
 
     #[test]

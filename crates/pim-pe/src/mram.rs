@@ -26,7 +26,7 @@
 //! learnable weights do not.
 
 use crate::error::PeError;
-use crate::kernel::FlatKernel;
+use crate::kernel::{FlatKernel, PackedKernel};
 use crate::stats::{LoadReport, MatvecCost, MatvecReport, PeStats};
 use crate::SparsePe;
 use pim_device::components::MramPeComponents;
@@ -127,6 +127,10 @@ pub struct MramSparsePe {
     /// packed rows — *after* any stochastic write faults land, so corrupted
     /// weights flow into the compiled program exactly as stored.
     kernel: FlatKernel,
+    /// Bit-plane popcount kernel, selected per tile at load time when it
+    /// beats the flat gather (dense/low-bit tiles); `None` keeps the flat
+    /// path. Bit-identical either way.
+    packed: Option<PackedKernel>,
     /// Analytic per-matvec cost of the resident tile, precomputed at load
     /// time (the cycle/energy model is data-independent).
     cost: MatvecCost,
@@ -164,6 +168,7 @@ impl MramSparsePe {
             rows: Vec::new(),
             tile: None,
             kernel: FlatKernel::default(),
+            packed: None,
             cost: MatvecCost::default(),
             stats: PeStats::new(),
         }
@@ -283,6 +288,7 @@ impl MramSparsePe {
         );
         debug_assert_eq!(self.kernel.cols(), tile.cols);
         debug_assert_eq!(self.kernel.nnz() as u64, tile.occupied_slots);
+        self.packed = PackedKernel::pack_if_profitable(&self.kernel);
         self.cost = self.analytic_matvec_cost();
     }
 
@@ -486,8 +492,12 @@ impl SparsePe for MramSparsePe {
         );
         let occupied = tile.occupied_slots;
         // Compiled execution kernel: exact row-stream arithmetic as a
-        // single-pass gather (see `kernel.rs` for the equivalence).
-        self.kernel.matvec_into(x, y);
+        // single-pass gather, or bit-plane popcount where selected at
+        // load time (see `kernel.rs` for both equivalences).
+        match &self.packed {
+            Some(p) => p.matvec_into(x, y),
+            None => self.kernel.matvec_into(x, y),
+        }
         // Analytic accounting model, precomputed at load time.
         let cost = self.cost;
         self.stats.record_matvec_cost(&cost, occupied);
@@ -514,7 +524,10 @@ impl SparsePe for MramSparsePe {
             "output buffer does not match batch × column count"
         );
         let occupied = tile.occupied_slots;
-        self.kernel.matmul_into(xs, batch, y);
+        match &self.packed {
+            Some(p) => p.matmul_into(xs, batch, y),
+            None => self.kernel.matmul_into(xs, batch, y),
+        }
         let cost = self.cost;
         for _ in 0..batch {
             self.stats.record_matvec_cost(&cost, occupied);

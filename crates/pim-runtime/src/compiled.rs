@@ -15,7 +15,9 @@ use std::sync::Arc;
 /// bit-identical logits and ledgers; only the simulated topology differs.
 #[derive(Debug, Clone)]
 enum Branch {
-    Single(PeRepNet),
+    // Boxed: the compiled macro (tile programs + scratch) dwarfs the
+    // sharded handle, and artifacts move through worker queues by value.
+    Single(Box<PeRepNet>),
     Sharded(ShardedPeRepNet),
 }
 
@@ -91,7 +93,7 @@ impl CompiledModel {
         Ok(Self {
             name: name.into(),
             model,
-            branch: Branch::Single(branch),
+            branch: Branch::Single(Box::new(branch)),
             input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
             num_classes,
             compile_stats,
@@ -128,7 +130,7 @@ impl CompiledModel {
         Self {
             name: name.into(),
             model: model.clone(),
-            branch: Branch::Single(branch),
+            branch: Branch::Single(Box::new(branch)),
             input_shape: vec![cfg.in_channels, cfg.image_size, cfg.image_size],
             num_classes,
             compile_stats,
