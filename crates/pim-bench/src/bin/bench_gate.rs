@@ -51,14 +51,23 @@ const MIN_PAR_CORES: f64 = 4.0;
 /// threads on a machine with at least [`MIN_PAR_CORES`] cores.
 const MIN_PAR_SPEEDUP: f64 = 1.5;
 
-/// Serving SLO ceilings enforced on the fresh run's cluster keys
-/// (written by `examples/cluster.rs`): absolute bounds, not drift —
-/// a p99 or rejection fraction above these is a regression regardless
-/// of what the committed baseline said. Only enforced once the
-/// committed baseline carries the key, so pre-cluster baselines still
-/// gate cleanly.
-const SLO_CEILINGS: [(&str, f64); 2] =
-    [("cluster_p99_ms", 250.0), ("cluster_rejection_frac", 0.10)];
+/// Serving SLO ceilings enforced on the fresh run's cluster and governor
+/// keys (written by `examples/cluster.rs` / `examples/governor.rs`):
+/// absolute bounds, not drift — a p99 or rejection fraction above these
+/// is a regression regardless of what the committed baseline said. Only
+/// enforced once the committed baseline carries the key, so older
+/// baselines still gate cleanly.
+///
+/// The governor keys mirror `examples/governor.rs`: the high-priority
+/// tenant's p99 must hold through the burst, shedding must stay bounded,
+/// and the ladder must fully unwind within the tick budget.
+const SLO_CEILINGS: [(&str, f64); 5] = [
+    ("cluster_p99_ms", 250.0),
+    ("cluster_rejection_frac", 0.10),
+    ("governor_p99_ms_hi_prio", 250.0),
+    ("governor_shed_frac", 0.90),
+    ("governor_recovery_ticks", 400.0),
+];
 
 /// Same-machine speedup floors enforced on the fresh run once the
 /// committed baseline carries the key. `packed_vs_flat_speedup` is the
@@ -127,6 +136,7 @@ fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
 fn check_speedup_floors(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec<String>) {
     for (key, floor) in SPEEDUP_FLOORS {
         if committed.derived_value(key).is_none() {
+            println!("  floor {key:<32} SKIPPED (no committed baseline key)");
             continue;
         }
         let Some(value) = fresh.derived_value(key) else {
@@ -178,6 +188,7 @@ fn check_telemetry_overhead(committed: &BenchDoc, fresh: &BenchDoc, failures: &m
 fn check_slo_ceilings(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec<String>) {
     for (key, ceiling) in SLO_CEILINGS {
         if committed.derived_value(key).is_none() {
+            println!("  slo   {key:<32} SKIPPED (no committed baseline key)");
             continue;
         }
         let Some(value) = fresh.derived_value(key) else {
@@ -206,8 +217,8 @@ fn check_parallel_floor(fresh: &BenchDoc, failures: &mut Vec<String>) {
     };
     if cores < MIN_PAR_CORES {
         println!(
-            "  par   {PAR_SPEEDUP_KEY:<32} {speedup:.3} (only {cores:.0} cores, \
-             floor needs {MIN_PAR_CORES:.0}+ — skipped)"
+            "  par   {PAR_SPEEDUP_KEY:<32} SKIPPED (cores={cores:.0}, floor needs \
+             {MIN_PAR_CORES:.0}+; measured {speedup:.3})"
         );
     } else if speedup.is_finite() && speedup >= MIN_PAR_SPEEDUP {
         println!(
@@ -351,6 +362,80 @@ mod tests {
         let mut none = Vec::new();
         check_telemetry_overhead(&doc(&[]), &doc(&[(TELEMETRY_OVERHEAD_KEY, 0.5)]), &mut none);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn governor_slo_ceilings_gate_once_committed() {
+        let committed = doc(&[
+            ("governor_p99_ms_hi_prio", 12.0),
+            ("governor_shed_frac", 0.5),
+            ("governor_recovery_ticks", 20.0),
+        ]);
+        // A fresh run inside every ceiling passes.
+        let mut failures = Vec::new();
+        check_slo_ceilings(
+            &committed,
+            &doc(&[
+                ("governor_p99_ms_hi_prio", 180.0),
+                ("governor_shed_frac", 0.85),
+                ("governor_recovery_ticks", 350.0),
+            ]),
+            &mut failures,
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+        // Each ceiling fails independently when exceeded.
+        for (key, bad) in [
+            ("governor_p99_ms_hi_prio", 300.0),
+            ("governor_shed_frac", 0.95),
+            ("governor_recovery_ticks", 500.0),
+        ] {
+            let mut fresh_pairs = vec![
+                ("governor_p99_ms_hi_prio", 10.0),
+                ("governor_shed_frac", 0.1),
+                ("governor_recovery_ticks", 5.0),
+            ];
+            fresh_pairs.iter_mut().find(|(k, _)| *k == key).unwrap().1 = bad;
+            let mut failures = Vec::new();
+            check_slo_ceilings(&committed, &doc(&fresh_pairs), &mut failures);
+            assert_eq!(failures.len(), 1, "'{key}' over its ceiling must fail");
+            assert!(failures[0].contains(key));
+        }
+        // Baselines predating the governor skip all three.
+        let mut none = Vec::new();
+        check_slo_ceilings(
+            &doc(&[]),
+            &doc(&[("governor_p99_ms_hi_prio", 9_999.0)]),
+            &mut none,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn parallel_floor_skips_below_core_minimum_but_gates_at_it() {
+        // Too few cores: an under-floor speedup is skipped, not failed.
+        let mut failures = Vec::new();
+        check_parallel_floor(
+            &doc(&[(PAR_CORES_KEY, 1.0), (PAR_SPEEDUP_KEY, 0.4)]),
+            &mut failures,
+        );
+        assert!(failures.is_empty(), "{failures:?}");
+        // Enough cores: the same speedup fails the floor.
+        check_parallel_floor(
+            &doc(&[(PAR_CORES_KEY, 4.0), (PAR_SPEEDUP_KEY, 0.4)]),
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+        // Enough cores and a healthy speedup passes.
+        let mut ok = Vec::new();
+        check_parallel_floor(
+            &doc(&[(PAR_CORES_KEY, 4.0), (PAR_SPEEDUP_KEY, 2.1)]),
+            &mut ok,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        // Missing keys are a structure failure, not a silent skip.
+        let mut missing = Vec::new();
+        check_parallel_floor(&doc(&[]), &mut missing);
+        assert_eq!(missing.len(), 1);
     }
 
     #[test]

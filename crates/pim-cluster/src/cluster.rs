@@ -6,7 +6,7 @@ use crate::stats::ClusterStats;
 use crate::telemetry::ClusterTelemetry;
 use pim_nn::tensor::Tensor;
 use pim_runtime::{
-    CompiledModel, InferResponse, ModelId, Runtime, RuntimeError, Telemetry, Ticket,
+    BatchPolicy, CompiledModel, InferResponse, ModelId, Runtime, RuntimeError, Telemetry, Ticket,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -261,6 +261,66 @@ impl Cluster {
     /// Per-replica queue depths, in replica order.
     pub fn queue_depths(&self) -> Vec<usize> {
         self.replicas.iter().map(|r| r.queue_depth()).collect()
+    }
+
+    /// The bounded queue capacity each replica admits up to (they are all
+    /// built alike), for normalizing queue depths into a pressure signal.
+    pub fn queue_capacity(&self) -> usize {
+        self.replicas.first().map_or(0, |r| r.queue_capacity())
+    }
+
+    /// Queued-but-undispatched requests per model slot, summed across the
+    /// fleet (registration order) — the per-tenant pressure readout.
+    pub fn queued_per_model(&self) -> Vec<usize> {
+        let mut totals = vec![0usize; self.input_shapes.len()];
+        for r in &self.replicas {
+            for (t, q) in totals.iter_mut().zip(r.queued_per_model()) {
+                *t += q;
+            }
+        }
+        totals
+    }
+
+    /// Broadcasts a live batching-policy retune to every replica (each
+    /// picks it up at its next batch boundary). Result-neutral: batching
+    /// only changes scheduling, never served logits or ledgers.
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        for r in &self.replicas {
+            r.set_batch_policy(policy);
+        }
+    }
+
+    /// Broadcasts a per-model admission quota (`None` clears it) to every
+    /// replica: while a replica has `quota` requests of this slot queued,
+    /// further submits for the slot are refused there. The cluster router
+    /// treats those refusals like any other candidate rejection, so a
+    /// fully throttled slot surfaces as [`ClusterError::Saturated`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownModel`] (wrapped) if `model` was never
+    /// registered; the fleet is unchanged.
+    pub fn set_queue_quota(
+        &self,
+        model: ModelId,
+        quota: Option<usize>,
+    ) -> Result<(), ClusterError> {
+        self.slot_index(model)?;
+        for r in &self.replicas {
+            r.set_queue_quota(model, quota)?;
+        }
+        Ok(())
+    }
+
+    /// The admission ledger so far: `(submitted, accepted, rejected)`.
+    /// Conserving at every instant: `submitted == accepted + rejected`
+    /// once in-flight submits settle.
+    pub fn admission_counts(&self) -> (u64, u64, u64) {
+        (
+            self.submitted.load(Ordering::Relaxed),
+            self.accepted.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+        )
     }
 
     /// The serving slot's version on every replica, in replica order.

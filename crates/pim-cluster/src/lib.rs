@@ -60,4 +60,4 @@ pub use error::ClusterError;
 pub use stats::ClusterStats;
 
 // Re-exported so cluster users need only this crate for the common path.
-pub use pim_runtime::{CompiledModel, InferResponse, ModelId, RuntimeStats};
+pub use pim_runtime::{BatchPolicy, CompiledModel, InferResponse, ModelId, RuntimeStats};

@@ -1,0 +1,377 @@
+//! The degradation ladder: a pure, deterministic policy state machine.
+//!
+//! The ladder never touches the cluster — it maps a pressure score to
+//! *at most one* [`LadderAction`] per tick, and the [`Governor`] applies
+//! that action (hot swap, batch retune, admission quota). Keeping the
+//! policy pure is what makes the decision trace reproducible: a fixed
+//! tick schedule of pressure scores yields the exact same action
+//! sequence every run, which the integration tests pin.
+//!
+//! [`Governor`]: crate::Governor
+
+use crate::tenant::Priority;
+
+/// Ladder tuning. Hysteresis has three guards stacked so the policy
+/// cannot flap:
+///
+/// 1. **Watermarks** — pressure must sit *above* `high_watermark` to arm
+///    demotion and *below* `low_watermark` to arm recovery; the band
+///    between them holds the status quo.
+/// 2. **Streaks** — the armed side must persist `demote_after`
+///    (resp. `promote_after`) consecutive ticks before one rung moves.
+/// 3. **Dwell** — after any rung moves, *no* rung moves for
+///    `dwell_ticks` ticks, in either direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Pressure at or above this arms demotion.
+    pub high_watermark: f64,
+    /// Pressure at or below this arms recovery.
+    pub low_watermark: f64,
+    /// Consecutive hot ticks before one demotion rung.
+    pub demote_after: u32,
+    /// Consecutive calm ticks before one recovery rung.
+    pub promote_after: u32,
+    /// Ticks the ladder holds still after any rung, both directions.
+    pub dwell_ticks: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        Self {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            demote_after: 2,
+            promote_after: 3,
+            dwell_ticks: 2,
+        }
+    }
+}
+
+/// One rung movement. Demotion actions are pushed onto a stack as they
+/// apply; recovery pops the stack, so pressure unwinds in the exact
+/// reverse order it was applied (shed lifts before batching narrows
+/// before branches promote).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderAction {
+    /// Swap tenant `tenant` (slot index) to its degraded branch.
+    Demote { tenant: usize },
+    /// Swap tenant `tenant` back to its full branch.
+    Promote { tenant: usize },
+    /// Widen batch coalescing fleet-wide.
+    WidenBatch,
+    /// Restore the configured batch policy.
+    RestoreBatch,
+    /// Stop admitting tenant `tenant`.
+    Shed { tenant: usize },
+    /// Re-admit tenant `tenant`.
+    Unshed { tenant: usize },
+}
+
+/// What the ladder needs to know about one tenant to order the walk.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderTenant {
+    pub priority: Priority,
+    /// Currently serving the degraded branch?
+    pub degraded: bool,
+    /// Currently refused at admission?
+    pub shed: bool,
+}
+
+/// The rungs already applied, most recent last (the recovery stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AppliedRung {
+    Demoted { tenant: usize },
+    Widened,
+    Shedding { tenant: usize },
+}
+
+/// The policy state machine. Drive it with [`Ladder::tick`], apply the
+/// returned action to the fleet, then confirm it with
+/// [`Ladder::commit`]. An uncommitted action leaves the ladder exactly
+/// where it was — streaks stay armed and the same action is re-emitted
+/// on the next eligible tick. That decide/commit split is what lets the
+/// governor *defer* a rung whose application was refused transiently
+/// (a hot-swap canary finding no queue room under the very pressure
+/// that triggered the demotion) instead of advancing past it.
+#[derive(Debug)]
+pub struct Ladder {
+    config: LadderConfig,
+    hot_streak: u32,
+    calm_streak: u32,
+    /// Ticks since the last rung moved; saturates.
+    since_action: u32,
+    applied: Vec<AppliedRung>,
+}
+
+impl Ladder {
+    pub fn new(config: LadderConfig) -> Self {
+        Self {
+            config,
+            hot_streak: 0,
+            calm_streak: 0,
+            // Fresh ladders may act as soon as a streak completes.
+            since_action: u32::MAX,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Rungs currently applied (0 = undegraded fleet).
+    pub fn depth(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// One policy step: classify `pressure` against the watermarks,
+    /// account streaks, and propose at most one rung movement. The
+    /// proposal does **not** move the ladder — call
+    /// [`commit`](Self::commit) once it has been applied to the fleet.
+    pub fn tick(&mut self, pressure: f64, tenants: &[LadderTenant]) -> Option<LadderAction> {
+        self.since_action = self.since_action.saturating_add(1);
+        if pressure >= self.config.high_watermark {
+            self.hot_streak += 1;
+            self.calm_streak = 0;
+        } else if pressure <= self.config.low_watermark {
+            self.calm_streak += 1;
+            self.hot_streak = 0;
+        } else {
+            // Hysteresis band: hold position, disarm both sides.
+            self.hot_streak = 0;
+            self.calm_streak = 0;
+        }
+        if self.since_action < self.config.dwell_ticks {
+            return None;
+        }
+        if self.hot_streak >= self.config.demote_after {
+            if let Some(action) = self.next_demotion(tenants) {
+                return Some(action);
+            }
+        }
+        if self.calm_streak >= self.config.promote_after {
+            if let Some(action) = self.next_recovery() {
+                return Some(action);
+            }
+        }
+        None
+    }
+
+    /// Confirms that `action` (the proposal from the immediately
+    /// preceding [`tick`](Self::tick)) was applied to the fleet: pushes
+    /// or pops the recovery stack and restarts streak/dwell accounting.
+    pub fn commit(&mut self, action: LadderAction) {
+        match action {
+            LadderAction::Demote { tenant } => self.applied.push(AppliedRung::Demoted { tenant }),
+            LadderAction::WidenBatch => self.applied.push(AppliedRung::Widened),
+            LadderAction::Shed { tenant } => self.applied.push(AppliedRung::Shedding { tenant }),
+            LadderAction::Promote { .. }
+            | LadderAction::RestoreBatch
+            | LadderAction::Unshed { .. } => {
+                self.applied.pop();
+            }
+        }
+        self.hot_streak = 0;
+        self.calm_streak = 0;
+        self.since_action = 0;
+    }
+
+    /// Ladder order going down: demote every non-High tenant (lowest
+    /// priority first, registration order breaking ties), then widen
+    /// batching once, then shed non-High tenants in the same order.
+    fn next_demotion(&self, tenants: &[LadderTenant]) -> Option<LadderAction> {
+        if let Some(t) = walk_order(tenants, |t| !t.degraded && !t.shed) {
+            return Some(LadderAction::Demote { tenant: t });
+        }
+        if !self.applied.contains(&AppliedRung::Widened) {
+            return Some(LadderAction::WidenBatch);
+        }
+        walk_order(tenants, |t| !t.shed).map(|t| LadderAction::Shed { tenant: t })
+    }
+
+    /// Recovery peeks the applied stack: exact reverse order (the pop
+    /// happens at [`commit`](Self::commit)).
+    fn next_recovery(&self) -> Option<LadderAction> {
+        Some(match self.applied.last()? {
+            AppliedRung::Shedding { tenant } => LadderAction::Unshed { tenant: *tenant },
+            AppliedRung::Widened => LadderAction::RestoreBatch,
+            AppliedRung::Demoted { tenant } => LadderAction::Promote { tenant: *tenant },
+        })
+    }
+}
+
+/// Lowest priority first, registration order within a class; `High`
+/// tenants are never eligible.
+fn walk_order(tenants: &[LadderTenant], eligible: impl Fn(&LadderTenant) -> bool) -> Option<usize> {
+    tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.priority != Priority::High && eligible(t))
+        .min_by_key(|(i, t)| (t.priority, *i))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Vec<LadderTenant> {
+        vec![
+            LadderTenant {
+                priority: Priority::High,
+                degraded: false,
+                shed: false,
+            },
+            LadderTenant {
+                priority: Priority::Normal,
+                degraded: false,
+                shed: false,
+            },
+            LadderTenant {
+                priority: Priority::Low,
+                degraded: false,
+                shed: false,
+            },
+        ]
+    }
+
+    fn apply(tenants: &mut [LadderTenant], action: LadderAction) {
+        match action {
+            LadderAction::Demote { tenant } => tenants[tenant].degraded = true,
+            LadderAction::Promote { tenant } => tenants[tenant].degraded = false,
+            LadderAction::Shed { tenant } => tenants[tenant].shed = true,
+            LadderAction::Unshed { tenant } => tenants[tenant].shed = false,
+            LadderAction::WidenBatch | LadderAction::RestoreBatch => {}
+        }
+    }
+
+    /// Drives `ladder` with a pressure schedule, applying and committing
+    /// actions against the mirror fleet, and returns the action sequence.
+    fn drive(
+        ladder: &mut Ladder,
+        tenants: &mut [LadderTenant],
+        schedule: &[f64],
+    ) -> Vec<LadderAction> {
+        let mut actions = Vec::new();
+        for &p in schedule {
+            if let Some(a) = ladder.tick(p, tenants) {
+                apply(tenants, a);
+                ladder.commit(a);
+                actions.push(a);
+            }
+        }
+        actions
+    }
+
+    #[test]
+    fn full_descent_and_exact_reverse_recovery() {
+        let mut ladder = Ladder::new(LadderConfig {
+            demote_after: 1,
+            promote_after: 1,
+            dwell_ticks: 0,
+            ..LadderConfig::default()
+        });
+        let mut tenants = fleet();
+        let down = drive(&mut ladder, &mut tenants, &[1.0; 6]);
+        assert_eq!(
+            down,
+            vec![
+                LadderAction::Demote { tenant: 2 }, // low first
+                LadderAction::Demote { tenant: 1 }, // then normal
+                LadderAction::WidenBatch,
+                LadderAction::Shed { tenant: 2 },
+                LadderAction::Shed { tenant: 1 },
+            ],
+            "high-priority tenant 0 is never touched"
+        );
+        assert_eq!(ladder.depth(), 5);
+        let up = drive(&mut ladder, &mut tenants, &[0.0; 8]);
+        assert_eq!(
+            up,
+            vec![
+                LadderAction::Unshed { tenant: 1 },
+                LadderAction::Unshed { tenant: 2 },
+                LadderAction::RestoreBatch,
+                LadderAction::Promote { tenant: 1 },
+                LadderAction::Promote { tenant: 2 },
+            ],
+            "recovery is the exact reverse of the descent"
+        );
+        assert_eq!(ladder.depth(), 0);
+    }
+
+    #[test]
+    fn streaks_and_dwell_gate_every_rung() {
+        let mut ladder = Ladder::new(LadderConfig {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            demote_after: 2,
+            promote_after: 2,
+            dwell_ticks: 3,
+        });
+        let mut tenants = fleet();
+        // One hot tick is not a streak.
+        assert_eq!(ladder.tick(0.9, &tenants), None);
+        // Second hot tick completes the streak: one rung.
+        let a = ladder.tick(0.9, &tenants).expect("demote");
+        apply(&mut tenants, a);
+        ladder.commit(a);
+        // Still hot, but dwell holds the ladder for 3 ticks even though
+        // the streak re-completes.
+        assert_eq!(ladder.tick(0.9, &tenants), None);
+        assert_eq!(ladder.tick(0.9, &tenants), None);
+        let b = ladder.tick(0.9, &tenants).expect("second rung after dwell");
+        apply(&mut tenants, b);
+        ladder.commit(b);
+        assert_ne!(a, b);
+        // Mid-band pressure disarms both sides: nothing moves, ever.
+        for _ in 0..10 {
+            assert_eq!(ladder.tick(0.5, &tenants), None);
+        }
+        // Calm streak + dwell then recovers exactly one rung.
+        assert_eq!(ladder.tick(0.1, &tenants), None);
+        let r = ladder.tick(0.1, &tenants).expect("recover");
+        assert_eq!(r, LadderAction::Promote { tenant: 1 });
+    }
+
+    #[test]
+    fn uncommitted_proposal_is_re_emitted_until_it_commits() {
+        let mut ladder = Ladder::new(LadderConfig {
+            demote_after: 2,
+            promote_after: 2,
+            dwell_ticks: 2,
+            ..LadderConfig::default()
+        });
+        let mut tenants = fleet();
+        assert_eq!(ladder.tick(1.0, &tenants), None);
+        let a = ladder.tick(1.0, &tenants).expect("streak complete");
+        assert_eq!(a, LadderAction::Demote { tenant: 2 });
+        // The fleet refused the swap: no commit. The ladder holds its
+        // ground and re-proposes the *same* rung on the next hot tick —
+        // no dwell applies because nothing moved.
+        assert_eq!(ladder.depth(), 0);
+        assert_eq!(
+            ladder.tick(1.0, &tenants),
+            Some(LadderAction::Demote { tenant: 2 }),
+            "deferred rung retries immediately"
+        );
+        apply(&mut tenants, a);
+        ladder.commit(a);
+        assert_eq!(ladder.depth(), 1);
+        // Now the dwell gate holds as usual.
+        assert_eq!(ladder.tick(1.0, &tenants), None);
+    }
+
+    #[test]
+    fn all_high_priority_fleet_only_widens_batching() {
+        let mut ladder = Ladder::new(LadderConfig {
+            demote_after: 1,
+            promote_after: 1,
+            dwell_ticks: 0,
+            ..LadderConfig::default()
+        });
+        let mut tenants = vec![LadderTenant {
+            priority: Priority::High,
+            degraded: false,
+            shed: false,
+        }];
+        let down = drive(&mut ladder, &mut tenants, &[1.0; 4]);
+        assert_eq!(down, vec![LadderAction::WidenBatch]);
+    }
+}

@@ -1,0 +1,129 @@
+//! End-of-run reporting: the decision trace and per-tenant ledgers.
+
+use crate::tenant::{Priority, Tier};
+use std::fmt;
+
+/// One entry of the governor's decision trace, stamped with the tick it
+/// happened on. The trace is deterministic given a pressure schedule —
+/// the integration tests pin exact sequences of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorEvent {
+    /// Tenant swapped onto its degraded branch.
+    Demoted { tick: u64, tenant: usize },
+    /// Tenant swapped back onto its full branch.
+    Promoted { tick: u64, tenant: usize },
+    /// Fleet batch coalescing widened.
+    BatchWidened { tick: u64 },
+    /// Fleet batch policy restored.
+    BatchRestored { tick: u64 },
+    /// Tenant stopped being admitted.
+    ShedStarted { tick: u64, tenant: usize },
+    /// Tenant re-admitted.
+    ShedStopped { tick: u64, tenant: usize },
+}
+
+impl fmt::Display for GovernorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Demoted { tick, tenant } => write!(f, "t{tick}: demote tenant#{tenant}"),
+            Self::Promoted { tick, tenant } => write!(f, "t{tick}: promote tenant#{tenant}"),
+            Self::BatchWidened { tick } => write!(f, "t{tick}: widen batch"),
+            Self::BatchRestored { tick } => write!(f, "t{tick}: restore batch"),
+            Self::ShedStarted { tick, tenant } => write!(f, "t{tick}: shed tenant#{tenant}"),
+            Self::ShedStopped { tick, tenant } => write!(f, "t{tick}: unshed tenant#{tenant}"),
+        }
+    }
+}
+
+/// One tenant's end-of-run ledger. Conservation invariant:
+/// `submitted == accepted + shed + rejected` (validation failures error
+/// out before `submitted` counts, exactly like the cluster's ledger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    pub name: String,
+    pub priority: Priority,
+    /// Tier at snapshot time.
+    pub tier: Tier,
+    pub submitted: u64,
+    pub accepted: u64,
+    /// Refused at governor admission while the tenant was shed.
+    pub shed: u64,
+    /// Refused by the saturated cluster.
+    pub rejected: u64,
+    pub demotions: u64,
+    pub promotions: u64,
+}
+
+impl TenantReport {
+    /// `accepted + shed + rejected == submitted`.
+    pub fn conserves(&self) -> bool {
+        self.accepted + self.shed + self.rejected == self.submitted
+    }
+}
+
+/// A point-in-time governor snapshot: the trace so far plus per-tenant
+/// ledgers.
+#[derive(Debug, Clone)]
+pub struct GovernorReport {
+    /// Policy ticks taken.
+    pub ticks: u64,
+    /// Last sampled pressure score.
+    pub last_pressure: f64,
+    /// Degradation rungs currently applied.
+    pub ladder_depth: usize,
+    /// Rungs proposed but refused by the fleet (each was retried).
+    pub deferred: u64,
+    /// The decision trace, in order.
+    pub events: Vec<GovernorEvent>,
+    /// Per-tenant ledgers, in registration order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl GovernorReport {
+    /// Fraction of governor-submitted requests that were shed, across
+    /// all tenants (0 when nothing was submitted).
+    pub fn shed_frac(&self) -> f64 {
+        let submitted: u64 = self.tenants.iter().map(|t| t.submitted).sum();
+        if submitted == 0 {
+            return 0.0;
+        }
+        let shed: u64 = self.tenants.iter().map(|t| t.shed).sum();
+        shed as f64 / submitted as f64
+    }
+
+    /// True when every tenant's ledger conserves.
+    pub fn conserves(&self) -> bool {
+        self.tenants.iter().all(TenantReport::conserves)
+    }
+}
+
+impl fmt::Display for GovernorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "governor: {} ticks, pressure {:.3}, ladder depth {}, {} events, {} deferred",
+            self.ticks,
+            self.last_pressure,
+            self.ladder_depth,
+            self.events.len(),
+            self.deferred
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  {:<12} {:<7} tier={:<8} submitted={} accepted={} shed={} rejected={} \
+                 demotions={} promotions={}",
+                t.name,
+                t.priority.to_string(),
+                t.tier.to_string(),
+                t.submitted,
+                t.accepted,
+                t.shed,
+                t.rejected,
+                t.demotions,
+                t.promotions
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,126 @@
+//! The governor's pre-registered `pim_governor_*` telemetry families.
+
+use pim_telemetry::{exponential_buckets, Counter, Gauge, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// Per-tenant metric handles, registered once per tenant with a
+/// `tenant="<name>"` label.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantTelemetry {
+    /// Current tier level (0 = shed, 1 = degraded, 2 = full).
+    pub tier: Gauge,
+    /// Demotions applied to this tenant.
+    pub demotions: Counter,
+    /// Promotions applied to this tenant.
+    pub promotions: Counter,
+    /// Requests submitted through the governor.
+    pub submitted: Counter,
+    /// Requests some replica admitted.
+    pub accepted: Counter,
+    /// Requests refused at governor admission (tier = shed).
+    pub shed: Counter,
+    /// Requests the cluster refused (saturated fleet).
+    pub rejected: Counter,
+    /// End-to-end wall latency of waited responses.
+    pub latency: Histogram,
+    /// PE energy billed to this tenant's waited responses.
+    pub energy_pj: Counter,
+}
+
+/// The fleet-wide handles plus one [`TenantTelemetry`] per tenant.
+#[derive(Debug, Clone)]
+pub(crate) struct GovernorTelemetry {
+    /// Last sampled pressure score.
+    pub pressure: Gauge,
+    /// Ladder rungs currently applied.
+    pub ladder_depth: Gauge,
+    /// 1 while the widened batch policy is active.
+    pub batch_wide: Gauge,
+    /// Governor ticks taken.
+    pub ticks: Counter,
+    /// Rungs proposed but refused by the fleet (retried next tick).
+    pub deferred: Counter,
+    pub tenants: Vec<TenantTelemetry>,
+}
+
+impl GovernorTelemetry {
+    pub(crate) fn register(bundle: &Arc<Telemetry>, tenant_names: &[String]) -> Self {
+        let registry = &bundle.registry;
+        // 10µs .. ~2.6ks, factor 4: end-to-end latency incl. queueing.
+        let seconds = exponential_buckets(1e-5, 4.0, 14);
+        let tenants = tenant_names
+            .iter()
+            .map(|name| {
+                let labels: Vec<(&str, &str)> = vec![("tenant", name.as_str())];
+                TenantTelemetry {
+                    tier: registry.gauge_with(
+                        "pim_governor_tier",
+                        "Current serving tier (0=shed, 1=degraded, 2=full)",
+                        &labels,
+                    ),
+                    demotions: registry.counter_with(
+                        "pim_governor_demotions_total",
+                        "Hot swaps onto the degraded branch",
+                        &labels,
+                    ),
+                    promotions: registry.counter_with(
+                        "pim_governor_promotions_total",
+                        "Hot swaps back onto the full branch",
+                        &labels,
+                    ),
+                    submitted: registry.counter_with(
+                        "pim_governor_submitted_total",
+                        "Requests submitted through the governor",
+                        &labels,
+                    ),
+                    accepted: registry.counter_with(
+                        "pim_governor_accepted_total",
+                        "Requests a replica admitted",
+                        &labels,
+                    ),
+                    shed: registry.counter_with(
+                        "pim_governor_shed_total",
+                        "Requests refused at governor admission",
+                        &labels,
+                    ),
+                    rejected: registry.counter_with(
+                        "pim_governor_rejected_total",
+                        "Requests the saturated cluster refused",
+                        &labels,
+                    ),
+                    latency: registry.histogram_with(
+                        "pim_governor_latency_seconds",
+                        "End-to-end wall latency of governor-served requests",
+                        &seconds,
+                        &labels,
+                    ),
+                    energy_pj: registry.counter_with(
+                        "pim_governor_energy_pj_total",
+                        "PE energy billed to this tenant (picojoules)",
+                        &labels,
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            pressure: registry.gauge(
+                "pim_governor_pressure",
+                "Last sampled pressure score (1.0 = at the limit)",
+            ),
+            ladder_depth: registry.gauge(
+                "pim_governor_ladder_depth",
+                "Degradation rungs currently applied",
+            ),
+            batch_wide: registry.gauge(
+                "pim_governor_batch_wide",
+                "1 while the widened batch policy is active",
+            ),
+            ticks: registry.counter("pim_governor_ticks_total", "Governor policy ticks taken"),
+            deferred: registry.counter(
+                "pim_governor_deferred_total",
+                "Ladder rungs the fleet refused transiently (retried next tick)",
+            ),
+            tenants,
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Tenants: who is served, at what priority, under which SLO.
+
+use pim_runtime::{CompiledModel, ModelId};
+use std::fmt;
+use std::time::Duration;
+
+/// Scheduling priority of a tenant. The degradation ladder walks tenants
+/// in ascending priority (then registration order): `Low` tenants are the
+/// first demoted and the first shed, and `High` tenants are never touched
+/// — their full-quality branch is what the governor is defending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort: first to degrade, first to shed.
+    Low,
+    /// Default class: degraded only after every `Low` tenant.
+    Normal,
+    /// Latency-critical: never demoted, never shed by the ladder.
+    High,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Low => write!(f, "low"),
+            Self::Normal => write!(f, "normal"),
+            Self::High => write!(f, "high"),
+        }
+    }
+}
+
+/// A tenant's service-level objective. The governor *reports* against it
+/// (per-tenant latency/energy summaries) and uses the highest-priority
+/// tenants' latency ceilings to scale the pressure signal's latency
+/// component; it does not hard-enforce per-request deadlines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSlo {
+    /// p99 end-to-end latency ceiling.
+    pub p99_latency: Duration,
+    /// Mean energy budget per served request, in picojoules.
+    pub energy_per_request_pj: f64,
+}
+
+impl Default for TenantSlo {
+    fn default() -> Self {
+        Self {
+            p99_latency: Duration::from_millis(250),
+            energy_per_request_pj: f64::INFINITY,
+        }
+    }
+}
+
+/// The quality tier a tenant is currently served at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Admission refuses the tenant's requests (deepest degradation).
+    Shed,
+    /// The cheaper branch (e.g. 1:8) is serving.
+    Degraded,
+    /// The full-quality branch (e.g. 1:4/INT8) is serving.
+    Full,
+}
+
+impl Tier {
+    /// Gauge encoding: 0 = shed, 1 = degraded, 2 = full.
+    pub fn as_level(self) -> u8 {
+        match self {
+            Self::Shed => 0,
+            Self::Degraded => 1,
+            Self::Full => 2,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shed => write!(f, "shed"),
+            Self::Degraded => write!(f, "degraded"),
+            Self::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Everything the governor needs to serve one tenant: the branch pair
+/// (publish both together — [`pim-learn`'s `compiled_pair`] builds them
+/// from one training state), a priority class, and an SLO.
+///
+/// The two artifacts must share the client-visible interface (input
+/// shape, class count): the degraded branch is hot-swapped into the
+/// *same* serving slot.
+///
+/// [`pim-learn`'s `compiled_pair`]: https://docs.rs/pim-learn
+#[derive(Debug)]
+pub struct TenantSpec {
+    /// Display/telemetry name (`tenant="<name>"` label).
+    pub name: String,
+    /// Ladder position.
+    pub priority: Priority,
+    /// Reporting target.
+    pub slo: TenantSlo,
+    /// Full-quality artifact, serving while the tenant is at [`Tier::Full`].
+    pub full: CompiledModel,
+    /// Cheaper artifact, hot-swapped in at [`Tier::Degraded`].
+    pub degraded: CompiledModel,
+}
+
+/// Handle to a registered tenant (also its cluster [`ModelId`] slot:
+/// tenant *i* is model slot *i*, in registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// Slot index (= the cluster's [`ModelId`] index).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// The cluster model slot this tenant is served from.
+    pub fn model_id(&self) -> ModelId {
+        ModelId::from_index(self.0)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}

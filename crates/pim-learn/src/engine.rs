@@ -258,6 +258,37 @@ impl LearnEngine {
         )
     }
 
+    /// Snapshots the resident branch **twice**: the full-quality artifact
+    /// ([`compiled`](Self::compiled)) plus a degraded sibling whose
+    /// adaptor weights are re-masked under `degraded_pattern` (e.g.
+    /// [`NmPattern::one_of_eight`](pim_sparse::NmPattern::one_of_eight))
+    /// and recompiled onto fresh tiles. Both carry the same version
+    /// stamp (`{name}@v{n}` / `{name}@v{n}-degraded`), so a governor can
+    /// publish the pair together and hot-swap between them knowing they
+    /// came from one training state. The degraded branch keeps the
+    /// client-visible interface (input shape, class count) — it is a
+    /// valid [`Runtime::swap_model`] replacement for the full one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::Pe`] if the degraded branch fails to lower
+    /// onto the PEs (it never should — masking only zeroes weights).
+    pub fn compiled_pair(
+        &self,
+        degraded_pattern: pim_sparse::NmPattern,
+    ) -> Result<(CompiledModel, CompiledModel), LearnError> {
+        let full = self.compiled();
+        let mut degraded_model = self.learner.model().clone();
+        degraded_model.apply_pattern(degraded_pattern);
+        let degraded_branch = PeRepNet::compile(&mut degraded_model)?;
+        let degraded = CompiledModel::from_branch(
+            format!("{}@v{}-degraded", self.name, self.version),
+            &degraded_model,
+            &degraded_branch,
+        );
+        Ok((full, degraded))
+    }
+
     /// Models the EDP a **finetune-all** deployment would pay for the
     /// same number of publishes: every weight of the whole network (frozen
     /// backbone included) rewritten through MTJ write pulses, 512 bits per
@@ -511,5 +542,37 @@ mod tests {
         engine.write_back().expect("write back");
         assert_eq!(engine.compiled().name(), "tiny@v1");
         assert_eq!(engine.compiled().tile_count(), engine.tile_count());
+    }
+
+    #[test]
+    fn compiled_pair_publishes_both_branches_from_one_state() {
+        use pim_nn::tensor::Tensor;
+        use pim_sparse::NmPattern;
+
+        let engine = tiny_engine(WritePolicy::hybrid_dac24(1 << 20));
+        let (full, degraded) = engine
+            .compiled_pair(NmPattern::one_of_eight())
+            .expect("pair");
+        assert_eq!(full.name(), "tiny@v0");
+        assert_eq!(degraded.name(), "tiny@v0-degraded");
+        // Swap-compatible: same client-visible interface.
+        assert_eq!(full.input_shape(), degraded.input_shape());
+        assert_eq!(full.num_classes(), degraded.num_classes());
+        // The degraded branch is a genuinely different artifact (1:8
+        // masking zeroes weights the 1:4 branch keeps), and both are
+        // deterministic snapshots of one training state.
+        let mut shape = vec![1];
+        shape.extend_from_slice(full.input_shape());
+        let probe = Tensor::ones(&shape);
+        let (full_logits, _) = full.infer_reference(&probe);
+        let (degraded_logits, _) = degraded.infer_reference(&probe);
+        assert_ne!(full_logits.as_slice(), degraded_logits.as_slice());
+        let (full_again, degraded_again) = engine
+            .compiled_pair(NmPattern::one_of_eight())
+            .expect("pair again");
+        let (f2, _) = full_again.infer_reference(&probe);
+        let (d2, _) = degraded_again.infer_reference(&probe);
+        assert_eq!(full_logits.as_slice(), f2.as_slice());
+        assert_eq!(degraded_logits.as_slice(), d2.as_slice());
     }
 }

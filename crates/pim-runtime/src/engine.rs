@@ -10,7 +10,7 @@ use pim_nn::tensor::Tensor;
 use pim_par::{PoolCounters, WorkPool};
 use pim_telemetry::Telemetry;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -261,13 +261,19 @@ impl RuntimeBuilder {
                 }
             })
             .collect();
+        let model_count = slots.len();
         let shared = Arc::new(Shared {
             pool,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
+                per_model: vec![0; model_count],
                 closed: false,
             }),
             available: Condvar::new(),
+            batch: DynamicBatchPolicy::new(self.config.batch),
+            quotas: (0..model_count)
+                .map(|_| AtomicUsize::new(usize::MAX))
+                .collect(),
             config: self.config.clone(),
             stats: StatsCollector::new(),
             models: Mutex::new(slots),
@@ -306,7 +312,45 @@ impl RuntimeBuilder {
 
 struct QueueState {
     queue: VecDeque<QueuedRequest>,
+    /// Queued-but-undispatched requests per model slot, kept in lockstep
+    /// with `queue` so per-model quota checks are O(1) at submit.
+    per_model: Vec<usize>,
     closed: bool,
+}
+
+/// The live batching policy: [`RuntimeConfig::batch`] seeds it, and
+/// [`Runtime::set_batch_policy`] retunes it while serving (a governor
+/// widening coalescing under pressure). Workers read it at every batch
+/// boundary, so a change applies from the next collected batch on.
+#[derive(Debug)]
+struct DynamicBatchPolicy {
+    max_batch: AtomicUsize,
+    max_wait_ns: AtomicU64,
+}
+
+impl DynamicBatchPolicy {
+    fn new(policy: BatchPolicy) -> Self {
+        Self {
+            max_batch: AtomicUsize::new(policy.max_batch.max(1)),
+            max_wait_ns: AtomicU64::new(policy.max_wait.as_nanos().min(u64::MAX as u128) as u64),
+        }
+    }
+
+    fn load(&self) -> BatchPolicy {
+        BatchPolicy {
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            max_wait: Duration::from_nanos(self.max_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn store(&self, policy: BatchPolicy) {
+        self.max_batch
+            .store(policy.max_batch.max(1), Ordering::Relaxed);
+        self.max_wait_ns.store(
+            policy.max_wait.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
 }
 
 /// One registered serving slot. The [`ModelId`] handed to clients indexes
@@ -324,6 +368,13 @@ struct Shared {
     pool: Arc<WorkPool>,
     state: Mutex<QueueState>,
     available: Condvar,
+    /// The live (retunable) batching policy; `config.batch` is only the
+    /// initial value.
+    batch: DynamicBatchPolicy,
+    /// Per-model admission quotas (`usize::MAX` = unlimited), indexed by
+    /// [`ModelId`]. A submit for a slot at or over its quota fails fast
+    /// with [`RuntimeError::Throttled`].
+    quotas: Vec<AtomicUsize>,
     config: RuntimeConfig,
     stats: StatsCollector,
     /// The serving model table (RCU write side). Locked briefly by
@@ -464,6 +515,58 @@ impl Runtime {
         self.shared.config.queue_capacity
     }
 
+    /// The batching policy workers currently dispatch under (the builder's
+    /// value until [`set_batch_policy`](Self::set_batch_policy) retunes it).
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.shared.batch.load()
+    }
+
+    /// Retunes the live batching policy (min 1 rider). Workers pick the
+    /// new policy up at their next batch boundary; batches already being
+    /// coalesced finish under the old one. Purely a scheduling knob —
+    /// outputs and ledgers are bit-identical at every setting — which is
+    /// what lets a governor widen coalescing under pressure without
+    /// touching served results.
+    pub fn set_batch_policy(&self, policy: BatchPolicy) {
+        self.shared.batch.store(policy);
+        // Wake coalescing workers so a shortened max_wait applies promptly.
+        self.shared.available.notify_all();
+    }
+
+    /// Sets (or with `None` clears) the admission quota of one model slot:
+    /// while the slot has `quota` requests queued, further submits for it
+    /// fail fast with [`RuntimeError::Throttled`]. Requests already queued
+    /// are never dropped. A quota of 0 sheds the slot entirely.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::UnknownModel`] — `model` was never registered.
+    pub fn set_queue_quota(
+        &self,
+        model: ModelId,
+        quota: Option<usize>,
+    ) -> Result<(), RuntimeError> {
+        let cell = self
+            .shared
+            .quotas
+            .get(model.0)
+            .ok_or(RuntimeError::UnknownModel { id: model })?;
+        cell.store(quota.unwrap_or(usize::MAX), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Queued-but-undispatched requests per model slot, in registration
+    /// (id) order — the per-tenant pressure readout quota decisions are
+    /// based on.
+    pub fn queued_per_model(&self) -> Vec<usize> {
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock")
+            .per_model
+            .clone()
+    }
+
     /// Liveness probe: `true` while the queue is open and every worker
     /// thread is running. A worker that panicked (or a runtime that began
     /// shutting down) turns the probe `false`, and a cluster router stops
@@ -556,6 +659,16 @@ impl Runtime {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
+            let quota = self.shared.quotas[model.0].load(Ordering::Relaxed);
+            if state.per_model[model.0] >= quota {
+                drop(state);
+                self.shared.stats.record_rejection();
+                if let Some(tel) = &self.shared.telemetry {
+                    tel.throttled_total.inc();
+                }
+                return Err(RuntimeError::Throttled { model, quota });
+            }
+            state.per_model[model.0] += 1;
             state.queue.push_back(QueuedRequest {
                 id,
                 model,
@@ -664,10 +777,13 @@ fn refresh_replicas(shared: &Shared, replicas: &mut [(u64, ModelReplica)], seen_
 /// seed was popped (start of batch formation), or `None` when the queue is
 /// closed and fully drained.
 fn collect_batch(shared: &Shared) -> Option<(Vec<QueuedRequest>, Instant)> {
-    let policy = shared.config.batch;
+    // Read the live policy once per batch: retunes apply at the next
+    // boundary, never mid-coalesce.
+    let policy = shared.batch.load();
     let mut state = shared.state.lock().expect("queue lock");
     loop {
         if let Some(first) = state.queue.pop_front() {
+            state.per_model[first.model.0] -= 1;
             let formed = Instant::now();
             let mut batch = vec![first];
             let deadline = formed + policy.max_wait;
@@ -677,6 +793,7 @@ fn collect_batch(shared: &Shared) -> Option<(Vec<QueuedRequest>, Instant)> {
                 while i < state.queue.len() && batch.len() < policy.max_batch {
                     if compatible(&state.queue[i], &batch[0]) {
                         let rider = state.queue.remove(i).expect("index in bounds");
+                        state.per_model[rider.model.0] -= 1;
                         batch.push(rider);
                     } else {
                         i += 1;

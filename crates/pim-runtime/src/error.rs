@@ -41,6 +41,16 @@ pub enum RuntimeError {
         /// Classifier outputs of the replacement.
         actual_classes: usize,
     },
+    /// The request's model slot is over its per-model admission quota
+    /// (set by [`Runtime::set_queue_quota`](crate::Runtime::set_queue_quota),
+    /// typically by a governor throttling one tenant). The shared queue
+    /// may still have room — only this slot is being held back.
+    Throttled {
+        /// The throttled slot.
+        model: ModelId,
+        /// Its current per-model quota.
+        quota: usize,
+    },
     /// The serving side hung up before answering (a worker panicked).
     Disconnected,
     /// Lowering a model onto the PEs failed.
@@ -69,6 +79,9 @@ impl fmt::Display for RuntimeError {
                 "swap rejected: slot serves input {expected_input:?} -> {expected_classes} \
                  classes but replacement is {actual_input:?} -> {actual_classes}"
             ),
+            Self::Throttled { model, quota } => {
+                write!(f, "model {model} is over its admission quota ({quota})")
+            }
             Self::Disconnected => write!(f, "worker disconnected before replying"),
             Self::Compile(e) => write!(f, "model failed to compile onto PEs: {e}"),
         }

@@ -230,6 +230,54 @@ mod tests {
     }
 
     #[test]
+    fn queue_quota_throttles_one_slot_and_clears() {
+        let mut builder = Runtime::builder().workers(1);
+        let id_a = builder.register(CompiledModel::compile("a", &tiny_model()).expect("compile"));
+        let id_b =
+            builder.register(CompiledModel::compile("b", &tiny_model_seeded(7)).expect("compile"));
+        let runtime = builder.start();
+        let input = Tensor::ones(runtime.models()[0].input_shape());
+
+        assert!(matches!(
+            runtime.set_queue_quota(ModelId(9), Some(1)),
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        // Quota 0 sheds slot A outright; slot B is untouched.
+        runtime.set_queue_quota(id_a, Some(0)).expect("known slot");
+        assert!(matches!(
+            runtime.submit(id_a, &input),
+            Err(RuntimeError::Throttled { quota: 0, .. })
+        ));
+        let ok = runtime.infer(id_b, &input).expect("slot b unaffected");
+        assert_eq!(ok.logits.len(), 5);
+        // Clearing the quota re-admits slot A.
+        runtime.set_queue_quota(id_a, None).expect("known slot");
+        runtime.infer(id_a, &input).expect("slot a re-admitted");
+        assert_eq!(runtime.queued_per_model(), vec![0, 0], "queue drained");
+        let stats = runtime.shutdown();
+        assert_eq!(stats.requests_rejected, 1, "throttle counts as rejection");
+    }
+
+    #[test]
+    fn batch_policy_retunes_live_without_changing_results() {
+        let mut builder = Runtime::builder().workers(1).max_wait(Duration::ZERO);
+        let id = builder.register(CompiledModel::compile("tiny", &tiny_model()).expect("compile"));
+        let runtime = builder.start();
+        let input = Tensor::ones(runtime.models()[0].input_shape());
+        let before = runtime.infer(id, &input).expect("infer before");
+
+        let wide = BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+        };
+        runtime.set_batch_policy(wide);
+        assert_eq!(runtime.batch_policy(), wide);
+        let after = runtime.infer(id, &input).expect("infer after");
+        assert_eq!(before.logits, after.logits, "batching is result-neutral");
+        runtime.shutdown();
+    }
+
+    #[test]
     fn submit_after_shutdown_is_rejected() {
         let mut builder = Runtime::builder().workers(1).max_wait(Duration::ZERO);
         let id = builder.register(CompiledModel::compile("tiny", &tiny_model()).expect("compile"));

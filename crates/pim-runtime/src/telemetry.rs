@@ -39,6 +39,8 @@ pub(crate) struct RuntimeTelemetry {
     pub requests_total: Counter,
     /// Backpressure rejections.
     pub rejected_total: Counter,
+    /// Per-model quota rejections (governor throttling).
+    pub throttled_total: Counter,
     /// Hot model swaps published.
     pub swaps_total: Counter,
     /// Executors (worker threads + dispatching caller) of the shared
@@ -105,6 +107,10 @@ impl RuntimeTelemetry {
             rejected_total: counter(
                 "pim_runtime_rejected_total",
                 "Requests refused with QueueFull backpressure",
+            ),
+            throttled_total: counter(
+                "pim_runtime_throttled_total",
+                "Requests refused by a per-model admission quota",
             ),
             swaps_total: counter(
                 "pim_runtime_swaps_total",

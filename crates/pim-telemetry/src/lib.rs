@@ -46,7 +46,10 @@
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{exponential_buckets, Counter, Gauge, Histogram, MetricKind, TelemetryRegistry};
+pub use metrics::{
+    exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricKind,
+    TelemetryRegistry,
+};
 pub use trace::{ActiveSpan, TraceDump, TraceEvent, Tracer};
 
 use std::sync::Arc;

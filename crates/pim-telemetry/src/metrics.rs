@@ -192,6 +192,100 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// A point-in-time copy of the cumulative state. Two snapshots of the
+    /// same histogram can be differenced ([`HistogramSnapshot::since`]) to
+    /// recover the distribution of *just the window between them* — the
+    /// read side a pressure sampler needs from a forever-cumulative
+    /// histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts: self.bucket_counts(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s cumulative buckets.
+///
+/// Supports the same bucketed [`quantile`](Self::quantile) estimate as the
+/// live histogram, plus windowing: `later.since(&earlier)` is the
+/// distribution of the samples observed between the two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds; the `+Inf` bucket is `counts[bounds.len()]`.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot (window).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the samples in the snapshot (window).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile — the same
+    /// bucketed over-estimate as [`Histogram::quantile`]. Returns 0 when
+    /// the snapshot is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// The window between `earlier` and `self`: bucket-wise saturating
+    /// difference (both snapshots must come from the same histogram, so
+    /// counts only ever grow; saturation guards a mismatched pair instead
+    /// of panicking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different bucket bounds — they
+    /// cannot be from the same histogram.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.bounds, earlier.bounds,
+            "snapshots of different histograms cannot be differenced"
+        );
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, was)| now.saturating_sub(*was))
+                .collect(),
+            sum: (self.sum - earlier.sum).max(0.0),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
 }
 
 /// `count` exponentially spaced histogram bounds starting at `start`
@@ -335,6 +429,61 @@ impl TelemetryRegistry {
             metric: metric.clone(),
         });
         metric
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<MetricKind> {
+        let entries = self.entries.lock().expect("registry lock");
+        entries
+            .iter()
+            .find(|e| e.name == name && label_eq(&e.labels, labels))
+            .map(|e| e.metric.clone())
+    }
+
+    /// Read-side lookup: the counter registered under `(name, labels)`,
+    /// or `None` — unlike [`counter_with`](Self::counter_with) this never
+    /// creates a series, so samplers (a governor reading pressure, a
+    /// dashboard) can probe for families that may not exist without
+    /// polluting the registry.
+    pub fn find_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<Counter> {
+        match self.find(name, labels) {
+            Some(MetricKind::Counter(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Read-side lookup of a gauge; `None` if absent or a different kind.
+    pub fn find_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<Gauge> {
+        match self.find(name, labels) {
+            Some(MetricKind::Gauge(g)) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Read-side lookup of a histogram; `None` if absent or a different
+    /// kind.
+    pub fn find_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        match self.find(name, labels) {
+            Some(MetricKind::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Every series of a scalar family (counters and gauges), as
+    /// `(labels, current value)` in registration order. Histogram series
+    /// are skipped — read those via [`find_histogram`](Self::find_histogram)
+    /// and [`Histogram::snapshot`]. The family-wide view a pressure
+    /// sampler folds (e.g. max queue depth across `replica="<i>"` series).
+    pub fn family_values(&self, name: &str) -> Vec<(Vec<(String, String)>, f64)> {
+        let entries = self.entries.lock().expect("registry lock");
+        entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.metric {
+                MetricKind::Counter(c) => Some((e.labels.clone(), c.value())),
+                MetricKind::Gauge(g) => Some((e.labels.clone(), g.value())),
+                MetricKind::Histogram(_) => None,
+            })
+            .collect()
     }
 
     /// Every registered family name, in registration order, deduplicated.
@@ -587,6 +736,80 @@ mod tests {
             r.metric_names(),
             vec!["a_total".to_string(), "b".to_string()]
         );
+    }
+
+    #[test]
+    fn find_is_read_only_and_kind_checked() {
+        let r = TelemetryRegistry::new();
+        assert!(r.find_counter("absent_total", &[]).is_none());
+        assert!(
+            r.metric_names().is_empty(),
+            "a failed lookup must not register the family"
+        );
+        let c = r.counter_with("reqs_total", "reqs", &[("tenant", "lo")]);
+        c.add(3.0);
+        let found = r
+            .find_counter("reqs_total", &[("tenant", "lo")])
+            .expect("registered series");
+        assert_eq!(found.value(), 3.0);
+        assert!(r.find_counter("reqs_total", &[("tenant", "hi")]).is_none());
+        // Kind mismatches answer None instead of panicking (lookups are
+        // probes, not registrations).
+        assert!(r.find_gauge("reqs_total", &[("tenant", "lo")]).is_none());
+        assert!(r
+            .find_histogram("reqs_total", &[("tenant", "lo")])
+            .is_none());
+    }
+
+    #[test]
+    fn family_values_folds_all_scalar_series() {
+        let r = TelemetryRegistry::new();
+        r.gauge_with("depth", "d", &[("replica", "0")]).set(2.0);
+        r.gauge_with("depth", "d", &[("replica", "1")]).set(7.0);
+        r.histogram("depth_hist", "h", &[1.0]); // different family, skipped
+        let values = r.family_values("depth");
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].0, vec![("replica".into(), "0".into())]);
+        let max = values.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+        assert_eq!(max, 7.0);
+        assert!(r.family_values("absent").is_empty());
+    }
+
+    #[test]
+    fn histogram_snapshots_difference_into_windows() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        let earlier = h.snapshot();
+        assert_eq!(earlier.count(), 3);
+        assert_eq!(earlier.quantile(0.5), 2.0);
+        for v in [3.5, 3.5, 3.5, 100.0] {
+            h.observe(v);
+        }
+        let later = h.snapshot();
+        let window = later.since(&earlier);
+        // Only the four new samples: p50 sits in the (2, 4] bucket and the
+        // overflow sample reports the last finite bound, like the live
+        // histogram's quantile.
+        assert_eq!(window.count(), 4);
+        assert_eq!(window.quantile(0.5), 4.0);
+        assert_eq!(window.quantile(1.0), 4.0);
+        assert!((window.sum() - 110.5).abs() < 1e-9);
+        assert!((window.mean() - 27.625).abs() < 1e-9);
+        // An empty window answers zeros.
+        let empty = later.since(&later);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.99), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different histograms")]
+    fn mismatched_snapshots_refuse_to_difference() {
+        let a = Histogram::new(&[1.0]).snapshot();
+        let b = Histogram::new(&[2.0]).snapshot();
+        let _ = a.since(&b);
     }
 
     #[test]
