@@ -186,10 +186,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pe_repnet_predict_batch8", |b| {
         b.iter(|| black_box(compiled.predict(&mut model, &images).0))
     });
-    // Same predict with the pim-par pool fanned out over 2 and 4
-    // executors. Bit-exact with the serial run by construction (the
-    // ledger replay is serial either way); only wall-clock differs.
-    for threads in [2usize, 4] {
+    // Same predict with the pim-par pool fanned out over a 1/2/4/8
+    // scaling sweep (`new` clamps to the host's cores, so the sweep is
+    // honest about the hardware it ran on). Bit-exact with the serial run
+    // by construction (the ledger replay is serial either way); only
+    // wall-clock differs.
+    for threads in [1usize, 2, 4, 8] {
         let mut model_par = model.clone();
         let mut par = compiled.clone();
         par.attach_pool(std::sync::Arc::new(WorkPool::new(threads)));
@@ -243,14 +245,20 @@ fn bench(c: &mut Criterion) {
     });
     let direct_conv_ns = measure_ns_best(4, 15, || compiled.conv3_stage_forward(&feat).0);
     let predict_ns = measure_ns_best(4, 10, || compiled.predict(&mut model, &images).0);
-    let predict_par_ns = |threads: usize| {
+    // The scaling sweep keeps each pool around so its scheduler counters
+    // (steals, splits, parks) can be read back after the timed runs.
+    let predict_par = |threads: usize| {
         let mut model_par = model.clone();
         let mut par = compiled.clone();
-        par.attach_pool(std::sync::Arc::new(WorkPool::new(threads)));
-        measure_ns_best(4, 10, || par.predict(&mut model_par, &images).0)
+        let pool = std::sync::Arc::new(WorkPool::new(threads));
+        par.attach_pool(std::sync::Arc::clone(&pool));
+        let ns = measure_ns_best(4, 10, || par.predict(&mut model_par, &images).0);
+        (ns, pool.counters())
     };
-    let predict_par2_ns = predict_par_ns(2);
-    let predict_par4_ns = predict_par_ns(4);
+    let (predict_par1_ns, _) = predict_par(1);
+    let (predict_par2_ns, _) = predict_par(2);
+    let (predict_par4_ns, par4_counters) = predict_par(4);
+    let (predict_par8_ns, _) = predict_par(8);
     // Cost-aware granularity on a genuinely 2-wide pool (forced past the
     // core clamp so 1-core CI still dispatches): an eager threshold spawns
     // every fan-out; the shipped cost model keeps sub-threshold jobs
@@ -277,8 +285,10 @@ fn bench(c: &mut Criterion) {
         BenchRecord::new("flat_matvec_batch8_ternary_binary_acts", flat_ternary_ns),
         BenchRecord::new("direct_conv3_batch8_4x8x8", direct_conv_ns),
         BenchRecord::new("pe_repnet_predict_batch8", predict_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_par1", predict_par1_ns),
         BenchRecord::new("pe_repnet_predict_batch8_par2", predict_par2_ns),
         BenchRecord::new("pe_repnet_predict_batch8_par4", predict_par4_ns),
+        BenchRecord::new("pe_repnet_predict_batch8_par8", predict_par8_ns),
         BenchRecord::new("pe_repnet_predict_batch8_2t_eager", eager_ns),
         BenchRecord::new("pe_repnet_predict_batch8_2t_costed", costed_ns),
     ];
@@ -299,12 +309,38 @@ fn bench(c: &mut Criterion) {
             flat_single_ns / (flat_batch_ns / batch as f64),
         ),
         ("pe_repnet_predict_batch8_ms", predict_ns / 1e6),
-        // End-to-end pool speedup. Only meaningful alongside
-        // `par_available_cores`: on a 1-core runner both ratios sit at
-        // ~1.0 by design (the pool degrades to inline execution), so the
-        // gate reads the core count before enforcing a floor.
+        // End-to-end pool speedup across the scaling sweep. Only
+        // meaningful alongside `par_available_cores`: on a 1-core runner
+        // every ratio sits at ~1.0 by design (the pool degrades to inline
+        // execution), so the gate reads the core count before enforcing a
+        // floor. `par_speedup_1t` is the scheduler's overhead sanity check
+        // — a 1-wide pool must track the serial path.
+        ("par_speedup_1t", predict_ns / predict_par1_ns),
         ("par_speedup_2t", predict_ns / predict_par2_ns),
         ("par_speedup_4t", predict_ns / predict_par4_ns),
+        ("par_speedup_8t", predict_ns / predict_par8_ns),
+        // Per-thread efficiency: speedup divided by the executors the
+        // host could actually grant (`new` clamps the request to cores).
+        (
+            "par_efficiency_2t",
+            (predict_ns / predict_par2_ns) / 2f64.min(cores),
+        ),
+        (
+            "par_efficiency_4t",
+            (predict_ns / predict_par4_ns) / 4f64.min(cores),
+        ),
+        (
+            "par_efficiency_8t",
+            (predict_ns / predict_par8_ns) / 8f64.min(cores),
+        ),
+        // Deque steals per dispatched job on the 4-wide sweep pool: how
+        // much cross-worker traffic the work-stealing scheduler needed to
+        // balance the predict fan-outs (0.0 on a 1-core host, where the
+        // clamped pool never dispatches).
+        (
+            "steal_ratio_4t",
+            par4_counters.steals as f64 / par4_counters.jobs.max(1) as f64,
+        ),
         ("par_available_cores", cores),
     ];
     // Benches run with CWD at the crate; anchor the artifact at the

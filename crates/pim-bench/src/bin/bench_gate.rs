@@ -124,6 +124,7 @@ fn run(committed_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
             ));
         }
     }
+    println!("  {}", baseline_cores_note(&committed));
     check_parallel_floor(&fresh, &mut failures);
     check_slo_ceilings(&committed, &fresh, &mut failures);
     check_speedup_floors(&committed, &fresh, &mut failures);
@@ -201,6 +202,26 @@ fn check_slo_ceilings(committed: &BenchDoc, fresh: &BenchDoc, failures: &mut Vec
                 "SLO '{key}' is {value:.3}, above its ceiling {ceiling}"
             ));
         }
+    }
+}
+
+/// Surfaces the provenance of the committed parallel numbers. A baseline
+/// recorded on a narrow machine carries ~1.0 `par_speedup_*` values that
+/// say nothing about the scheduler — the pool degraded to inline
+/// execution when they were measured — so the gate log states that
+/// explicitly instead of letting a reader mistake them for scheduler
+/// targets. Informational only: the speedup floor always gates on the
+/// **fresh** runner's core count ([`check_parallel_floor`]), never the
+/// committed one.
+fn baseline_cores_note(committed: &BenchDoc) -> String {
+    match committed.derived_value(PAR_CORES_KEY) {
+        Some(cores) if cores < MIN_PAR_CORES => format!(
+            "warn  BASELINE RECORDED ON cores={cores:.0}: committed par_speedup_* values \
+             are inline-fallback numbers (~1.0), not scheduler targets; the \
+             {MIN_PAR_SPEEDUP:.1}x floor gates the fresh runner only"
+        ),
+        Some(cores) => format!("info  baseline recorded on cores={cores:.0}"),
+        None => format!("warn  baseline predates '{PAR_CORES_KEY}' (recording cores unknown)"),
     }
 }
 
@@ -436,6 +457,21 @@ mod tests {
         let mut missing = Vec::new();
         check_parallel_floor(&doc(&[]), &mut missing);
         assert_eq!(missing.len(), 1);
+    }
+
+    #[test]
+    fn baseline_cores_note_flags_narrow_recording_machines() {
+        // A baseline recorded on 1 core gets the explicit provenance
+        // warning, verbatim enough to grep CI logs for.
+        let note = baseline_cores_note(&doc(&[(PAR_CORES_KEY, 1.0)]));
+        assert!(note.contains("BASELINE RECORDED ON cores=1"), "{note}");
+        // At or above the floor's core minimum it is informational.
+        let note = baseline_cores_note(&doc(&[(PAR_CORES_KEY, 8.0)]));
+        assert!(note.starts_with("info"), "{note}");
+        assert!(note.contains("cores=8"), "{note}");
+        // A pre-sweep baseline is called out, not guessed at.
+        let note = baseline_cores_note(&doc(&[]));
+        assert!(note.contains(PAR_CORES_KEY), "{note}");
     }
 
     #[test]

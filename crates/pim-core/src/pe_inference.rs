@@ -21,7 +21,7 @@ use pim_nn::models::RepNet;
 use pim_nn::quant::QuantParams;
 use pim_nn::sparse::{SparseConv2d, SparseLinear};
 use pim_nn::tensor::Tensor;
-use pim_par::{SharedSliceMut, WorkPool};
+use pim_par::{ScratchArena, SharedSliceMut, WorkPool};
 use pim_pe::{MatvecCost, PeError, PeStats, PeTelemetry, SparsePe, SramSparsePe};
 use pim_sparse::prune::prune_magnitude;
 use pim_sparse::{CscMatrix, Matrix, NmPattern};
@@ -53,8 +53,8 @@ pub(crate) struct PeTile {
 /// accumulators, classifier row staging, and the per-tile cost replay
 /// list. Buffers grow to the layer's steady-state sizes on first use and
 /// are reused thereafter, so the per-position / per-matvec hot loop
-/// performs no heap allocation after warmup (the direct-conv gather uses
-/// one small `reduction`-sized row buffer per fan-out chunk).
+/// performs no heap allocation after warmup (the direct-conv gather rows
+/// live in a per-executor [`ScratchArena`], reused across jobs).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Scratch {
     /// `batch × reduction` quantized activations.
@@ -71,6 +71,11 @@ pub(crate) struct Scratch {
     /// Prefix offsets of each tile's region in the shared `acc` arena
     /// (`tiles + 1` entries) — lets parallel tile tasks write disjointly.
     tile_off: Vec<usize>,
+    /// Per-executor `reduction`-sized gather rows for the direct-conv
+    /// fan-out: tasks run on whichever executor steals them, so the row
+    /// staging is keyed by executor slot instead of being reallocated
+    /// inside every chunk closure.
+    row_bufs: ScratchArena<Vec<f32>>,
 }
 
 /// Rows per parallel batch block: enough blocks to feed every executor
@@ -435,15 +440,17 @@ impl PeLayer {
         let x = input.as_slice();
         self.scratch.x_q.resize(rows * reduction, 0);
         self.scratch.scales.resize(rows, 0.0);
+        self.scratch.row_bufs.ensure_slots(pool.threads());
         {
             // Fused gather + calibrate + quantize: each position's window
-            // lands in a chunk-local row buffer and leaves it as INT8 —
+            // lands in a per-executor arena row and leaves it as INT8 —
             // identical f32 values to the staged gather, hence an
             // identical per-row scale and identical quantized codes.
             let weight_scale = self.weight_scale;
             let (stride, padding) = (self.stride, self.padding);
             let x_q = SharedSliceMut::new(&mut self.scratch.x_q);
             let scales = SharedSliceMut::new(&mut self.scratch.scales);
+            let row_bufs = &self.scratch.row_bufs;
             let est = (rows * reduction) as u64;
             pool.for_each_chunk_costed(rows, par_block(rows, pool.threads()), est, |range| {
                 // SAFETY: chunk row ranges are disjoint, so the x_q and
@@ -454,16 +461,19 @@ impl PeLayer {
                         scales.slice(range.clone()),
                     )
                 };
-                let mut row_buf = vec![0.0f32; reduction];
-                for (i, p) in range.enumerate() {
-                    let (ni, pos) = (p / positions, p % positions);
-                    let (oy, ox) = (pos / ow, pos % ow);
-                    row_buf.fill(0.0);
-                    gather_patch_into(x, &mut row_buf, ni, oy, ox, cin, h, w, k, stride, padding);
-                    let x_params = QuantParams::calibrate(&row_buf);
-                    sc[i] = weight_scale * x_params.scale();
-                    x_params.quantize_into(&row_buf, &mut q[i * reduction..(i + 1) * reduction]);
-                }
+                row_bufs.with(|row_buf| {
+                    row_buf.clear();
+                    row_buf.resize(reduction, 0.0);
+                    for (i, p) in range.enumerate() {
+                        let (ni, pos) = (p / positions, p % positions);
+                        let (oy, ox) = (pos / ow, pos % ow);
+                        row_buf.fill(0.0);
+                        gather_patch_into(x, row_buf, ni, oy, ox, cin, h, w, k, stride, padding);
+                        let x_params = QuantParams::calibrate(row_buf);
+                        sc[i] = weight_scale * x_params.scale();
+                        x_params.quantize_into(row_buf, &mut q[i * reduction..(i + 1) * reduction]);
+                    }
+                });
             });
         }
 

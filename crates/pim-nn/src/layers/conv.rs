@@ -309,13 +309,11 @@ impl Layer for Conv2d {
         let red = self.reduction_len();
         let cout = self.out_channels;
         let rows = n * oh * ow;
-        let serial;
         let pool: &WorkPool = match &self.pool {
             Some(p) => p,
-            None => {
-                serial = WorkPool::serial();
-                &serial
-            }
+            // Shared 'static serial fallback: constructing a pool per
+            // forward is allocator traffic the hot path doesn't need.
+            None => WorkPool::serial_ref(),
         };
         let chunk = row_chunk(rows, pool.threads());
         let x = input.as_slice();

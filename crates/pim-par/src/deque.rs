@@ -1,0 +1,299 @@
+//! Bounded Chase–Lev work-stealing deque over packed index ranges.
+//!
+//! One deque per executor: the owner pushes and pops split halves at the
+//! *bottom* (LIFO, cache-warm), thieves CAS the *top* (FIFO, oldest — and
+//! therefore largest — range first). Tasks are half-open `u32` index
+//! ranges packed into a single `u64`, so the buffer is a flat array of
+//! `AtomicU64` slots: no allocation, no pointers, no ABA hazard — a stale
+//! read that loses its validating CAS is a plain integer that gets
+//! discarded.
+//!
+//! The orderings follow the C11 formulation of Lê, Pop, Cohen &
+//! Zappa-Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP'13):
+//!
+//! * `push`: write the slot (Relaxed), **Release fence**, then publish the
+//!   new bottom (Relaxed). A thief that observes the new bottom with an
+//!   Acquire load also observes the slot contents.
+//! * `pop`: speculatively take the bottom slot (Relaxed store of
+//!   `bottom-1`), **SeqCst fence**, then read `top`. The fence arbitrates
+//!   against concurrent `steal`s: both sides' fences order the
+//!   bottom-store/top-read pairs, so owner and thief can never both take
+//!   the last element — the loser of the `top` CAS backs off.
+//! * `steal`: Acquire `top`, **SeqCst fence**, Acquire `bottom`, read the
+//!   slot, then a SeqCst CAS on `top` validates that no other thief (and
+//!   no owner `pop` of the last element) got there first.
+//!
+//! The buffer is *fixed capacity* ([`DEQUE_CAP`]). The scheduler splits
+//! ranges in half lazily, so an owner's deque holds at most
+//! `log2(range / grain)` pending halves (≤ 32 for `u32` ranges); the
+//! capacity is never reached in practice, and a full deque simply refuses
+//! the push — the scheduler then runs the unsplit range inline, which is
+//! coarser but never loses or duplicates an index.
+//!
+//! Indices are monotone `i64` positions (never wrapped), so `top ≤ bottom`
+//! always holds arithmetically and empty/full tests are plain
+//! subtractions; only the slot index is taken modulo the capacity.
+
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+
+/// Buffer slots per deque (power of two). Lazy binary splitting bounds the
+/// live entries at ~32, so 256 leaves a wide safety margin.
+pub(crate) const DEQUE_CAP: usize = 256;
+
+/// A half-open index range `lo..hi` (`hi > lo` for every stored task),
+/// packed `lo`-high / `hi`-low into one `u64` buffer word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RangeTask {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl RangeTask {
+    pub(crate) fn len(self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    fn pack(self) -> u64 {
+        (u64::from(self.lo) << 32) | u64::from(self.hi)
+    }
+
+    fn unpack(word: u64) -> Self {
+        Self {
+            lo: (word >> 32) as u32,
+            hi: word as u32,
+        }
+    }
+}
+
+/// Outcome of a [`Deque::steal`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// Took the oldest range.
+    Success(RangeTask),
+    /// Nothing to take.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+pub(crate) struct Deque {
+    /// Next position a thief claims (monotone).
+    top: AtomicI64,
+    /// One past the owner's last pushed position (monotone).
+    bottom: AtomicI64,
+    buf: Vec<AtomicU64>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Self {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            buf: (0..DEQUE_CAP).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pos: i64) -> &AtomicU64 {
+        &self.buf[(pos as usize) & (DEQUE_CAP - 1)]
+    }
+
+    /// Owner-only: pushes `task` at the bottom. Fails (returning the task
+    /// back) when the buffer is full.
+    pub(crate) fn push(&self, task: RangeTask) -> Result<(), RangeTask> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= DEQUE_CAP as i64 {
+            return Err(task);
+        }
+        self.slot(b).store(task.pack(), Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to
+        // thieves' Acquire loads.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed range (LIFO).
+    pub(crate) fn pop(&self) -> Option<RangeTask> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the speculative bottom-store against thieves' top reads.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let task = RangeTask::unpack(self.slot(b).load(Ordering::Relaxed));
+            if t == b {
+                // Last element: race the thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then_some(task);
+            }
+            Some(task)
+        } else {
+            // Already empty; undo the speculative decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: tries to take the oldest range (FIFO end).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Order this top-read against owners' speculative bottom-stores.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let task = RangeTask::unpack(self.slot(t).load(Ordering::Relaxed));
+            // The CAS validates the read: while `top == t` the owner's
+            // capacity check keeps slot `t % CAP` untouched, so winning the
+            // CAS proves `task` was the live value.
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(task)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Approximate non-empty test (wake heuristics only; both loads are
+    /// racy by design).
+    pub(crate) fn has_items(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        t < b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn r(lo: u32, hi: u32) -> RangeTask {
+        RangeTask { lo, hi }
+    }
+
+    #[test]
+    fn pack_roundtrips() {
+        for task in [r(0, 1), r(7, 4000), r(u32::MAX - 1, u32::MAX)] {
+            assert_eq!(RangeTask::unpack(task.pack()), task);
+        }
+    }
+
+    #[test]
+    fn owner_pop_is_lifo_and_steal_is_fifo() {
+        let d = Deque::new();
+        for i in 0..4 {
+            d.push(r(i, i + 1)).unwrap();
+        }
+        assert_eq!(d.steal(), Steal::Success(r(0, 1)), "thief takes oldest");
+        assert_eq!(d.pop(), Some(r(3, 4)), "owner takes newest");
+        assert_eq!(d.steal(), Steal::Success(r(1, 2)));
+        assert_eq!(d.pop(), Some(r(2, 3)));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn full_deque_refuses_the_push() {
+        let d = Deque::new();
+        for i in 0..DEQUE_CAP as u32 {
+            d.push(r(i, i + 1)).unwrap();
+        }
+        assert_eq!(d.push(r(9, 10)), Err(r(9, 10)));
+        // Draining one slot re-admits pushes.
+        assert!(matches!(d.steal(), Steal::Success(_)));
+        assert!(d.push(r(9, 10)).is_ok());
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_duplicates() {
+        let d = Deque::new();
+        let mut seen = [false; 64];
+        let mut next = 0u32;
+        for round in 0..64 {
+            for _ in 0..(round % 3) + 1 {
+                if next < 64 {
+                    d.push(r(next, next + 1)).unwrap();
+                    next += 1;
+                }
+            }
+            if let Some(t) = d.pop() {
+                assert!(!seen[t.lo as usize], "duplicate {t:?}");
+                seen[t.lo as usize] = true;
+            }
+        }
+        while let Some(t) = d.pop() {
+            assert!(!seen[t.lo as usize], "duplicate {t:?}");
+            seen[t.lo as usize] = true;
+        }
+        assert_eq!(next, 64);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn concurrent_thieves_partition_the_deque() {
+        // Single-producer, multi-thief hammer: every pushed range is taken
+        // exactly once across owner pops and concurrent steals.
+        let d = Arc::new(Deque::new());
+        let taken: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..1024).map(|_| AtomicUsize::new(0)).collect());
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let taken = Arc::clone(&taken);
+                std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(t) => {
+                            taken[t.lo as usize].fetch_add(1, Ordering::Relaxed);
+                            if t.lo as usize == 1023 {
+                                return;
+                            }
+                        }
+                        Steal::Empty | Steal::Retry => {
+                            if taken[1023].load(Ordering::Relaxed) > 0 {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 0..1023u32 {
+            while d.push(r(i, i + 1)).is_err() {
+                std::hint::spin_loop();
+            }
+            if i % 5 == 0 {
+                if let Some(t) = d.pop() {
+                    taken[t.lo as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Sentinel range 1023 terminates the thieves; the owner drains the
+        // rest so the sentinel is only ever the *last* steal.
+        while d.push(r(1023, 1024)).is_err() {
+            std::hint::spin_loop();
+        }
+        while let Some(t) = d.pop() {
+            taken[t.lo as usize].fetch_add(1, Ordering::Relaxed);
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        for (i, cell) in taken.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::Relaxed), 1, "range {i} taken once");
+        }
+    }
+}

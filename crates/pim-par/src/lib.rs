@@ -1,4 +1,4 @@
-//! Scoped fork-join work pool over a fixed set of persistent threads.
+//! Work-stealing fork-join pool over a fixed set of persistent threads.
 //!
 //! The hybrid accelerator gets its throughput from many PE tiles operating
 //! concurrently; the simulator mirrors that tile-level parallelism on the
@@ -22,72 +22,38 @@
 //!   lock traffic. Concurrent dispatchers (e.g. several serving workers
 //!   sharing one pool) never block each other: a contended dispatch also
 //!   falls back to inline execution.
-//! * **Cost-aware.** Dispatching a job costs a couple of mutex hand-offs
-//!   and a condvar wake — microseconds. [`WorkPool::run_costed`] lets the
-//!   caller attach a work estimate (e.g. MAC count) to the grid; estimates
-//!   below the pool's spawn threshold run inline, so tiny grids never pay
-//!   more for scheduling than for arithmetic.
-//! * **Idle workers sleep.** Workers park on a condvar between jobs — no
-//!   spinning, so an oversubscribed or single-core host is not degraded by
-//!   an idle pool.
+//! * **Cost-aware.** Dispatching a job costs a condvar wake — microseconds.
+//!   [`WorkPool::run_costed`] lets the caller attach a work estimate (e.g.
+//!   MAC count) to the grid; estimates below the pool's spawn threshold run
+//!   inline, so tiny grids never pay more for scheduling than for
+//!   arithmetic. The same estimate also sets the *split grain*: leaves
+//!   carry enough work to amortize their (nanosecond-scale) deque traffic.
+//! * **Idle workers sleep.** Workers park on a condvar between jobs, and
+//!   back off exponentially (spin → yield → timed park) when a job has no
+//!   stealable work left — no spin-waste on an oversubscribed host.
 //!
-//! Tasks are claimed one index at a time under a mutex, which is cheap
-//! because callers dispatch *coarse chunks* (see
-//! [`WorkPool::for_each_chunk`]), not per-element work items.
+//! Scheduling is lock-free on the hot path: each executor owns a bounded
+//! Chase–Lev deque of index ranges and splits its range lazily in half as
+//! long as it exceeds the job's grain, pushing upper halves where idle
+//! executors steal them (oldest — largest — first, with randomized victim
+//! selection). A shared-nothing design: after the one condvar wake that
+//! publishes a job, executors touch only their own deque bottom and CAS
+//! other deques' tops, so heterogeneous task costs (packed vs flat tiles
+//! have ~2× skew) self-balance without a shared cursor serializing every
+//! claim. See `DESIGN.md` §8 for the memory-ordering argument.
 
+mod arena;
+mod deque;
+mod scheduler;
 mod slice;
 
+pub use arena::{current_executor, ScratchArena};
 pub use slice::SharedSliceMut;
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use scheduler::{Counters, Shared, TaskFn};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-
-/// A lifetime-erased reference to the job closure. Only ever dereferenced
-/// while [`WorkPool::run`] is blocked on the job's completion, which keeps
-/// the closure alive on the caller's stack.
-type TaskFn = &'static (dyn Fn(usize) + Sync);
-
-/// The job currently being drained by the pool (one at a time; dispatch is
-/// gated by `WorkPool::dispatch`).
-struct Job {
-    f: TaskFn,
-    tasks: usize,
-    /// Next unclaimed task index.
-    next: usize,
-    /// Tasks that have finished running (successfully or by panicking).
-    completed: usize,
-    panicked: bool,
-}
-
-struct State {
-    job: Option<Job>,
-    shutdown: bool,
-}
-
-struct Inner {
-    state: Mutex<State>,
-    /// Signaled when a job is published (or shutdown begins).
-    work_ready: Condvar,
-    /// Signaled when the last task of a job completes.
-    job_done: Condvar,
-}
-
-/// Cumulative pool activity counters (monotone; relaxed atomics).
-#[derive(Debug, Default)]
-struct Counters {
-    /// Jobs dispatched across the worker threads.
-    jobs: AtomicU64,
-    /// Jobs run inline because the pool is serial or the grid is trivial.
-    inline_jobs: AtomicU64,
-    /// Jobs run inline because another dispatch held the pool.
-    contended_jobs: AtomicU64,
-    /// Tasks executed by the calling thread of a dispatched job.
-    caller_tasks: AtomicU64,
-    /// Tasks executed by pool workers ("steals" from the caller).
-    worker_tasks: AtomicU64,
-}
 
 /// A point-in-time snapshot of a pool's internal counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,18 +65,34 @@ pub struct PoolCounters {
     pub inline_jobs: u64,
     /// The subset of `inline_jobs` caused by dispatch contention.
     pub contended_jobs: u64,
-    /// Tasks executed by dispatching callers.
+    /// Task indices executed by dispatching callers.
     pub caller_tasks: u64,
-    /// Tasks executed by pool workers.
+    /// Task indices executed by pool workers.
     pub worker_tasks: u64,
+    /// Ranges stolen from another executor's deque.
+    pub steals: u64,
+    /// Timed parks taken by executors that found no stealable work.
+    pub parks: u64,
+    /// Lazy range halvings (stealable upper halves pushed).
+    pub splits: u64,
 }
 
 /// Default spawn threshold for [`WorkPool::run_costed`], in estimated
-/// scalar ops (MACs / element visits). A dispatch costs a few mutex
-/// hand-offs plus a condvar wake — order of ten microseconds of combined
-/// overhead — so grids estimated under ~32k one-nanosecond ops are better
-/// off inline. Swept by `pim-dse` and tunable per pool.
+/// scalar ops (MACs / element visits). A dispatch costs a condvar wake —
+/// order of ten microseconds of combined overhead — so grids estimated
+/// under ~32k one-nanosecond ops are better off inline. Swept by `pim-dse`
+/// and tunable per pool.
 pub const DEFAULT_SPAWN_THRESHOLD: u64 = 32_768;
+
+/// Target number of leaves per executor when splitting an uncosted grid:
+/// enough slack for stealing to balance heterogeneous task costs, coarse
+/// enough that deque traffic stays a rounding error.
+const LEAVES_PER_EXECUTOR: usize = 8;
+
+/// Divisor applied to the spawn threshold to get the minimum estimated ops
+/// a leaf should carry: a split costs two deque operations (~tens of ns),
+/// so leaves worth 1/8 of a dispatch keep that overhead below ~1%.
+const SPLIT_COST_DIVISOR: u64 = 8;
 
 /// A fixed-size pool of persistent worker threads for scoped fork-join
 /// dispatch.
@@ -144,7 +126,7 @@ pub const DEFAULT_SPAWN_THRESHOLD: u64 = 32_768;
 /// ```
 pub struct WorkPool {
     /// `None` for a serial pool (one thread, nothing spawned).
-    inner: Option<Arc<Inner>>,
+    inner: Option<Arc<Shared>>,
     /// One dispatch at a time; `try_lock` losers run inline instead of
     /// queueing behind a foreign job.
     dispatch: Mutex<()>,
@@ -170,7 +152,7 @@ impl WorkPool {
     }
 
     /// [`new`](Self::new) without the available-core clamp — a test/bench
-    /// hook so dispatch, contention, and counter behaviour stay exercised
+    /// hook so dispatch, stealing, and counter behaviour stay exercised
     /// on single-core CI runners. Production callers want `new`.
     pub fn with_forced_threads(threads: usize) -> Self {
         let threads = threads.max(1);
@@ -185,21 +167,14 @@ impl WorkPool {
                 handles: Vec::new(),
             };
         }
-        let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                job: None,
-                shutdown: false,
-            }),
-            work_ready: Condvar::new(),
-            job_done: Condvar::new(),
-        });
+        let inner = Arc::new(Shared::new(threads));
         let handles = (0..threads - 1)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("pim-par-{i}"))
-                    .spawn(move || worker_loop(&inner, &counters))
+                    .spawn(move || scheduler::worker_loop(i + 1, &inner, &counters))
                     .expect("spawn pool worker thread")
             })
             .collect();
@@ -216,6 +191,14 @@ impl WorkPool {
     /// A serial pool: every job runs inline on the caller.
     pub fn serial() -> Self {
         Self::new(1)
+    }
+
+    /// A shared `'static` serial pool for fallback paths that need a
+    /// `&WorkPool` but were not given one — avoids constructing (and
+    /// dropping) a pool per call on hot paths.
+    pub fn serial_ref() -> &'static WorkPool {
+        static SERIAL: OnceLock<WorkPool> = OnceLock::new();
+        SERIAL.get_or_init(WorkPool::serial)
     }
 
     /// Executor count (workers + the dispatching caller).
@@ -244,6 +227,9 @@ impl WorkPool {
             contended_jobs: self.counters.contended_jobs.load(Ordering::Relaxed),
             caller_tasks: self.counters.caller_tasks.load(Ordering::Relaxed),
             worker_tasks: self.counters.worker_tasks.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            parks: self.counters.parks.load(Ordering::Relaxed),
+            splits: self.counters.splits.load(Ordering::Relaxed),
         }
     }
 
@@ -261,72 +247,9 @@ impl WorkPool {
     /// If any task panics, `run` panics after every task has completed
     /// (the scope never leaks running borrows).
     pub fn run<F: Fn(usize) + Sync>(&self, tasks: usize, f: F) {
-        if tasks == 0 {
-            return;
-        }
-        let Some(inner) = &self.inner else {
-            return self.run_inline(tasks, &f, &self.counters.inline_jobs);
-        };
-        if tasks == 1 {
-            return self.run_inline(tasks, &f, &self.counters.inline_jobs);
-        }
-        let Ok(gate) = self.dispatch.try_lock() else {
-            return self.run_inline(tasks, &f, &self.counters.contended_jobs);
-        };
-        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
-        let erased: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: the 'static lifetime is a lie told only to the workers.
-        // `run` does not return (and `f` is not dropped) until every task
-        // has completed and the job has been retired below, so no worker
-        // can observe the closure after it dies.
-        let erased: TaskFn = unsafe { std::mem::transmute(erased) };
-        {
-            let mut state = inner.state.lock().expect("pool state lock");
-            debug_assert!(state.job.is_none(), "dispatch gate admits one job");
-            state.job = Some(Job {
-                f: erased,
-                tasks,
-                next: 0,
-                completed: 0,
-                panicked: false,
-            });
-        }
-        inner.work_ready.notify_all();
-        // The caller claims and runs tasks alongside the workers. Its own
-        // panics are caught too: unwinding out of `run` while workers still
-        // hold the erased closure would be unsound.
-        loop {
-            let i = {
-                let mut state = inner.state.lock().expect("pool state lock");
-                let job = state.job.as_mut().expect("job retired only below");
-                if job.next >= job.tasks {
-                    break;
-                }
-                let i = job.next;
-                job.next += 1;
-                i
-            };
-            let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
-            self.counters.caller_tasks.fetch_add(1, Ordering::Relaxed);
-            let mut state = inner.state.lock().expect("pool state lock");
-            let job = state.job.as_mut().expect("job retired only below");
-            job.completed += 1;
-            if !ok {
-                job.panicked = true;
-            }
-            if job.completed == job.tasks {
-                inner.job_done.notify_all();
-            }
-        }
-        let panicked = {
-            let mut state = inner.state.lock().expect("pool state lock");
-            while state.job.as_ref().expect("job retired only here").completed < tasks {
-                state = inner.job_done.wait(state).expect("pool state lock");
-            }
-            state.job.take().expect("job retired only here").panicked
-        };
-        drop(gate);
-        assert!(!panicked, "pim-par: a parallel task panicked");
+        // Uncosted grids split purely by shape: ~8 leaves per executor.
+        let grain = (tasks / (self.threads * LEAVES_PER_EXECUTOR)).max(1);
+        self.dispatch_grained(tasks, grain, f);
     }
 
     /// [`run`](Self::run) with a caller-supplied work estimate: when
@@ -334,7 +257,9 @@ impl WorkPool {
     /// batch) falls below the pool's spawn threshold, the whole grid runs
     /// inline on the caller — no dispatch attempt, no lock traffic —
     /// because waking workers would cost more than the arithmetic. At or
-    /// above the threshold it dispatches normally.
+    /// above the threshold it dispatches, and the same estimate sets the
+    /// split grain: leaves carry at least ~1/8 of a threshold's worth of
+    /// estimated ops, so deque traffic never dominates fine-grained grids.
     ///
     /// Scheduling-only: each index still runs exactly once, so results are
     /// bit-identical to [`run`](Self::run) at every threshold.
@@ -345,7 +270,10 @@ impl WorkPool {
         if self.inner.is_some() && estimated_ops < self.spawn_threshold {
             return self.run_inline(tasks, &f, &self.counters.inline_jobs);
         }
-        self.run(tasks, f);
+        let per_index = (estimated_ops / tasks.max(1) as u64).max(1);
+        let cost_floor = ((self.spawn_threshold / SPLIT_COST_DIVISOR).max(1) / per_index).max(1);
+        let shape = (tasks / (self.threads * LEAVES_PER_EXECUTOR)).max(1);
+        self.dispatch_grained(tasks, (cost_floor as usize).max(shape), f);
     }
 
     /// [`for_each_chunk`](Self::for_each_chunk) with the
@@ -390,7 +318,45 @@ impl WorkPool {
         });
     }
 
-    fn run_inline(&self, tasks: usize, f: &(impl Fn(usize) + Sync), counter: &AtomicU64) {
+    /// The dispatch path shared by [`run`](Self::run) and
+    /// [`run_costed`](Self::run_costed): publish the root range with the
+    /// given split grain, participate as executor 0, retire the job.
+    fn dispatch_grained<F: Fn(usize) + Sync>(&self, tasks: usize, grain: usize, f: F) {
+        if tasks == 0 {
+            return;
+        }
+        let Some(shared) = &self.inner else {
+            return self.run_inline(tasks, &f, &self.counters.inline_jobs);
+        };
+        if tasks == 1 {
+            return self.run_inline(tasks, &f, &self.counters.inline_jobs);
+        }
+        assert!(
+            tasks <= u32::MAX as usize,
+            "pim-par grids are u32-indexed (got {tasks} tasks)"
+        );
+        let Ok(gate) = self.dispatch.try_lock() else {
+            return self.run_inline(tasks, &f, &self.counters.contended_jobs);
+        };
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the 'static lifetime is a lie told only to the workers.
+        // `run_job` does not return (and `f` is not dropped) until every
+        // index has completed *and* every worker that joined the job has
+        // checked back out, so no worker can observe the closure after it
+        // dies — not even one that copied the descriptor and stalled.
+        let erased: TaskFn = unsafe { std::mem::transmute(erased) };
+        let panicked = scheduler::run_job(shared, &self.counters, erased, tasks, grain);
+        drop(gate);
+        assert!(!panicked, "pim-par: a parallel task panicked");
+    }
+
+    fn run_inline(
+        &self,
+        tasks: usize,
+        f: &(impl Fn(usize) + Sync),
+        counter: &std::sync::atomic::AtomicU64,
+    ) {
         counter.fetch_add(1, Ordering::Relaxed);
         for i in 0..tasks {
             f(i);
@@ -410,8 +376,7 @@ impl std::fmt::Debug for WorkPool {
 impl Drop for WorkPool {
     fn drop(&mut self) {
         if let Some(inner) = &self.inner {
-            inner.state.lock().expect("pool state lock").shutdown = true;
-            inner.work_ready.notify_all();
+            inner.begin_shutdown();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -419,48 +384,10 @@ impl Drop for WorkPool {
     }
 }
 
-fn worker_loop(inner: &Inner, counters: &Counters) {
-    let mut state = inner.state.lock().expect("pool state lock");
-    loop {
-        let claim = match &mut state.job {
-            Some(job) if job.next < job.tasks => {
-                let i = job.next;
-                job.next += 1;
-                Some((job.f, i))
-            }
-            _ => None,
-        };
-        match claim {
-            Some((f, i)) => {
-                drop(state);
-                let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
-                counters.worker_tasks.fetch_add(1, Ordering::Relaxed);
-                state = inner.state.lock().expect("pool state lock");
-                // The job is alive until the dispatcher has seen
-                // `completed == tasks`, which requires this increment.
-                let job = state.job.as_mut().expect("job outlives its tasks");
-                job.completed += 1;
-                if !ok {
-                    job.panicked = true;
-                }
-                if job.completed == job.tasks {
-                    inner.job_done.notify_all();
-                }
-            }
-            None => {
-                if state.shutdown {
-                    return;
-                }
-                state = inner.work_ready.wait(state).expect("pool state lock");
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
 
     #[test]
     fn every_index_runs_exactly_once() {
@@ -495,6 +422,20 @@ mod tests {
         assert_eq!(c.jobs, 0);
         assert_eq!(c.inline_jobs, 1);
         assert_eq!(c.worker_tasks, 0);
+        assert_eq!((c.steals, c.parks, c.splits), (0, 0, 0));
+    }
+
+    #[test]
+    fn serial_ref_is_shared_and_serial() {
+        let a = WorkPool::serial_ref();
+        let b = WorkPool::serial_ref();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.threads(), 1);
+        let sum = AtomicU64::new(0);
+        a.run(4, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
     }
 
     #[test]
@@ -544,7 +485,7 @@ mod tests {
     fn task_panic_propagates_after_the_join() {
         let pool = WorkPool::with_forced_threads(4);
         let finished = AtomicUsize::new(0);
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(16, |i| {
                 if i == 7 {
                     panic!("boom");
@@ -598,6 +539,27 @@ mod tests {
         let c = pool.counters();
         assert_eq!(c.jobs, 1);
         assert_eq!(c.caller_tasks + c.worker_tasks, 32);
+    }
+
+    #[test]
+    fn steals_split_ranges_and_count() {
+        // Slow tasks on a forced-wide pool: workers must wake, steal a
+        // half, and split further — all three new counters move.
+        let pool = WorkPool::with_forced_threads(4);
+        let hits = AtomicUsize::new(0);
+        pool.run(64, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        let c = pool.counters();
+        assert!(c.splits > 0, "a 64-index grid on grain 2 must split");
+        // Steals require a worker to actually win a race against the
+        // caller; on a single-core host the workers may never get
+        // scheduled in time, so only assert when they did run tasks.
+        if c.worker_tasks > 0 {
+            assert!(c.steals > 0, "worker tasks imply at least one steal");
+        }
     }
 
     #[test]
@@ -656,5 +618,23 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(lazy.counters().jobs, 0, "below threshold stays inline");
+    }
+
+    #[test]
+    fn costed_grain_keeps_leaves_above_the_split_floor() {
+        // 1024 indices estimated at 32 ops each (32768 total): the cost
+        // floor wants leaves of ≥ 4096 ops = 128 indices, which beats the
+        // shape grain (1024 / 32 = 32). Halving 1024 down to 128 builds a
+        // split tree with exactly 7 internal nodes, no matter which
+        // executor performs each split.
+        let pool = WorkPool::with_forced_threads(4);
+        let hits = AtomicUsize::new(0);
+        pool.run_costed(1024, DEFAULT_SPAWN_THRESHOLD, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1024);
+        let c = pool.counters();
+        assert_eq!(c.jobs, 1);
+        assert_eq!(c.splits, 7, "cost floor caps the split tree at 8 leaves");
     }
 }

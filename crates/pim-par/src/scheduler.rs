@@ -1,0 +1,370 @@
+//! The work-stealing job scheduler behind [`WorkPool`](crate::WorkPool).
+//!
+//! One job runs at a time (the pool's dispatch gate serializes callers).
+//! The dispatcher seeds its own deque with the root range `0..tasks`,
+//! publishes a [`JobDesc`] under the state mutex, wakes the workers, and
+//! then participates as executor 0. Every executor runs the same loop:
+//! drain the own deque (LIFO), then steal from randomized victims (FIFO —
+//! thieves take the oldest, i.e. largest, pending half), with exponential
+//! backoff into a timed condvar park when no work is visible.
+//!
+//! Ranges split *lazily*: an executor holding a range longer than the
+//! job's grain pushes the upper half into its own deque (where it can be
+//! stolen) and keeps halving the lower part. Work only fans out when
+//! thieves are actually idle — a busy pool executes near-sequentially
+//! within each executor, and a 1-wide pool never dispatches at all.
+//!
+//! Completion is an index count: each executed leaf adds its length to
+//! `completed`; the job is over when it reaches `total`. The dispatcher
+//! additionally waits for every joined worker to *check out* (`active ==
+//! 0`) before retiring the job — workers copy the lifetime-erased closure
+//! when they join, so the closure must outlive the last worker that could
+//! still hold it, not merely the last executed index.
+
+use crate::deque::{Deque, RangeTask, Steal};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A lifetime-erased reference to the job closure. Only ever dereferenced
+/// while the dispatching [`run`](crate::WorkPool::run) is blocked on the
+/// job's retirement, which keeps the closure alive on the caller's stack.
+pub(crate) type TaskFn = &'static (dyn Fn(usize) + Sync);
+
+/// Cumulative pool activity counters (monotone; relaxed atomics).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    /// Jobs dispatched across the worker threads.
+    pub jobs: AtomicU64,
+    /// Jobs run inline because the pool is serial or the grid is trivial.
+    pub inline_jobs: AtomicU64,
+    /// Jobs run inline because another dispatch held the pool.
+    pub contended_jobs: AtomicU64,
+    /// Task indices executed by the dispatching caller of a job.
+    pub caller_tasks: AtomicU64,
+    /// Task indices executed by pool workers.
+    pub worker_tasks: AtomicU64,
+    /// Ranges successfully stolen from another executor's deque.
+    pub steals: AtomicU64,
+    /// Timed condvar parks taken by idle executors mid-job.
+    pub parks: AtomicU64,
+    /// Lazy range halvings (each push of an upper half).
+    pub splits: AtomicU64,
+}
+
+/// The published description of the in-flight job. `Copy` so every
+/// executor takes a private snapshot under the state mutex and then runs
+/// lock-free.
+#[derive(Clone, Copy)]
+struct JobDesc {
+    f: TaskFn,
+    total: usize,
+    /// Ranges at or below this length execute as leaves (no further split).
+    grain: usize,
+    /// Monotone job id; a worker joins each generation at most once.
+    gen: u64,
+}
+
+struct PoolState {
+    job: Option<JobDesc>,
+    shutdown: bool,
+    /// Workers currently checked into the published job.
+    active: usize,
+    gen: u64,
+}
+
+/// Everything the executors share. Owned by the pool via `Arc`.
+pub(crate) struct Shared {
+    state: Mutex<PoolState>,
+    /// Signaled when a job is published, when a split adds stealable work
+    /// while someone is parked, when the job completes, and at shutdown.
+    work_ready: Condvar,
+    /// Signaled when the last index completes and when a worker checks out.
+    job_done: Condvar,
+    /// One deque per executor; slot 0 is the dispatching caller.
+    deques: Vec<Deque>,
+    /// Indices finished (successfully or by panicking) in the current job.
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    /// Executors currently inside a timed park (wake heuristic: splitters
+    /// only touch the condvar when this is non-zero).
+    idle: AtomicUsize,
+}
+
+/// Backoff schedule: spin rounds, then yields, then timed parks.
+const SPIN_ROUNDS: u32 = 6;
+const YIELD_ROUNDS: u32 = 4;
+/// Cap on one timed park. Parks are timed (never indefinite) so the rare
+/// racy lost wakeup costs at most this much latency.
+const MAX_PARK: Duration = Duration::from_micros(200);
+
+impl Shared {
+    pub(crate) fn new(executors: usize) -> Self {
+        Self {
+            state: Mutex::new(PoolState {
+                job: None,
+                shutdown: false,
+                active: 0,
+                gen: 0,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            deques: (0..executors).map(|_| Deque::new()).collect(),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            idle: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
+        self.state.lock().expect("pool state lock").shutdown = true;
+        self.work_ready.notify_all();
+    }
+}
+
+/// Dispatches one job and blocks until it is retired. Returns whether any
+/// task panicked. Caller holds the pool's dispatch gate.
+pub(crate) fn run_job(
+    shared: &Shared,
+    counters: &Counters,
+    f: TaskFn,
+    total: usize,
+    grain: usize,
+) -> bool {
+    // Reset is safe outside the lock: the previous job fully retired
+    // (active == 0) before its dispatcher released the gate.
+    shared.completed.store(0, Ordering::Relaxed);
+    shared.panicked.store(false, Ordering::Relaxed);
+    shared.deques[0]
+        .push(RangeTask {
+            lo: 0,
+            hi: total as u32,
+        })
+        .expect("root task fits an idle deque");
+    let job = {
+        let mut st = shared.state.lock().expect("pool state lock");
+        debug_assert!(st.job.is_none(), "dispatch gate admits one job at a time");
+        st.gen += 1;
+        let job = JobDesc {
+            f,
+            total,
+            grain: grain.max(1),
+            gen: st.gen,
+        };
+        st.job = Some(job);
+        job
+    };
+    shared.work_ready.notify_all();
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ job.gen;
+    execute(0, &job, shared, counters, &mut rng);
+    {
+        let mut st = shared.state.lock().expect("pool state lock");
+        while st.active > 0 {
+            st = shared.job_done.wait(st).expect("pool state lock");
+        }
+        st.job = None;
+    }
+    shared.panicked.load(Ordering::Relaxed)
+}
+
+/// The persistent worker thread body. `slot` is the executor's deque index
+/// (1-based; 0 is the dispatching caller).
+pub(crate) fn worker_loop(slot: usize, shared: &Shared, counters: &Counters) {
+    crate::arena::set_executor(slot);
+    let mut rng = 0xA24B_AED4_963E_E407u64.wrapping_mul(slot as u64 + 1) | 1;
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state lock");
+            loop {
+                match st.job {
+                    Some(j) if j.gen != seen => {
+                        seen = j.gen;
+                        st.active += 1;
+                        break j;
+                    }
+                    _ => {
+                        if st.shutdown {
+                            return;
+                        }
+                        st = shared.work_ready.wait(st).expect("pool state lock");
+                    }
+                }
+            }
+        };
+        execute(slot, &job, shared, counters, &mut rng);
+        let mut st = shared.state.lock().expect("pool state lock");
+        st.active -= 1;
+        if st.active == 0 {
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+/// One executor's participation in one job: drain own deque, steal, back
+/// off; return once every index of the job has completed.
+fn execute(me: usize, job: &JobDesc, shared: &Shared, counters: &Counters, rng: &mut u64) {
+    let my = &shared.deques[me];
+    let task_ctr = if me == 0 {
+        &counters.caller_tasks
+    } else {
+        &counters.worker_tasks
+    };
+    let mut backoff: u32 = 0;
+    loop {
+        while let Some(task) = my.pop() {
+            run_task(task, job, my, shared, counters, task_ctr);
+            backoff = 0;
+        }
+        if shared.completed.load(Ordering::Acquire) >= job.total {
+            return;
+        }
+        match steal_once(me, shared, rng) {
+            StealOutcome::Task(task) => {
+                counters.steals.fetch_add(1, Ordering::Relaxed);
+                run_task(task, job, my, shared, counters, task_ctr);
+                backoff = 0;
+            }
+            StealOutcome::Contended => {
+                // A victim deque is in flux — work exists; try again now.
+                std::hint::spin_loop();
+            }
+            StealOutcome::Empty => {
+                backoff = backoff.saturating_add(1);
+                if backoff <= SPIN_ROUNDS {
+                    for _ in 0..(1u32 << backoff) {
+                        std::hint::spin_loop();
+                    }
+                } else if backoff <= SPIN_ROUNDS + YIELD_ROUNDS {
+                    std::thread::yield_now();
+                } else {
+                    park(shared, job, counters, backoff);
+                }
+            }
+        }
+    }
+}
+
+enum StealOutcome {
+    Task(RangeTask),
+    Contended,
+    Empty,
+}
+
+/// One round of victim selection: randomized probes first, then a
+/// deterministic sweep so a lone victim cannot be missed by bad luck.
+fn steal_once(me: usize, shared: &Shared, rng: &mut u64) -> StealOutcome {
+    let n = shared.deques.len();
+    let mut contended = false;
+    let randomized = 2 * n;
+    for probe in 0..randomized + n {
+        let v = if probe < randomized {
+            (xorshift(rng) % n as u64) as usize
+        } else {
+            probe - randomized
+        };
+        if v == me {
+            continue;
+        }
+        match shared.deques[v].steal() {
+            Steal::Success(task) => return StealOutcome::Task(task),
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+    }
+    if contended {
+        StealOutcome::Contended
+    } else {
+        StealOutcome::Empty
+    }
+}
+
+/// Timed park on the work condvar. Registers in `idle` first so splitters
+/// know a wake is worth the notify; re-checks for work *under the lock* so
+/// a notify between the last steal attempt and the wait cannot be lost.
+fn park(shared: &Shared, job: &JobDesc, counters: &Counters, backoff: u32) {
+    counters.parks.fetch_add(1, Ordering::Relaxed);
+    shared.idle.fetch_add(1, Ordering::SeqCst);
+    let st = shared.state.lock().expect("pool state lock");
+    let done = shared.completed.load(Ordering::Acquire) >= job.total;
+    if !done && !shared.deques.iter().any(Deque::has_items) {
+        let exp = backoff.saturating_sub(SPIN_ROUNDS + YIELD_ROUNDS).min(6);
+        let timeout = Duration::from_micros(4u64 << exp).min(MAX_PARK);
+        drop(
+            shared
+                .work_ready
+                .wait_timeout(st, timeout)
+                .expect("pool state lock"),
+        );
+    } else {
+        drop(st);
+    }
+    shared.idle.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Splits `task` lazily down to the grain (upper halves become stealable),
+/// executes the final leaf index-by-index, and publishes completion.
+fn run_task(
+    mut task: RangeTask,
+    job: &JobDesc,
+    my: &Deque,
+    shared: &Shared,
+    counters: &Counters,
+    task_ctr: &AtomicU64,
+) {
+    while task.len() > job.grain {
+        let mid = task.lo + (task.hi - task.lo) / 2;
+        if my
+            .push(RangeTask {
+                lo: mid,
+                hi: task.hi,
+            })
+            .is_err()
+        {
+            // Deque full (can't happen at these depths, but stay correct):
+            // run the remainder unsplit — coarser, never lost.
+            break;
+        }
+        counters.splits.fetch_add(1, Ordering::Relaxed);
+        task.hi = mid;
+        if shared.idle.load(Ordering::Relaxed) > 0 {
+            // Notify under the state lock: parked executors re-check for
+            // work while holding it, so this wake cannot fall into their
+            // check-to-wait window.
+            let _guard = shared.state.lock().expect("pool state lock");
+            shared.work_ready.notify_one();
+        }
+    }
+    let f = job.f;
+    for i in task.lo..task.hi {
+        let i = i as usize;
+        // Catch per index: a panicking index must not take the rest of its
+        // leaf down with it (the join contract is "every non-panicking
+        // index ran").
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+    }
+    task_ctr.fetch_add(task.len() as u64, Ordering::Relaxed);
+    let done = shared.completed.fetch_add(task.len(), Ordering::AcqRel) + task.len();
+    if done >= job.total {
+        // Wake everyone promptly: parked thieves must notice completion
+        // (not sleep out their timeout) and the dispatcher may be waiting
+        // for the job to finish. Lock-then-notify pairs with their
+        // check-under-lock.
+        let _guard = shared.state.lock().expect("pool state lock");
+        shared.work_ready.notify_all();
+        shared.job_done.notify_all();
+    }
+}
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}

@@ -1,7 +1,9 @@
-//! The serving engine: bounded queue, batcher, sharded worker pool.
+//! The serving engine: lock-free sharded admission queue, batcher, worker
+//! pool.
 
 use crate::compiled::{CompiledModel, ModelReplica};
 use crate::error::RuntimeError;
+use crate::queue::{AdmissionQueue, AdmitError};
 use crate::request::{InferResponse, ModelId, QueuedRequest, Ticket};
 use crate::stats::{RuntimeStats, StatsCollector};
 use crate::telemetry::RuntimeTelemetry;
@@ -9,11 +11,15 @@ use pim_nn::layers::predictions;
 use pim_nn::tensor::Tensor;
 use pim_par::{PoolCounters, WorkPool};
 use pim_telemetry::Telemetry;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Backstop for every idle worker park: all waits are timed, so a wakeup
+/// lost to the lock-free submit/park race costs at most this much latency
+/// (never liveness) before the worker re-polls the rings.
+const IDLE_POLL: Duration = Duration::from_millis(5);
 
 /// When a worker dispatches a batch instead of waiting for more riders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,12 +270,7 @@ impl RuntimeBuilder {
         let model_count = slots.len();
         let shared = Arc::new(Shared {
             pool,
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                per_model: vec![0; model_count],
-                closed: false,
-            }),
-            available: Condvar::new(),
+            queue: AdmissionQueue::new(self.config.queue_capacity, model_count),
             batch: DynamicBatchPolicy::new(self.config.batch),
             quotas: (0..model_count)
                 .map(|_| AtomicUsize::new(usize::MAX))
@@ -297,7 +298,7 @@ impl RuntimeBuilder {
                                 .map(|s| (s.version, s.model.replica()))
                                 .collect()
                         };
-                        worker_loop(&shared, &mut replicas);
+                        worker_loop(&shared, &mut replicas, i);
                     })
                     .expect("spawn worker thread")
             })
@@ -308,14 +309,6 @@ impl RuntimeBuilder {
             next_id: AtomicU64::new(0),
         }
     }
-}
-
-struct QueueState {
-    queue: VecDeque<QueuedRequest>,
-    /// Queued-but-undispatched requests per model slot, kept in lockstep
-    /// with `queue` so per-model quota checks are O(1) at submit.
-    per_model: Vec<usize>,
-    closed: bool,
 }
 
 /// The live batching policy: [`RuntimeConfig::batch`] seeds it, and
@@ -366,8 +359,9 @@ struct ModelSlot {
 struct Shared {
     /// The intra-request compute pool every replica fans out over.
     pool: Arc<WorkPool>,
-    state: Mutex<QueueState>,
-    available: Condvar,
+    /// Lock-free admission: packed `closed|depth` word, per-model MPMC
+    /// rings, one condvar wake path (see `queue.rs`).
+    queue: AdmissionQueue,
     /// The live (retunable) batching policy; `config.batch` is only the
     /// initial value.
     batch: DynamicBatchPolicy,
@@ -507,7 +501,7 @@ impl Runtime {
 
     /// Current queue depth (requests accepted but not yet dispatched).
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("queue lock").queue.len()
+        self.shared.queue.depth()
     }
 
     /// The bounded queue's capacity (admission-control limit).
@@ -530,7 +524,7 @@ impl Runtime {
     pub fn set_batch_policy(&self, policy: BatchPolicy) {
         self.shared.batch.store(policy);
         // Wake coalescing workers so a shortened max_wait applies promptly.
-        self.shared.available.notify_all();
+        self.shared.queue.wake_all();
     }
 
     /// Sets (or with `None` clears) the admission quota of one model slot:
@@ -559,12 +553,7 @@ impl Runtime {
     /// (id) order — the per-tenant pressure readout quota decisions are
     /// based on.
     pub fn queued_per_model(&self) -> Vec<usize> {
-        self.shared
-            .state
-            .lock()
-            .expect("queue lock")
-            .per_model
-            .clone()
+        self.shared.queue.per_model()
     }
 
     /// Liveness probe: `true` while the queue is open and every worker
@@ -575,7 +564,7 @@ impl Runtime {
         if self.workers.is_empty() || self.workers.iter().any(|h| h.is_finished()) {
             return false;
         }
-        !self.shared.state.lock().expect("queue lock").closed
+        !self.shared.queue.closed()
     }
 
     /// Current version of every serving slot, in registration (id) order
@@ -644,13 +633,15 @@ impl Runtime {
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
-        {
-            let mut state = self.shared.state.lock().expect("queue lock");
-            if state.closed {
-                return Err(RuntimeError::ShuttingDown);
-            }
-            if state.queue.len() >= self.shared.config.queue_capacity {
-                drop(state);
+        // Lock-free admission: one CAS reserves a depth slot (checking
+        // closed and capacity atomically), a second CAS takes the model's
+        // quota. Precedence matches the old locked queue exactly:
+        // closed > capacity > quota.
+        let quota = self.shared.quotas[model.0].load(Ordering::Relaxed);
+        match self.shared.queue.try_admit(model.0, quota) {
+            Ok(()) => {}
+            Err(AdmitError::Closed) => return Err(RuntimeError::ShuttingDown),
+            Err(AdmitError::Full) => {
                 self.shared.stats.record_rejection();
                 if let Some(tel) = &self.shared.telemetry {
                     tel.rejected_total.inc();
@@ -659,28 +650,24 @@ impl Runtime {
                     capacity: self.shared.config.queue_capacity,
                 });
             }
-            let quota = self.shared.quotas[model.0].load(Ordering::Relaxed);
-            if state.per_model[model.0] >= quota {
-                drop(state);
+            Err(AdmitError::Throttled) => {
                 self.shared.stats.record_rejection();
                 if let Some(tel) = &self.shared.telemetry {
                     tel.throttled_total.inc();
                 }
                 return Err(RuntimeError::Throttled { model, quota });
             }
-            state.per_model[model.0] += 1;
-            state.queue.push_back(QueuedRequest {
-                id,
-                model,
-                input: normalized,
-                enqueued: Instant::now(),
-                reply: tx,
-            });
-            if let Some(tel) = &self.shared.telemetry {
-                tel.queue_depth.set(state.queue.len() as f64);
-            }
         }
-        self.shared.available.notify_all();
+        self.shared.queue.publish(QueuedRequest {
+            id,
+            model,
+            input: normalized,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        if let Some(tel) = &self.shared.telemetry {
+            tel.queue_depth.set(self.shared.queue.depth() as f64);
+        }
         Ok(Ticket { request_id: id, rx })
     }
 
@@ -708,11 +695,10 @@ impl Runtime {
     }
 
     fn close_and_join(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("queue lock");
-            state.closed = true;
-        }
-        self.shared.available.notify_all();
+        // Atomically refuse all future admissions; requests already
+        // admitted stay in the rings and workers drain them before
+        // exiting (every outstanding ticket still gets an answer).
+        self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -723,12 +709,6 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         self.close_and_join();
     }
-}
-
-/// Two requests may ride one PE batch: same model (shapes are validated
-/// per-model at submit, so same model implies same layer shapes).
-fn compatible(a: &QueuedRequest, b: &QueuedRequest) -> bool {
-    a.model == b.model && a.input.shape() == b.input.shape()
 }
 
 /// Per-worker staging buffers reused across batches: after warm-up a
@@ -742,12 +722,12 @@ struct WorkerScratch {
     waits: Vec<Duration>,
 }
 
-fn worker_loop(shared: &Shared, replicas: &mut [(u64, ModelReplica)]) {
+fn worker_loop(shared: &Shared, replicas: &mut [(u64, ModelReplica)], worker: usize) {
     // Replicas were cloned before the first epoch read could race a swap,
     // so start from 0 and let the version check sort out staleness.
     let mut seen_epoch = 0;
     let mut scratch = WorkerScratch::default();
-    while let Some((batch, formed)) = collect_batch(shared) {
+    while let Some((batch, formed)) = collect_batch(shared, worker) {
         refresh_replicas(shared, replicas, &mut seen_epoch);
         serve_batch(shared, replicas, batch, formed, &mut scratch);
     }
@@ -772,59 +752,63 @@ fn refresh_replicas(shared: &Shared, replicas: &mut [(u64, ModelReplica)], seen_
     *seen_epoch = epoch;
 }
 
-/// Pops a seed request and coalesces compatible riders up to
-/// `max_batch` / `max_wait`. Returns the batch paired with the instant its
-/// seed was popped (start of batch formation), or `None` when the queue is
-/// closed and fully drained.
-fn collect_batch(shared: &Shared) -> Option<(Vec<QueuedRequest>, Instant)> {
-    // Read the live policy once per batch: retunes apply at the next
-    // boundary, never mid-coalesce.
-    let policy = shared.batch.load();
-    let mut state = shared.state.lock().expect("queue lock");
+/// Pops a seed request and coalesces riders from the same model ring up
+/// to `max_batch` / `max_wait`. Returns the batch paired with the instant
+/// its seed was popped (start of batch formation), or `None` when the
+/// queue is closed and fully drained.
+///
+/// Sharding the queue per model made compatibility structural: submit
+/// normalizes every input to the model's exact `[1, C, H, W]` shape, so
+/// the seed's own ring holds nothing but compatible riders — the old
+/// O(queue) compatible-scan became a FIFO pop.
+fn collect_batch(shared: &Shared, worker: usize) -> Option<(Vec<QueuedRequest>, Instant)> {
     loop {
-        if let Some(first) = state.queue.pop_front() {
-            state.per_model[first.model.0] -= 1;
+        // Read the live policy at each seed attempt: retunes apply at the
+        // next boundary, never mid-coalesce.
+        let policy = shared.batch.load();
+        // Stagger the seed scan by worker index so concurrent workers
+        // start on different model rings instead of contending on one.
+        if let Some(first) = shared.queue.pop_any(worker) {
+            let model = first.model.index();
             let formed = Instant::now();
             let mut batch = vec![first];
             let deadline = formed + policy.max_wait;
             loop {
-                // Pull every compatible request currently queued.
-                let mut i = 0;
-                while i < state.queue.len() && batch.len() < policy.max_batch {
-                    if compatible(&state.queue[i], &batch[0]) {
-                        let rider = state.queue.remove(i).expect("index in bounds");
-                        state.per_model[rider.model.0] -= 1;
-                        batch.push(rider);
-                    } else {
-                        i += 1;
+                while batch.len() < policy.max_batch {
+                    match shared.queue.pop_model(model) {
+                        Some(rider) => batch.push(rider),
+                        None => break,
                     }
                 }
-                if batch.len() >= policy.max_batch || state.closed {
+                if batch.len() >= policy.max_batch || shared.queue.closed() {
                     break;
                 }
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (guard, wait) = shared
-                    .available
-                    .wait_timeout(state, deadline - now)
-                    .expect("queue lock");
-                state = guard;
-                if wait.timed_out() {
-                    // One final compatible-pull happens at loop top; the
-                    // deadline check then dispatches.
-                }
+                // Park until a submit lands (or the batching deadline);
+                // the pre-check inside `wait_for_work` closes the race
+                // with a publish that beat the registration.
+                shared
+                    .queue
+                    .wait_for_work((deadline - now).min(IDLE_POLL), || {
+                        shared.queue.model_depth(model) > 0 || shared.queue.closed()
+                    });
             }
             if let Some(tel) = &shared.telemetry {
-                tel.queue_depth.set(state.queue.len() as f64);
+                tel.queue_depth.set(shared.queue.depth() as f64);
             }
             return Some((batch, formed));
         }
-        if state.closed {
+        if shared.queue.closed() && shared.queue.depth() == 0 {
             return None;
         }
-        state = shared.available.wait(state).expect("queue lock");
+        // Idle: park on the single wake path. Timed regardless, so a
+        // wakeup lost to the lock-free submit race costs one IDLE_POLL.
+        shared.queue.wait_for_work(IDLE_POLL, || {
+            shared.queue.depth() > 0 || shared.queue.closed()
+        });
     }
 }
 
@@ -874,12 +858,9 @@ fn serve_batch(
         // pipeline timings are recorded.
         tel.batch_size.observe(size as f64);
         tel.requests_total.add(size as f64);
-        // Mirror the compute pool's cumulative activity into the gauges.
-        let pc = shared.pool.counters();
-        tel.pool_jobs.set(pc.jobs as f64);
-        tel.pool_inline_jobs.set(pc.inline_jobs as f64);
-        tel.pool_caller_tasks.set(pc.caller_tasks as f64);
-        tel.pool_worker_tasks.set(pc.worker_tasks as f64);
+        // Mirror the compute pool's cumulative activity: gauges take the
+        // snapshot, the steal/park/split counters take the delta.
+        tel.mirror_pool(&shared.pool.counters());
         tel.stage_batch_form
             .observe(dispatched.duration_since(formed).as_secs_f64());
         tel.stage_compute.observe(compute.as_secs_f64());

@@ -46,6 +46,7 @@ mod compiled;
 mod engine;
 mod error;
 pub mod metrics;
+mod queue;
 mod request;
 mod stats;
 pub mod telemetry;

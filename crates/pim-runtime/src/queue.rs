@@ -1,0 +1,446 @@
+//! Lock-free sharded admission queue.
+//!
+//! Replaces the global `Mutex<VecDeque>` on the submit path: admission is
+//! one CAS on a packed `closed|depth` word (capacity and shutdown checked
+//! atomically, so the accepted/rejected ledger conserves even against a
+//! racing close), per-model quotas are CAS loops on plain counters, and
+//! accepted requests land in per-model bounded MPMC rings — Vyukov-style
+//! sequence-numbered slots, multi-producer (any submitting thread) and
+//! multi-consumer (any serving worker).
+//!
+//! Sharding is **per model**, not per worker: `submit` normalizes every
+//! input to the model's exact `[1, C, H, W]` shape, so two requests for
+//! one model are always batch-compatible. A worker that pops a seed from
+//! a model's ring can therefore take riders from the *same ring's head*
+//! with plain FIFO pops — no compatibility scan over a mixed queue, and no
+//! risk of incompatible requests stranding in a worker-private shard.
+//!
+//! Waiting stays on a single condvar wake path: submitters notify only
+//! when `sleepers` says a worker is actually parked, and workers always
+//! wait *timed* (bounded by the batching deadline or a poll quantum), so
+//! a theoretically lost wakeup costs latency, never liveness.
+
+use crate::request::QueuedRequest;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// High bit of the packed admission word: the queue is closed.
+const CLOSED: u64 = 1 << 63;
+/// Low bits: accepted-but-undispatched request count.
+const DEPTH: u64 = CLOSED - 1;
+
+/// Why an admission was refused, in the same precedence order the old
+/// locked queue checked: closed, then capacity, then per-model quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitError {
+    Closed,
+    Full,
+    Throttled,
+}
+
+/// One slot of a [`Ring`]: a sequence number gating ownership plus the
+/// payload cell it guards.
+struct Slot {
+    /// Vyukov sequencing: `seq == pos` → free for the push claiming `pos`;
+    /// `seq == pos + 1` → holds the value pushed at `pos`, free for the
+    /// pop claiming `pos`; after that pop, `seq = pos + capacity`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<QueuedRequest>>,
+}
+
+/// A bounded multi-producer multi-consumer FIFO ring (Vyukov's design,
+/// std-only). Capacity is a power of two, at least the admission
+/// capacity, so a push that passed admission can never find the ring full
+/// — `push` spins only on the sub-microsecond window between a competing
+/// push's claim and its publish.
+struct Ring {
+    mask: usize,
+    /// Next pop position.
+    head: AtomicUsize,
+    /// Next push position.
+    tail: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: slots transfer `QueuedRequest` values between threads with the
+// seq acquire/release handshake providing the necessary ordering; the
+// payload type only needs to be Send (it is: tensors, instants, and an
+// mpsc::Sender).
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        Self {
+            mask: capacity - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Enqueues `value`. The caller must hold an admission reservation
+    /// (global depth < capacity ≤ ring capacity), which rules out a full
+    /// ring; the only spin is racing another push's claim/publish window.
+    fn push(&self, value: QueuedRequest) {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos
+                && self
+                    .tail
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // SAFETY: winning the tail CAS at `pos` gives exclusive
+                // write access to this slot until `seq` is bumped.
+                unsafe { (*slot.value.get()).write(value) };
+                slot.seq.store(pos + 1, Ordering::Release);
+                return;
+            }
+            std::hint::spin_loop();
+            pos = self.tail.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Dequeues the oldest published request, or `None` when the ring has
+    /// no *published* entries (a claimed-but-unpublished push reads as
+    /// empty; callers treat global depth as the liveness signal and
+    /// re-poll).
+    fn pop(&self) -> Option<QueuedRequest> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let published = pos.wrapping_add(1);
+            if seq == published {
+                if self
+                    .head
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: winning the head CAS at `pos` gives exclusive
+                    // read access to the value published at `pos`.
+                    let value = unsafe { (*slot.value.get()).assume_init_read() };
+                    slot.seq
+                        .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                    return Some(value);
+                }
+                pos = self.head.load(Ordering::Relaxed);
+            } else if seq < published {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Drop any undelivered requests so their reply senders disconnect.
+        while self.pop().is_some() {}
+    }
+}
+
+/// The admission queue: packed atomic admission state, per-model rings,
+/// and the single condvar workers park on.
+pub(crate) struct AdmissionQueue {
+    /// `CLOSED | depth`: one word so admission observes capacity and
+    /// shutdown atomically.
+    state: AtomicU64,
+    capacity: usize,
+    rings: Vec<Ring>,
+    /// Accepted-but-undispatched requests per model (quota + pressure
+    /// readout), kept in lockstep with the rings.
+    per_model: Vec<AtomicUsize>,
+    /// Workers currently parked on `available` (submitters skip the
+    /// notify entirely while this is zero).
+    sleepers: AtomicUsize,
+    wake: Mutex<()>,
+    available: Condvar,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize, models: usize) -> Self {
+        Self {
+            state: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            rings: (0..models).map(|_| Ring::new(capacity.max(1))).collect(),
+            per_model: (0..models).map(|_| AtomicUsize::new(0)).collect(),
+            sleepers: AtomicUsize::new(0),
+            wake: Mutex::new(()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Reserves one admission slot for `model`, enforcing (in order)
+    /// closed, global capacity, and the model's quota. On success the
+    /// caller **must** follow with [`publish`](Self::publish); depth and
+    /// the per-model count already include the reservation.
+    pub(crate) fn try_admit(&self, model: usize, quota: usize) -> Result<(), AdmitError> {
+        let mut state = self.state.load(Ordering::SeqCst);
+        loop {
+            if state & CLOSED != 0 {
+                return Err(AdmitError::Closed);
+            }
+            if (state & DEPTH) as usize >= self.capacity {
+                return Err(AdmitError::Full);
+            }
+            match self.state.compare_exchange_weak(
+                state,
+                state + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(cur) => state = cur,
+            }
+        }
+        let count = &self.per_model[model];
+        let mut queued = count.load(Ordering::Relaxed);
+        loop {
+            if queued >= quota {
+                // Roll the depth reservation back; the request was never
+                // visible to workers.
+                self.state.fetch_sub(1, Ordering::SeqCst);
+                return Err(AdmitError::Throttled);
+            }
+            match count.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(cur) => queued = cur,
+            }
+        }
+    }
+
+    /// Publishes an admitted request into its model's ring and wakes a
+    /// parked worker if any.
+    pub(crate) fn publish(&self, request: QueuedRequest) {
+        let model = request.model.index();
+        self.rings[model].push(request);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Lock-then-notify pairs with the workers' register-then-check
+            // parking protocol; see `wait_for_work`.
+            let _guard = self.wake.lock().expect("queue wake lock");
+            self.available.notify_all();
+        }
+    }
+
+    /// Pops a seed request, scanning the model rings round-robin from
+    /// `start` so no model starves behind a busy neighbour.
+    pub(crate) fn pop_any(&self, start: usize) -> Option<QueuedRequest> {
+        let models = self.rings.len();
+        for k in 0..models {
+            let m = (start + k) % models;
+            if let Some(req) = self.rings[m].pop() {
+                self.per_model[m].fetch_sub(1, Ordering::AcqRel);
+                self.state.fetch_sub(1, Ordering::SeqCst);
+                return Some(req);
+            }
+        }
+        None
+    }
+
+    /// Pops the oldest queued request of one model (batch riders).
+    pub(crate) fn pop_model(&self, model: usize) -> Option<QueuedRequest> {
+        let req = self.rings[model].pop()?;
+        self.per_model[model].fetch_sub(1, Ordering::AcqRel);
+        self.state.fetch_sub(1, Ordering::SeqCst);
+        Some(req)
+    }
+
+    /// Accepted-but-undispatched request count.
+    pub(crate) fn depth(&self) -> usize {
+        (self.state.load(Ordering::SeqCst) & DEPTH) as usize
+    }
+
+    /// Queued requests for one model (includes reservations whose publish
+    /// is still in flight).
+    pub(crate) fn model_depth(&self, model: usize) -> usize {
+        self.per_model[model].load(Ordering::Relaxed)
+    }
+
+    /// Per-model queued counts, in registration order.
+    pub(crate) fn per_model(&self) -> Vec<usize> {
+        self.per_model
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn closed(&self) -> bool {
+        self.state.load(Ordering::SeqCst) & CLOSED != 0
+    }
+
+    /// Atomically stops all future admissions and wakes every parked
+    /// worker. Requests admitted before the close stay queued (depth > 0)
+    /// and will be drained.
+    pub(crate) fn close(&self) {
+        self.state.fetch_or(CLOSED, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Wakes every parked worker (policy retunes, shutdown).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.wake.lock().expect("queue wake lock");
+        self.available.notify_all();
+    }
+
+    /// Parks until woken or `timeout`, unless `has_work` already holds.
+    /// The sleeper registers **before** checking, and submitters that see
+    /// the registration notify under the same lock the check runs under —
+    /// so a publish racing the check either flips `has_work` or finds the
+    /// sleeper. Timed regardless, so any residual race costs one timeout.
+    pub(crate) fn wait_for_work(&self, timeout: Duration, has_work: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.wake.lock().expect("queue wake lock");
+        if !has_work() {
+            drop(
+                self.available
+                    .wait_timeout(guard, timeout)
+                    .expect("queue wake lock"),
+            );
+        } else {
+            drop(guard);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelId;
+    use pim_nn::tensor::Tensor;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::{mpsc, Arc};
+    use std::time::Instant;
+
+    fn req(model: usize, id: u64) -> (QueuedRequest, mpsc::Receiver<crate::InferResponse>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            QueuedRequest {
+                id,
+                model: ModelId::from_index(model),
+                input: Tensor::ones(&[1, 1, 2, 2]),
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn admission_enforces_capacity_then_quota_then_close() {
+        let q = AdmissionQueue::new(2, 2);
+        assert_eq!(q.try_admit(0, usize::MAX), Ok(()));
+        assert_eq!(q.try_admit(1, usize::MAX), Ok(()));
+        assert_eq!(q.try_admit(0, usize::MAX), Err(AdmitError::Full));
+        // Quota failures roll the depth reservation back.
+        let q2 = AdmissionQueue::new(8, 1);
+        assert_eq!(q2.try_admit(0, 0), Err(AdmitError::Throttled));
+        assert_eq!(q2.depth(), 0);
+        q2.close();
+        assert_eq!(q2.try_admit(0, usize::MAX), Err(AdmitError::Closed));
+    }
+
+    #[test]
+    fn rings_are_fifo_per_model_and_rotation_is_fair() {
+        let q = AdmissionQueue::new(8, 2);
+        for (model, id) in [(0, 0), (0, 1), (1, 2)] {
+            q.try_admit(model, usize::MAX).unwrap();
+            q.publish(req(model, id).0);
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.per_model(), vec![2, 1]);
+        // Seed scan starting at model 1 takes model 1's head first.
+        assert_eq!(q.pop_any(1).unwrap().id, 2);
+        // Model-0 riders come out in submit order.
+        assert_eq!(q.pop_model(0).unwrap().id, 0);
+        assert_eq!(q.pop_model(0).unwrap().id, 1);
+        assert_eq!(q.pop_model(0).map(|r| r.id), None);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn dropping_the_queue_disconnects_undelivered_tickets() {
+        let q = AdmissionQueue::new(4, 1);
+        q.try_admit(0, usize::MAX).unwrap();
+        let (r, rx) = req(0, 9);
+        q.publish(r);
+        drop(q);
+        assert!(rx.recv().is_err(), "sender dropped with the ring");
+    }
+
+    #[test]
+    fn concurrent_floods_conserve_depth_exactly() {
+        // N submitters × M drainers against one tiny queue: accepted ==
+        // drained, depth returns to zero, rejections never go negative.
+        let q = Arc::new(AdmissionQueue::new(16, 3));
+        let accepted = Arc::new(StdAtomicU64::new(0));
+        let drained = Arc::new(StdAtomicU64::new(0));
+        let submitters: Vec<_> = (0..4)
+            .map(|s| {
+                let q = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let model = ((s + i) % 3) as usize;
+                        if q.try_admit(model, usize::MAX).is_ok() {
+                            q.publish(req(model, i).0);
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let drainers: Vec<_> = (0..2)
+            .map(|d| {
+                let q = Arc::clone(&q);
+                let drained = Arc::clone(&drained);
+                std::thread::spawn(move || loop {
+                    match q.pop_any(d) {
+                        Some(_) => {
+                            drained.fetch_add(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            if q.closed() && q.depth() == 0 {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        q.close();
+        for d in drainers {
+            d.join().unwrap();
+        }
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            drained.load(Ordering::SeqCst),
+            "every admitted request drained exactly once"
+        );
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.per_model(), vec![0, 0, 0]);
+    }
+}

@@ -130,15 +130,34 @@ fn runtime_threads_1_and_4_serve_identical_answers() {
     // unless the host has a single core, where the requested width
     // degrades to the pure-inline path with no dispatch at all.
     assert_eq!(serial_counters.worker_tasks, 0);
+    // A serial pool has no deques: nothing to steal, split, or park on.
+    assert_eq!(
+        (
+            serial_counters.steals,
+            serial_counters.parks,
+            serial_counters.splits
+        ),
+        (0, 0, 0),
+        "serial pool must never touch the work-stealing machinery"
+    );
     if cores >= 2 {
         assert!(parallel_counters.jobs > 0, "no parallel jobs ran");
         assert!(
             parallel_counters.caller_tasks + parallel_counters.worker_tasks > 0,
             "jobs ran but no tasks were attributed"
         );
+        // Stolen work only exists as split-off ranges: a steal without a
+        // recorded split would mean the deques invented tasks.
+        if parallel_counters.steals > 0 {
+            assert!(
+                parallel_counters.splits > 0,
+                "steals require split-off ranges to exist"
+            );
+        }
     } else {
         assert_eq!(parallel_counters.jobs, 0, "clamped pool must not dispatch");
         assert_eq!(parallel_counters.worker_tasks, 0);
+        assert_eq!(parallel_counters.steals, 0);
         assert!(parallel_counters.inline_jobs > 0, "inline path must run");
     }
 }
